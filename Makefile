@@ -1,0 +1,34 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench bench-csv examples clean loc
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+test-force:
+	dune runtest --force --no-buffer
+
+bench:
+	dune exec bench/main.exe
+
+bench-csv:
+	dune exec bench/main.exe -- --csv results
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/distillation_tour.exe
+	dune exec examples/formal_refinement.exe
+	dune exec examples/pipeline_sweep.exe
+	dune exec examples/adversarial_master.exe
+	dune exec examples/compile_and_speculate.exe
+
+clean:
+	dune clean
+
+loc:
+	@find . -name _build -prune -o -type f \( -name '*.ml' -o -name '*.mli' \) -print | xargs wc -l | tail -1
