@@ -1,0 +1,1 @@
+bench/experiments.ml: B Config Distill Full Harness List M Mssp_formal Mssp_isa Mssp_seq Mssp_state Mssp_workload Printf Stats Table W

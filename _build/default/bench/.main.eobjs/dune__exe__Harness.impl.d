@@ -1,0 +1,1 @@
+bench/harness.ml: Filename Mssp_baseline Mssp_core Mssp_distill Mssp_isa Mssp_metrics Mssp_profile Mssp_seq Mssp_state Mssp_workload Printf String

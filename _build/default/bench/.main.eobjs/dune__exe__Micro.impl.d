@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Bechamel_notty Benchmark Instance List Measure Mssp_asm Mssp_cache Mssp_isa Mssp_seq Mssp_state Notty_unix Staged Test Time Toolkit Unix

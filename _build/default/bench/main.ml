@@ -1,0 +1,39 @@
+(* The evaluation harness entry point.
+
+   With no arguments: regenerate every experiment (E1..E12, one per
+   paper table/figure — see DESIGN.md's experiment index) and finish
+   with the Bechamel micro-benchmarks of the simulator's hot paths.
+
+   With arguments: run only the named experiments, e.g.
+     dune exec bench/main.exe -- E3 E5
+     dune exec bench/main.exe -- micro
+     dune exec bench/main.exe -- --csv results/   # also write CSVs *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec strip_csv acc = function
+    | "--csv" :: dir :: rest ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      Harness.csv_dir := Some dir;
+      strip_csv acc rest
+    | a :: rest -> strip_csv (a :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = strip_csv [] args in
+  let want name = args = [] || List.mem name args in
+  Printf.printf
+    "MSSP evaluation harness — every experiment re-verifies final-state\n\
+     equivalence with the sequential machine before reporting numbers.\n";
+  List.iter
+    (fun (name, f) ->
+      if want name then begin
+        let t0 = Unix.gettimeofday () in
+        f ();
+        Printf.printf "  [%s completed in %.1fs]\n%!" name
+          (Unix.gettimeofday () -. t0)
+      end)
+    Experiments.all;
+  if want "micro" then begin
+    Harness.section "Micro-benchmarks (Bechamel): simulator hot paths";
+    Micro.run ()
+  end

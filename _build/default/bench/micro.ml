@@ -1,0 +1,96 @@
+(** Bechamel micro-benchmarks of the simulator's hot paths — these bound
+    how large a workload the reproduction can simulate, and catch
+    performance regressions in the substrate. *)
+
+open Bechamel
+open Toolkit
+module Instr = Mssp_isa.Instr
+module Reg = Mssp_isa.Reg
+module Cell = Mssp_state.Cell
+module Fragment = Mssp_state.Fragment
+module Full = Mssp_state.Full
+module Cache = Mssp_cache.Cache
+
+let sample_instr = Instr.Alu (Instr.Add, Reg.of_int 1, Reg.of_int 2, Reg.of_int 3)
+let sample_word = Instr.encode sample_instr
+
+let test_encode =
+  Test.make ~name:"instr encode" (Staged.stage (fun () -> Instr.encode sample_instr))
+
+let test_decode =
+  Test.make ~name:"instr decode" (Staged.stage (fun () -> Instr.decode sample_word))
+
+let exec_state =
+  let b = Mssp_asm.Dsl.create () in
+  Mssp_asm.Dsl.label b "loop";
+  Mssp_asm.Dsl.alui b Instr.Add Mssp_asm.Regs.t0 Mssp_asm.Regs.t0 1;
+  Mssp_asm.Dsl.jmp b "loop";
+  let p = Mssp_asm.Dsl.build b () in
+  let s = Full.create () in
+  Full.load s p;
+  s
+
+let test_exec_step =
+  Test.make ~name:"exec step (full state)"
+    (Staged.stage (fun () ->
+         Mssp_seq.Exec.step
+           ~read:(fun c -> Some (Full.get exec_state c))
+           ~write:(fun c v -> Full.set exec_state c v)))
+
+let frag_a =
+  Fragment.of_list (List.init 64 (fun i -> (Cell.mem i, i)))
+
+let frag_b =
+  Fragment.of_list (List.init 64 (fun i -> (Cell.mem (i + 32), i * 2)))
+
+let test_superimpose =
+  Test.make ~name:"fragment superimpose (64+64)"
+    (Staged.stage (fun () -> Fragment.superimpose frag_a frag_b))
+
+let test_consistent =
+  Test.make ~name:"fragment consistent (64 vs 64)"
+    (Staged.stage (fun () -> Fragment.consistent frag_a frag_a))
+
+let cache = Cache.Hierarchy.make ()
+
+let cache_cursor = ref 0
+
+let test_cache_access =
+  Test.make ~name:"cache hierarchy access"
+    (Staged.stage (fun () ->
+         cache_cursor := (!cache_cursor + 17) land 0xFFFF;
+         Cache.Hierarchy.access cache !cache_cursor))
+
+let tests =
+  Test.make_grouped ~name:"mssp hot paths"
+    [
+      test_encode; test_decode; test_exec_step; test_superimpose;
+      test_consistent; test_cache_access;
+    ]
+
+let run () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 500) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let results = Analyze.merge ols instances results in
+  List.iter
+    (fun v -> Bechamel_notty.Unit.add v (Measure.unit v))
+    Instance.[ monotonic_clock ];
+  let window =
+    match Notty_unix.winsize Unix.stdout with
+    | Some (w, h) -> { Bechamel_notty.w; h }
+    | None -> { Bechamel_notty.w = 100; h = 1 }
+  in
+  let img =
+    Bechamel_notty.Multiple.image_of_ols_results ~rect:window
+      ~predictor:Measure.run results
+  in
+  Notty_unix.output_image (Notty_unix.eol img)

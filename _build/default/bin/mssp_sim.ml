@@ -1,0 +1,386 @@
+(* mssp_sim — command-line driver for the MSSP reproduction.
+
+   Subcommands:
+     list               enumerate benchmarks
+     seq                run a benchmark on the sequential baseline
+     distill            distill a benchmark and show the stats/listing
+     run                run a benchmark under MSSP and show statistics
+     compare            SEQ vs MSSP: verify equivalence, report speedup
+     exec               assemble and run a .s file sequentially
+     formal             run the formal-model checks (safety, refinement)
+
+   Examples:
+     mssp_sim list
+     mssp_sim compare vecsum --slaves 8
+     mssp_sim run qsort --size 2000 --task-size 100 --verify-refinement
+     mssp_sim distill branchy --dump
+     mssp_sim exec program.s *)
+
+open Cmdliner
+module Full = Mssp_state.Full
+module Machine = Mssp_seq.Machine
+module Profile = Mssp_profile.Profile
+module Distill = Mssp_distill.Distill
+module M = Mssp_core.Mssp_machine
+module Config = Mssp_core.Mssp_config
+module B = Mssp_baseline.Baseline
+module W = Mssp_workload.Workload
+
+(* --- shared arguments --- *)
+
+let bench_arg =
+  let doc = "Benchmark name (see `mssp_sim list`)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+
+let size_arg =
+  let doc = "Input size (default: the benchmark's reference size)." in
+  Arg.(value & opt (some int) None & info [ "size" ] ~docv:"N" ~doc)
+
+let slaves_arg =
+  let doc = "Number of slave processors." in
+  Arg.(value & opt int 4 & info [ "slaves" ] ~docv:"N" ~doc)
+
+let task_size_arg =
+  let doc = "Master instructions between checkpoints (task sizing)." in
+  Arg.(value & opt int Config.default.Config.task_size
+       & info [ "task-size" ] ~docv:"N" ~doc)
+
+let isolated_arg =
+  let doc = "Isolated slaves: no architected-state fallback (abstract-model mode)." in
+  Arg.(value & flag & info [ "isolated" ] ~doc)
+
+let verify_arg =
+  let doc = "Maintain the shadow SEQ machine and check jumping refinement at every commit." in
+  Arg.(value & flag & info [ "verify-refinement" ] ~doc)
+
+let no_distill_arg =
+  let doc = "Disable all distiller transformations (identity master ablation)." in
+  Arg.(value & flag & info [ "no-distill" ] ~doc)
+
+let resolve_bench name size =
+  let b = W.find name in
+  let size = Option.value size ~default:b.W.ref_size in
+  (b, size)
+
+let prepare name size no_distill =
+  let b, size = resolve_bench name size in
+  let train = b.W.program ~size:b.W.train_size in
+  let program = b.W.program ~size in
+  let profile = Profile.collect train in
+  let options = if no_distill then Distill.identity_options else Distill.default_options in
+  (b, program, Distill.distill ~options program profile)
+
+let config slaves task_size isolated verify =
+  {
+    (Config.with_slaves slaves Config.default) with
+    Config.task_size;
+    isolated_slaves = isolated;
+    verify_refinement = verify;
+  }
+
+(* --- list --- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (b : W.benchmark) ->
+        Printf.printf "%-10s (train %5d, ref %5d)  %s\n" b.W.name
+          b.W.train_size b.W.ref_size b.W.description)
+      (W.all @ [ W.io_bench ])
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available benchmarks")
+    Term.(const run $ const ())
+
+(* --- seq --- *)
+
+let seq_cmd =
+  let run name size =
+    let b, size = resolve_bench name size in
+    let r = B.sequential (b.W.program ~size) in
+    Printf.printf "benchmark:    %s (size %d)\n" b.W.name size;
+    Printf.printf "instructions: %d\n" r.B.instructions;
+    Printf.printf "cycles:       %d  (CPI %.2f)\n" r.B.cycles
+      (float_of_int r.B.cycles /. float_of_int (max 1 r.B.instructions));
+    Printf.printf "output:       %s\n"
+      (String.concat ", " (List.map string_of_int (Machine.output r.B.state)))
+  in
+  Cmd.v (Cmd.info "seq" ~doc:"Run a benchmark on the sequential baseline")
+    Term.(const run $ bench_arg $ size_arg)
+
+(* --- distill --- *)
+
+let distill_cmd =
+  let dump_arg =
+    Arg.(value & flag & info [ "dump" ] ~doc:"Print both program listings.")
+  in
+  let run name size dump no_distill =
+    let b, program, d = prepare name size no_distill in
+    ignore b;
+    Format.printf "%a@." Distill.pp_stats d.Distill.stats;
+    Printf.printf "task entries: %s\n"
+      (String.concat ", "
+         (List.map (Printf.sprintf "%#x") d.Distill.task_entries));
+    if dump then begin
+      Format.printf "@.--- original ---@.%a@." Mssp_isa.Program.pp program;
+      Format.printf "--- distilled ---@.%a@." Mssp_isa.Program.pp
+        d.Distill.distilled
+    end
+  in
+  Cmd.v (Cmd.info "distill" ~doc:"Distill a benchmark and show statistics")
+    Term.(const run $ bench_arg $ size_arg $ dump_arg $ no_distill_arg)
+
+(* --- run --- *)
+
+let run_cmd =
+  let trace_arg =
+    Arg.(value & opt (some int) None & info [ "trace" ] ~docv:"N"
+         ~doc:"Record the machine event log and print its first $(docv) events.")
+  in
+  let run name size slaves task_size isolated verify no_distill trace =
+    let _, _, d = prepare name size no_distill in
+    let cfg =
+      { (config slaves task_size isolated verify) with
+        Config.record_trace = trace <> None }
+    in
+    let r = M.run ~config:cfg d in
+    (match trace with
+    | Some n ->
+      Printf.printf "--- first %d machine events ---\n" n;
+      List.iteri
+        (fun i ev -> if i < n then Format.printf "%a@." M.pp_event ev)
+        r.M.trace;
+      Printf.printf "--- end of trace (%d events total) ---\n\n"
+        (List.length r.M.trace)
+    | None -> ());
+    Format.printf "%a@." M.pp_stats r.M.stats;
+    Printf.printf "stop:             %s\n"
+      (match r.M.stop with
+      | M.Halted -> "halted"
+      | M.Cycle_limit -> "cycle limit"
+      | M.Squash_limit -> "squash limit"
+      | M.Wedged -> "WEDGED (bug)");
+    Printf.printf "mean task size:   %.1f\n" (M.mean_task_size r);
+    Printf.printf "mean live-ins:    %.1f\n" (M.mean_live_ins r);
+    Printf.printf "slave occupancy:  %.2f\n" (M.slave_occupancy r ~config:cfg);
+    if verify then
+      Printf.printf "refinement violations: %d\n" r.M.refinement_violations;
+    Printf.printf "output:           %s\n"
+      (String.concat ", " (List.map string_of_int (Machine.output r.M.arch)))
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a benchmark under MSSP")
+    Term.(
+      const run $ bench_arg $ size_arg $ slaves_arg $ task_size_arg
+      $ isolated_arg $ verify_arg $ no_distill_arg $ trace_arg)
+
+(* --- compare --- *)
+
+let compare_cmd =
+  let run name size slaves task_size no_distill =
+    let _, program, d = prepare name size no_distill in
+    let baseline = B.sequential ~also_load:[ d.Distill.distilled ] program in
+    let cfg = config slaves task_size false true in
+    let r = M.run ~config:cfg d in
+    let equal = Full.equal_observable baseline.B.state r.M.arch in
+    Printf.printf "sequential cycles: %d\n" baseline.B.cycles;
+    Printf.printf "mssp cycles:       %d (%d slaves)\n" r.M.stats.M.cycles slaves;
+    Printf.printf "speedup:           %.2f\n"
+      (B.speedup ~baseline r.M.stats.M.cycles);
+    Printf.printf "tasks committed:   %d, squashes: %d\n"
+      r.M.stats.M.tasks_committed r.M.stats.M.squashes;
+    Printf.printf "states equal:      %b\n" equal;
+    Printf.printf "refinement:        %d violations\n" r.M.refinement_violations;
+    if not equal then begin
+      List.iteri
+        (fun i (c, v1, v2) ->
+          if i < 10 then
+            Printf.printf "  diff %s: seq=%d mssp=%d\n"
+              (Mssp_state.Cell.show c) v1 v2)
+        (Full.diff_observable baseline.B.state r.M.arch);
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Verify MSSP against SEQ and report the speedup")
+    Term.(
+      const run $ bench_arg $ size_arg $ slaves_arg $ task_size_arg
+      $ no_distill_arg)
+
+(* --- exec --- *)
+
+let exec_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.s"
+         ~doc:"SIR assembly source file.")
+  in
+  let fuel_arg =
+    Arg.(value & opt int 10_000_000 & info [ "fuel" ] ~docv:"N"
+         ~doc:"Instruction budget.")
+  in
+  let run file fuel =
+    let source = In_channel.with_open_text file In_channel.input_all in
+    match Mssp_asm.Parser.parse source with
+    | Error e ->
+      Format.eprintf "%s: %a@." file Mssp_asm.Parser.pp_error e;
+      exit 1
+    | Ok p ->
+      let m = Machine.of_program p in
+      let stop = Machine.run ~fuel m in
+      Printf.printf "stop:         %s\n"
+        (match stop with
+        | Machine.Halted -> "halted"
+        | Machine.Faulted f -> Format.asprintf "fault (%a)" Mssp_seq.Exec.pp_fault f
+        | Machine.Out_of_fuel -> "out of fuel");
+      Printf.printf "instructions: %d\n" m.Machine.instructions;
+      Printf.printf "output:       %s\n"
+        (String.concat ", "
+           (List.map string_of_int (Machine.output m.Machine.state)))
+  in
+  Cmd.v (Cmd.info "exec" ~doc:"Assemble and run a SIR .s file sequentially")
+    Term.(const run $ file_arg $ fuel_arg)
+
+(* --- formal --- *)
+
+let formal_cmd =
+  let trials_arg =
+    Arg.(value & opt int 30 & info [ "trials" ] ~docv:"N"
+         ~doc:"Random instances per check.")
+  in
+  let run trials =
+    let module Seq_model = Mssp_formal.Seq_model in
+    let module Abstract_task = Mssp_formal.Abstract_task in
+    let module Safety = Mssp_formal.Safety in
+    let module Mssp_model = Mssp_formal.Mssp_model in
+    let module Refinement = Mssp_formal.Refinement in
+    let ok = ref true in
+    for seed = 1 to trials do
+      let p = Mssp_workload.Synthetic.generate ~seed ~size:6 in
+      let s0 = Seq_model.complete_of_program p in
+      (* Lemma 2 *)
+      let t = Abstract_task.evolve_fully (Abstract_task.make s0 7) in
+      if not (Mssp_state.Fragment.equal t.Abstract_task.live_out (Seq_model.seq s0 7))
+      then begin
+        Printf.printf "Lemma 2 FAILED at seed %d\n" seed;
+        ok := false
+      end;
+      (* Theorem 2 on the full state (trivially consistent+complete) *)
+      if not (Safety.safe (Abstract_task.make s0 5) s0) then begin
+        Printf.printf "Theorem 2 FAILED at seed %d\n" seed;
+        ok := false
+      end;
+      (* jumping refinement of a sampled abstract run *)
+      let rec chain state = function
+        | [] -> []
+        | n :: rest ->
+          Abstract_task.make state n :: chain (Seq_model.seq state n) rest
+      in
+      let start = Mssp_model.make ~arch:s0 (chain s0 [ 2; 3 ]) in
+      let trace = Mssp_model.Search.random_run ~seed ~max_steps:40 start in
+      if not (Refinement.is_refinement_trace ~bound:10 trace) then begin
+        Printf.printf "refinement FAILED at seed %d\n" seed;
+        ok := false
+      end
+    done;
+    if !ok then
+      Printf.printf
+        "all formal checks passed over %d random programs\n\
+         (Lemma 2, Theorem 2, jumping refinement)\n"
+        trials
+    else exit 1
+  in
+  Cmd.v
+    (Cmd.info "formal"
+       ~doc:"Check the formal-model results over random programs")
+    Term.(const run $ trials_arg)
+
+(* --- cc: MiniC --- *)
+
+let cc_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.mc"
+         ~doc:"MiniC source file.")
+  in
+  let mssp_arg =
+    Arg.(value & flag & info [ "mssp" ]
+         ~doc:"Also run the compiled program under MSSP and compare.")
+  in
+  let emit_arg =
+    Arg.(value & opt (some string) None & info [ "emit" ] ~docv:"FILE.s"
+         ~doc:"Write the generated SIR assembly to a file.")
+  in
+  let run file mssp emit =
+    let source = In_channel.with_open_text file In_channel.input_all in
+    match Mssp_minic.Codegen.compile_source source with
+    | Error message ->
+      Printf.eprintf "%s: %s\n" file message;
+      exit 1
+    | Ok p ->
+      Option.iter (fun out -> Mssp_asm.Emit.save p out) emit;
+      let m = Machine.run_program ~fuel:100_000_000 p in
+      Printf.printf "sequential: %s, %d instructions\n"
+        (match m.Machine.stopped with
+        | Some Machine.Halted -> "halted"
+        | Some (Machine.Faulted _) -> "FAULT"
+        | _ -> "out of fuel")
+        m.Machine.instructions;
+      Printf.printf "output: %s\n"
+        (String.concat ", "
+           (List.map string_of_int (Machine.output m.Machine.state)));
+      if mssp then begin
+        let profile = Profile.collect ~fuel:100_000_000 p in
+        let d = Distill.distill p profile in
+        let baseline = B.sequential ~also_load:[ d.Distill.distilled ] p in
+        let cfg = { Config.default with Config.verify_refinement = true } in
+        let r = M.run ~config:cfg d in
+        Printf.printf "mssp:   %d cycles vs sequential %d  (speedup %.2f)\n"
+          r.M.stats.M.cycles baseline.B.cycles
+          (B.speedup ~baseline r.M.stats.M.cycles);
+        Printf.printf "        states equal: %b, refinement violations: %d\n"
+          (Full.equal_observable baseline.B.state r.M.arch)
+          r.M.refinement_violations
+      end
+  in
+  Cmd.v
+    (Cmd.info "cc" ~doc:"Compile and run a MiniC program (optionally under MSSP)")
+    Term.(const run $ file_arg $ mssp_arg $ emit_arg)
+
+(* --- maude --- *)
+
+let maude_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE"
+         ~doc:"Write to a file instead of stdout.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N"
+         ~doc:"Seed for the embedded synthetic program instance.")
+  in
+  let run out seed =
+    let module E = Mssp_formal.Maude_export in
+    let module Seq_model = Mssp_formal.Seq_model in
+    let module Abstract_task = Mssp_formal.Abstract_task in
+    let p = Mssp_workload.Synthetic.generate ~seed ~size:4 in
+    let s0 = Seq_model.complete_of_program p in
+    let rec chain state = function
+      | [] -> []
+      | n :: rest ->
+        Abstract_task.make state n :: chain (Seq_model.seq state n) rest
+    in
+    let src = E.export ~name:"instance" ~arch:s0 ~tasks:(chain s0 [ 2; 3 ]) in
+    match out with
+    | None -> print_string src
+    | Some file ->
+      Out_channel.with_open_text file (fun oc -> Out_channel.output_string oc src);
+      Printf.printf "wrote %s (%d bytes): load it in Maude and try `rew init .`\n"
+        file (String.length src)
+  in
+  Cmd.v
+    (Cmd.info "maude"
+       ~doc:"Export the formal models (plus a concrete instance) as Maude source")
+    Term.(const run $ out_arg $ seed_arg)
+
+let () =
+  let doc = "Master/Slave Speculative Parallelization — reproduction driver" in
+  let info = Cmd.info "mssp_sim" ~version:"1.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+    [ list_cmd; seq_cmd; distill_cmd; run_cmd; compare_cmd; exec_cmd;
+      cc_cmd; formal_cmd; maude_cmd ]))

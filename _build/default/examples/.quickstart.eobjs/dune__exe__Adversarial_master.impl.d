@@ -1,0 +1,1 @@
+examples/adversarial_master.ml: List Mssp_baseline Mssp_core Mssp_distill Mssp_profile Mssp_seq Mssp_state Mssp_workload Printf

@@ -1,0 +1,1 @@
+examples/compile_and_speculate.ml: Format List Mssp_baseline Mssp_core Mssp_distill Mssp_isa Mssp_minic Mssp_profile Mssp_seq Mssp_state Printf Result String

@@ -1,0 +1,1 @@
+examples/distillation_tour.ml: Format List Mssp_asm Mssp_distill Mssp_isa Mssp_profile Printf

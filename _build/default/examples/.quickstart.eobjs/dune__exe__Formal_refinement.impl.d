@@ -1,0 +1,1 @@
+examples/formal_refinement.ml: Format List Mssp_asm Mssp_formal Mssp_isa Mssp_state Printf

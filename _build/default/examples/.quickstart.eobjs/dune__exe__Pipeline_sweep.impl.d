@@ -1,0 +1,1 @@
+examples/pipeline_sweep.ml: Array List Mssp_baseline Mssp_core Mssp_distill Mssp_metrics Mssp_profile Mssp_workload Printf Sys

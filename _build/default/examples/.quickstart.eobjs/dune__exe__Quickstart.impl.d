@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Mssp_asm Mssp_baseline Mssp_core Mssp_distill Mssp_isa Mssp_profile Mssp_seq Mssp_state Printf String

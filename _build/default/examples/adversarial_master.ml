@@ -1,0 +1,50 @@
+(* Performance/correctness decoupling, live: hand the machine a master
+   that is garbage, a compulsive liar, dead on arrival, or an infinite
+   spinner — and watch the architected result stay bit-identical to the
+   sequential machine.
+
+     dune exec examples/adversarial_master.exe *)
+
+module Full = Mssp_state.Full
+module Machine = Mssp_seq.Machine
+module Profile = Mssp_profile.Profile
+module Distill = Mssp_distill.Distill
+module M = Mssp_core.Mssp_machine
+module Config = Mssp_core.Mssp_config
+module B = Mssp_baseline.Baseline
+module W = Mssp_workload.Workload
+module Adversary = Mssp_workload.Adversary
+
+let () =
+  let bench = W.find "branchy" in
+  let program = bench.W.program ~size:2000 in
+  let config =
+    {
+      (Config.with_slaves 4 Config.default) with
+      Config.verify_refinement = true;
+      master_chunk = 100_000;
+    }
+  in
+  Printf.printf "program: %s (2000 elements)\n\n" bench.W.name;
+
+  (* honest master first *)
+  let honest =
+    Distill.distill program (Profile.collect (bench.W.program ~size:bench.W.train_size))
+  in
+  let masters = ("honest", honest) :: Adversary.all program in
+  List.iter
+    (fun (name, d) ->
+      let reference = B.sequential ~also_load:[ d.Distill.distilled ] program in
+      let r = M.run ~config d in
+      Printf.printf "%-12s speedup %5.2f   squashes %5d   states equal: %b   refinement violations: %d\n"
+        name
+        (B.speedup ~baseline:reference r.M.stats.M.cycles)
+        r.M.stats.M.squashes
+        (Full.equal_observable reference.B.state r.M.arch)
+        r.M.refinement_violations)
+    masters;
+  Printf.printf
+    "\nthe master and its distilled code sit entirely on the performance\n\
+     side of the machine: the verify/commit unit alone decides what\n\
+     reaches architected state, so no master can corrupt the result —\n\
+     the paper's performance/correctness decoupling, demonstrated.\n"

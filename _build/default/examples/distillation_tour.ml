@@ -1,0 +1,89 @@
+(* A tour of the distiller: one demonstrative program, each
+   transformation shown by diffing the listings and the statistics.
+
+     dune exec examples/distillation_tour.exe *)
+
+module Dsl = Mssp_asm.Dsl
+module Instr = Mssp_isa.Instr
+module Program = Mssp_isa.Program
+module Profile = Mssp_profile.Profile
+module Distill = Mssp_distill.Distill
+open Mssp_asm.Regs
+
+(* The program mimics real compiled code: a hot loop with an assertion
+   (never fires), write-only logging, and a computation chain that feeds
+   only the log — all fat the master does not need. *)
+let program n =
+  let b = Dsl.create () in
+  let data = Dsl.data_words b (List.init 64 (fun i -> (i * 7) mod 100) ) in
+  let log = Dsl.alloc b n in
+  Dsl.label b "main";
+  Dsl.li b t0 n; (* counter *)
+  Dsl.li b t1 0; (* sum *)
+  Dsl.li b s13 64; (* index limit for the assertion *)
+  Dsl.li b s11 log;
+  Dsl.label b "loop";
+  (* assertion: index in range (never fails) *)
+  Dsl.alui b Instr.And t2 t0 63;
+  Dsl.br b Instr.Ge t2 s13 "assert_fail";
+  (* real work: sum += data[t0 & 63] *)
+  Dsl.li b t3 data;
+  Dsl.alu b Instr.Add t3 t3 t2;
+  Dsl.ld b t4 t3 0;
+  Dsl.alu b Instr.Add t1 t1 t4;
+  (* logging: an expensive checksum written to a log never read back *)
+  Dsl.alui b Instr.Mul t5 t4 16777619;
+  Dsl.alui b Instr.Xor t5 t5 0x5A5A;
+  Dsl.alu b Instr.Add t6 s11 t0;
+  Dsl.st b t5 t6 0;
+  Dsl.alui b Instr.Sub t0 t0 1;
+  Dsl.br b Instr.Gt t0 zero "loop";
+  Dsl.out b t1;
+  Dsl.halt b;
+  Dsl.label b "assert_fail";
+  Dsl.li b t1 (-1);
+  Dsl.out b t1;
+  Dsl.halt b;
+  Dsl.build ~entry:"main" b ()
+
+let show_stage title options profile reference =
+  Printf.printf "\n--- %s ---\n" title;
+  let d = Distill.distill ~options reference profile in
+  Format.printf "%a@." Distill.pp_stats d.Distill.stats;
+  d
+
+let () =
+  let train = program 300 in
+  let reference = program 5000 in
+  let profile = Profile.collect train in
+  Format.printf "profile of the training run:@.%a@." Profile.pp_summary profile;
+
+  let base = Distill.identity_options in
+  ignore (show_stage "identity (markers only)" base profile reference);
+  ignore
+    (show_stage "+ branch hardening"
+       { base with Distill.branch_bias_threshold = 0.98; min_branch_count = 8; compact = true }
+       profile reference);
+  ignore
+    (show_stage "+ non-communicating store removal"
+       {
+         base with
+         Distill.branch_bias_threshold = 0.98;
+         min_branch_count = 8;
+         compact = true;
+         remove_noncomm_stores = true;
+         store_comm_distance = 1000;
+         min_store_count = 8;
+       }
+       profile reference);
+  let final =
+    show_stage "+ dead-write elimination (the full pipeline)"
+      Distill.default_options profile reference
+  in
+  Printf.printf "\n--- original hot loop vs distilled program ---\n";
+  Format.printf "%a@." Program.pp reference;
+  Format.printf "%a@." Program.pp final.Distill.distilled;
+  Printf.printf
+    "note: the assertion, the log stores and the checksum chain are gone\n\
+     from the distilled code; [fork] markers delimit tasks. None of this\n\
+     is trusted — every prediction is verified at commit.\n"

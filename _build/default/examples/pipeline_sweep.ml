@@ -1,0 +1,66 @@
+(* Parameter sweeps rendered as text "figures": speedup vs slave count
+   and vs task size for one benchmark.
+
+     dune exec examples/pipeline_sweep.exe [BENCH] *)
+
+module Profile = Mssp_profile.Profile
+module Distill = Mssp_distill.Distill
+module M = Mssp_core.Mssp_machine
+module Config = Mssp_core.Mssp_config
+module B = Mssp_baseline.Baseline
+module W = Mssp_workload.Workload
+module Table = Mssp_metrics.Table
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "vecsum" in
+  let bench = W.find name in
+  let train = bench.W.program ~size:bench.W.train_size in
+  let reference = bench.W.program ~size:bench.W.ref_size in
+  let d = Distill.distill reference (Profile.collect train) in
+  let baseline = B.sequential ~also_load:[ d.Distill.distilled ] reference in
+  Printf.printf "%s: %d instructions, sequential baseline %d cycles\n\n"
+    name baseline.B.instructions baseline.B.cycles;
+
+  let speedup_with cfg =
+    let r = M.run ~config:cfg d in
+    B.speedup ~baseline r.M.stats.M.cycles
+  in
+
+  print_string "speedup vs slave count (task size 50):\n";
+  print_string
+    (Table.render_series ~x_label:"slaves" ~y_label:"speedup"
+       (List.map
+          (fun n ->
+            (string_of_int n, speedup_with (Config.with_slaves n Config.default)))
+          [ 1; 2; 3; 4; 6; 8; 12; 16 ]));
+
+  print_string "\nspeedup vs task size (8 slaves):\n";
+  print_string
+    (Table.render_series ~x_label:"task size" ~y_label:"speedup"
+       (List.map
+          (fun ts ->
+            ( string_of_int ts,
+              speedup_with
+                { (Config.with_slaves 8 Config.default) with Config.task_size = ts } ))
+          [ 5; 10; 25; 50; 100; 200; 400; 800 ]));
+
+  print_string "\nspeedup vs checkpoint window (4 slaves):\n";
+  print_string
+    (Table.render_series ~x_label:"window" ~y_label:"speedup"
+       (List.map
+          (fun w ->
+            ( string_of_int w,
+              speedup_with
+                { (Config.with_slaves 4 Config.default) with Config.max_in_flight = w } ))
+          [ 1; 2; 4; 8; 16 ]));
+
+  print_string "\nspeedup vs spawn latency (8 slaves):\n";
+  print_string
+    (Table.render_series ~x_label:"latency" ~y_label:"speedup"
+       (List.map
+          (fun lat ->
+            let timing = { Config.default_timing with Config.spawn_latency = lat } in
+            ( string_of_int lat,
+              speedup_with
+                { (Config.with_slaves 8 Config.default) with Config.timing = timing } ))
+          [ 1; 5; 10; 25; 50; 100; 200 ]))

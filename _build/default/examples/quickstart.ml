@@ -1,0 +1,74 @@
+(* Quickstart: write a program in the DSL, run it sequentially, then run
+   it under MSSP and check that the architected result is identical —
+   only faster.
+
+     dune exec examples/quickstart.exe *)
+
+module Dsl = Mssp_asm.Dsl
+module Instr = Mssp_isa.Instr
+module Full = Mssp_state.Full
+module Machine = Mssp_seq.Machine
+module Profile = Mssp_profile.Profile
+module Distill = Mssp_distill.Distill
+module M = Mssp_core.Mssp_machine
+module Config = Mssp_core.Mssp_config
+module B = Mssp_baseline.Baseline
+open Mssp_asm.Regs
+
+(* A toy program: sum of squares 1..n, with a bounds check the distiller
+   will recognize as dead weight. *)
+let program n =
+  let b = Dsl.create () in
+  Dsl.label b "main";
+  Dsl.li b t0 n; (* counter *)
+  Dsl.li b t1 0; (* accumulator *)
+  Dsl.li b s13 4_000_000_000_000_000; (* overflow limit *)
+  Dsl.label b "loop";
+  Dsl.br b Instr.Gt t1 s13 "overflow"; (* never taken: distilled away *)
+  Dsl.alu b Instr.Mul t2 t0 t0;
+  Dsl.alu b Instr.Add t1 t1 t2;
+  Dsl.alui b Instr.Sub t0 t0 1;
+  Dsl.br b Instr.Gt t0 zero "loop";
+  Dsl.out b t1;
+  Dsl.halt b;
+  Dsl.label b "overflow";
+  Dsl.li b t1 (-1);
+  Dsl.out b t1;
+  Dsl.halt b;
+  Dsl.build ~entry:"main" b ()
+
+let () =
+  (* 1. profile a training input *)
+  let profile = Profile.collect (program 500) in
+  Printf.printf "training run: %d dynamic instructions\n\n"
+    profile.Profile.dynamic_instructions;
+
+  (* 2. distill the reference binary with that profile *)
+  let reference = program 20_000 in
+  let d = Distill.distill reference profile in
+  Format.printf "distillation:@.%a@.@." Distill.pp_stats d.Distill.stats;
+
+  (* 3. sequential baseline *)
+  let baseline = B.sequential ~also_load:[ d.Distill.distilled ] reference in
+  Printf.printf "sequential: %d instructions, %d cycles\n"
+    baseline.B.instructions baseline.B.cycles;
+
+  (* 4. the MSSP machine: 1 master + 4 slaves, refinement-checked *)
+  let config =
+    { (Config.with_slaves 4 Config.default) with Config.verify_refinement = true }
+  in
+  let r = M.run ~config d in
+  Printf.printf "mssp:       %d cycles on 4 slaves  ->  speedup %.2f\n"
+    r.M.stats.M.cycles
+    (B.speedup ~baseline r.M.stats.M.cycles);
+  Printf.printf "            %d tasks committed, %d squashes\n"
+    r.M.stats.M.tasks_committed r.M.stats.M.squashes;
+
+  (* 5. the whole point: identical architected state *)
+  Printf.printf "\nsequential output: %s\n"
+    (String.concat ", " (List.map string_of_int (Machine.output baseline.B.state)));
+  Printf.printf "mssp output:       %s\n"
+    (String.concat ", " (List.map string_of_int (Machine.output r.M.arch)));
+  Printf.printf "states identical:  %b\n"
+    (Full.equal_observable baseline.B.state r.M.arch);
+  Printf.printf "refinement:        %d violations\n" r.M.refinement_violations

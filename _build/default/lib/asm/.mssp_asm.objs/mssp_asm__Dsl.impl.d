@@ -1,0 +1,1 @@
+lib/asm/dsl.ml: Array Hashtbl Int List Mssp_isa Option Printf

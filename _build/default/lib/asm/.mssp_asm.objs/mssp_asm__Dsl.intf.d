@@ -1,0 +1,1 @@
+lib/asm/dsl.mli: Mssp_isa

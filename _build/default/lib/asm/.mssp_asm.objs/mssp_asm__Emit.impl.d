@@ -1,0 +1,1 @@
+lib/asm/emit.ml: Array Buffer Hashtbl Int List Mssp_isa Out_channel Printf String

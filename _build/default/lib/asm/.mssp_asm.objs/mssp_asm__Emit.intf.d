@@ -1,0 +1,1 @@
+lib/asm/emit.mli: Mssp_isa

@@ -1,0 +1,1 @@
+lib/asm/parser.ml: Dsl Format List Mssp_isa String

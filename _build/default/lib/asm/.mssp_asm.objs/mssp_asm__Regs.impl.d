@@ -1,0 +1,1 @@
+lib/asm/regs.ml: Mssp_isa

@@ -1,0 +1,153 @@
+module Instr = Mssp_isa.Instr
+module Reg = Mssp_isa.Reg
+module Layout = Mssp_isa.Layout
+module Program = Mssp_isa.Program
+
+(* An emitted item is either a finished instruction or one whose operand
+   is a label, patched at build time once all addresses are known. *)
+type item =
+  | Fixed of Instr.t
+  | Needs_label of string * (pc:int -> target:int -> Instr.t)
+
+type t = {
+  base : int;
+  data_base : int;
+  mutable items : item list; (* reversed *)
+  mutable count : int;
+  labels : (string, int) Hashtbl.t; (* label -> absolute address *)
+  mutable pending_labels : string list; (* to attach to next instruction *)
+  mutable data : (int * int) list; (* reversed *)
+  mutable data_cursor : int;
+  mutable fresh : int;
+}
+
+let create ?(base = Layout.code_base) ?(data_base = Layout.data_base) () =
+  {
+    base;
+    data_base;
+    items = [];
+    count = 0;
+    labels = Hashtbl.create 64;
+    pending_labels = [];
+    data = [];
+    data_cursor = data_base;
+    fresh = 0;
+  }
+
+let here b = b.base + b.count
+
+let define_label b name addr =
+  if Hashtbl.mem b.labels name then
+    invalid_arg (Printf.sprintf "Dsl.label: duplicate label %S" name);
+  Hashtbl.replace b.labels name addr
+
+let label b name = b.pending_labels <- name :: b.pending_labels
+
+let fresh_label b prefix =
+  b.fresh <- b.fresh + 1;
+  Printf.sprintf ".%s_%d" prefix b.fresh
+
+let emit_item b item =
+  List.iter (fun name -> define_label b name (here b)) b.pending_labels;
+  b.pending_labels <- [];
+  b.items <- item :: b.items;
+  b.count <- b.count + 1
+
+let emit b i = emit_item b (Fixed i)
+let raw = emit
+let alu b op rd rs1 rs2 = emit b (Instr.Alu (op, rd, rs1, rs2))
+let alui b op rd rs1 imm = emit b (Instr.Alui (op, rd, rs1, imm))
+
+let li b rd v =
+  if Instr.imm_fits v then emit b (Instr.Li (rd, v))
+  else begin
+    (* Split into [li rd, hi; shl rd, rd, 31; or rd, rd, lo] chunks. The
+       value is reassembled from 31-bit pieces so each immediate fits. *)
+    let mask = (1 lsl 31) - 1 in
+    let neg = v < 0 in
+    let v_abs = if neg then lnot v else v in
+    let hi = v_abs lsr 31 in
+    let lo = v_abs land mask in
+    emit b (Instr.Li (rd, hi));
+    emit b (Instr.Alui (Instr.Shl, rd, rd, 31));
+    emit b (Instr.Alui (Instr.Or, rd, rd, lo));
+    if neg then emit b (Instr.Alui (Instr.Xor, rd, rd, -1))
+  end
+
+let la b rd name =
+  emit_item b (Needs_label (name, fun ~pc:_ ~target -> Instr.Li (rd, target)))
+
+let mv b rd rs = emit b (Instr.Alui (Instr.Add, rd, rs, 0))
+let ld b rd rs1 off = emit b (Instr.Ld (rd, rs1, off))
+let st b rs2 rs1 off = emit b (Instr.St (rs2, rs1, off))
+let ld_addr b rd addr = emit b (Instr.Ld (rd, Reg.zero, addr))
+let st_addr b rs addr = emit b (Instr.St (rs, Reg.zero, addr))
+
+let br b c rs1 rs2 name =
+  emit_item b
+    (Needs_label (name, fun ~pc ~target -> Instr.Br (c, rs1, rs2, target - pc)))
+
+let jmp b name =
+  emit_item b (Needs_label (name, fun ~pc ~target -> Instr.Jmp (target - pc)))
+
+let call b name =
+  emit_item b
+    (Needs_label (name, fun ~pc ~target -> Instr.Jal (Reg.ra, target - pc)))
+
+let ret b = emit b (Instr.Jr Reg.ra)
+let jr b rs = emit b (Instr.Jr rs)
+let jalr b rd rs = emit b (Instr.Jalr (rd, rs))
+let out b rs = emit b (Instr.Out rs)
+let halt b = emit b Instr.Halt
+let nop b = emit b Instr.Nop
+
+let fork_to b name =
+  emit_item b (Needs_label (name, fun ~pc:_ ~target -> Instr.Fork target))
+
+let push b r =
+  alui b Instr.Sub Reg.sp Reg.sp 1;
+  st b r Reg.sp 0
+
+let pop b r =
+  ld b r Reg.sp 0;
+  alui b Instr.Add Reg.sp Reg.sp 1
+
+let alloc b ?label n =
+  let addr = b.data_cursor in
+  b.data_cursor <- b.data_cursor + n;
+  Option.iter (fun name -> define_label b name addr) label;
+  addr
+
+let data_words b ?label values =
+  let addr = alloc b ?label (List.length values) in
+  List.iteri (fun i v -> b.data <- (addr + i, v) :: b.data) values;
+  addr
+
+let org_data b addr = b.data_cursor <- addr
+
+let build ?entry b () =
+  if b.pending_labels <> [] then
+    (* trailing labels point one past the last instruction *)
+    List.iter (fun name -> define_label b name (here b)) b.pending_labels;
+  b.pending_labels <- [];
+  let items = Array.of_list (List.rev b.items) in
+  let resolve name =
+    match Hashtbl.find_opt b.labels name with
+    | Some addr -> addr
+    | None -> invalid_arg (Printf.sprintf "Dsl.build: undefined label %S" name)
+  in
+  let code =
+    Array.mapi
+      (fun i item ->
+        match item with
+        | Fixed instr -> instr
+        | Needs_label (name, patch) ->
+          patch ~pc:(b.base + i) ~target:(resolve name))
+      items
+  in
+  let entry =
+    match entry with Some name -> resolve name | None -> b.base
+  in
+  let symbols = Hashtbl.fold (fun name addr acc -> (name, addr) :: acc) b.labels [] in
+  let symbols = List.sort (fun (_, a1) (_, a2) -> Int.compare a1 a2) symbols in
+  Program.make ~base:b.base ~entry ~data:(List.rev b.data) ~symbols code

@@ -1,0 +1,106 @@
+(** Program-builder DSL.
+
+    Imperative builder for SIR programs: emit instructions in order,
+    declare labels, reserve static data, then {!build} resolves all label
+    references and returns a {!Mssp_isa.Program.t}. All control-flow
+    emitters take label names; numeric offsets never appear in user code.
+
+    {[
+      let open Mssp_asm in
+      let b = Dsl.create () in
+      let counter = Dsl.alloc b ~label:"counter" 1 in
+      Dsl.label b "main";
+      Dsl.li b Regs.t0 10;
+      Dsl.label b "loop";
+      Dsl.alui b Sub Regs.t0 Regs.t0 1;
+      Dsl.br b Ne Regs.t0 Regs.zero "loop";
+      Dsl.st_addr b Regs.t0 counter;
+      Dsl.halt b;
+      Dsl.build b ()
+    ]} *)
+
+type t
+
+val create : ?base:int -> ?data_base:int -> unit -> t
+(** Fresh builder. [base] defaults to {!Mssp_isa.Layout.code_base},
+    [data_base] to {!Mssp_isa.Layout.data_base}. *)
+
+val label : t -> string -> unit
+(** Attach a label to the next emitted instruction.
+    @raise Invalid_argument on duplicate labels. *)
+
+val fresh_label : t -> string -> string
+(** A label name unique within this builder, prefixed by the argument
+    (not attached; pass it to {!label} later). *)
+
+val here : t -> int
+(** Absolute address of the next instruction to be emitted. *)
+
+(** {1 Instructions} *)
+
+val raw : t -> Mssp_isa.Instr.t -> unit
+(** Emit an instruction verbatim (offsets already computed). Used by the
+    text assembler and tools that patch code; prefer the label-based
+    emitters below in hand-written programs. *)
+
+val alu : t -> Mssp_isa.Instr.alu_op -> Mssp_isa.Reg.t -> Mssp_isa.Reg.t -> Mssp_isa.Reg.t -> unit
+val alui : t -> Mssp_isa.Instr.alu_op -> Mssp_isa.Reg.t -> Mssp_isa.Reg.t -> int -> unit
+val li : t -> Mssp_isa.Reg.t -> int -> unit
+(** Accepts any [int]; splits values outside the encodable immediate range
+    into a [Li]/[Shl]/[Or] sequence. *)
+
+val la : t -> Mssp_isa.Reg.t -> string -> unit
+(** Load the address of a label (code or data) into a register. *)
+
+val mv : t -> Mssp_isa.Reg.t -> Mssp_isa.Reg.t -> unit
+val ld : t -> Mssp_isa.Reg.t -> Mssp_isa.Reg.t -> int -> unit
+val st : t -> Mssp_isa.Reg.t -> Mssp_isa.Reg.t -> int -> unit
+
+val ld_addr : t -> Mssp_isa.Reg.t -> int -> unit
+(** [ld_addr b rd addr]: load from an absolute address via [zero]-based
+    addressing (requires [addr] to fit the immediate field). *)
+
+val st_addr : t -> Mssp_isa.Reg.t -> int -> unit
+
+val br : t -> Mssp_isa.Instr.cmp_op -> Mssp_isa.Reg.t -> Mssp_isa.Reg.t -> string -> unit
+val jmp : t -> string -> unit
+val call : t -> string -> unit
+(** [Jal ra, label]. *)
+
+val ret : t -> unit
+(** [Jr ra]. *)
+
+val jr : t -> Mssp_isa.Reg.t -> unit
+val jalr : t -> Mssp_isa.Reg.t -> Mssp_isa.Reg.t -> unit
+val out : t -> Mssp_isa.Reg.t -> unit
+val halt : t -> unit
+val nop : t -> unit
+val fork_to : t -> string -> unit
+(** Emit [Fork] carrying the address of a label — used only when writing
+    distilled code by hand (the distiller emits its own forks). *)
+
+val push : t -> Mssp_isa.Reg.t -> unit
+(** [sp <- sp-1; mem[sp] <- r]. *)
+
+val pop : t -> Mssp_isa.Reg.t -> unit
+(** [r <- mem[sp]; sp <- sp+1]. *)
+
+(** {1 Static data} *)
+
+val alloc : t -> ?label:string -> int -> int
+(** Reserve [n] zero-initialized words in the data segment; returns the
+    absolute address (also bound to [label] if given). *)
+
+val data_words : t -> ?label:string -> int list -> int
+(** Place initialized words in the data segment; returns the address. *)
+
+val org_data : t -> int -> unit
+(** Move the data-segment cursor to an absolute address (the assembler's
+    [.org]). Subsequent {!alloc}/{!data_words} place from there. *)
+
+(** {1 Building} *)
+
+val build : ?entry:string -> t -> unit -> Mssp_isa.Program.t
+(** Resolve labels and produce the program. [entry] defaults to the
+    program base (first instruction).
+    @raise Invalid_argument on references to undefined labels. *)

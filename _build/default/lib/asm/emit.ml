@@ -1,0 +1,62 @@
+module Instr = Mssp_isa.Instr
+module Program = Mssp_isa.Program
+
+let program_to_source (p : Program.t) =
+  let buf = Buffer.create (64 * (Program.length p + List.length p.Program.data)) in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add ".base %d\n" p.Program.base;
+  let label_of = Hashtbl.create 16 in
+  List.iter
+    (fun (name, addr) -> Hashtbl.replace label_of addr name)
+    p.Program.symbols;
+  Array.iteri
+    (fun i instr ->
+      let addr = p.Program.base + i in
+      (match Hashtbl.find_opt label_of addr with
+      | Some name -> add "; %s:\n" name
+      | None -> ());
+      if addr = p.Program.entry then add "; <- entry\n";
+      add "%s\n" (Instr.show instr))
+    p.Program.code;
+  (* entry as an offset-less directive: the parser resolves labels, so we
+     synthesize one at the entry when it is not the base *)
+  if p.Program.entry <> p.Program.base then begin
+    (* re-emit with an entry label: simplest is a second pass *)
+    Buffer.clear buf;
+    add ".base %d\n" p.Program.base;
+    add ".entry __entry\n";
+    Array.iteri
+      (fun i instr ->
+        let addr = p.Program.base + i in
+        (match Hashtbl.find_opt label_of addr with
+        | Some name -> add "; %s:\n" name
+        | None -> ());
+        if addr = p.Program.entry then add "__entry:\n";
+        add "%s\n" (Instr.show instr))
+      p.Program.code
+  end;
+  if p.Program.data <> [] then begin
+    add ".data\n";
+    (* group consecutive addresses into .org/.word runs *)
+    let sorted =
+      List.stable_sort (fun (a1, _) (a2, _) -> Int.compare a1 a2) p.Program.data
+    in
+    let rec runs = function
+      | [] -> ()
+      | (addr, v) :: rest ->
+        let rec take_run prev vs = function
+          | (a, v') :: more when a = prev + 1 -> take_run a (v' :: vs) more
+          | remaining -> (List.rev vs, remaining)
+        in
+        let values, remaining = take_run addr [ v ] rest in
+        add ".org %d\n.word %s\n" addr
+          (String.concat " " (List.map string_of_int values));
+        runs remaining
+    in
+    runs sorted
+  end;
+  Buffer.contents buf
+
+let save p file =
+  Out_channel.with_open_text file (fun oc ->
+      Out_channel.output_string oc (program_to_source p))

@@ -1,0 +1,14 @@
+(** Assembly emission — the inverse of {!Parser}.
+
+    [program_to_source p] renders a program (code, entry, data image) as
+    SIR assembly text that {!Parser.parse} accepts and that reproduces
+    the program's behavior exactly. Control-flow operands are emitted as
+    the numeric relative offsets the disassembler prints, so no label
+    reconstruction is needed; symbols are included as comments for
+    humans. Round-trip: parsing the emission yields a program with the
+    same base, entry, code and initial memory image. *)
+
+val program_to_source : Mssp_isa.Program.t -> string
+
+val save : Mssp_isa.Program.t -> string -> unit
+(** Write the emission to a file. *)

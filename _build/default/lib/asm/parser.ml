@@ -1,0 +1,262 @@
+module Instr = Mssp_isa.Instr
+module Reg = Mssp_isa.Reg
+module Layout = Mssp_isa.Layout
+
+type error = { line : int; message : string }
+
+let pp_error fmt { line; message } =
+  Format.fprintf fmt "line %d: %s" line message
+
+exception Parse_error of error
+
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let strip_comment s =
+  let cut =
+    match (String.index_opt s ';', String.index_opt s '#') with
+    | Some i, Some j -> Some (min i j)
+    | Some i, None | None, Some i -> Some i
+    | None, None -> None
+  in
+  match cut with Some i -> String.sub s 0 i | None -> s
+
+(* Split a statement into mnemonic and comma-separated operand tokens.
+   Memory operands like "4(sp)" stay as single tokens. *)
+let tokenize s =
+  s
+  |> String.split_on_char ','
+  |> List.concat_map (fun part ->
+         String.split_on_char ' ' part
+         |> List.concat_map (String.split_on_char '\t'))
+  |> List.filter (fun t -> t <> "")
+
+let parse_int line s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail line "expected integer, got %S" s
+
+let parse_reg line s =
+  match Reg.of_name s with
+  | Some r -> r
+  | None -> fail line "expected register, got %S" s
+
+(* "off(reg)" or "(reg)" *)
+let parse_mem_operand line s =
+  match String.index_opt s '(' with
+  | None -> fail line "expected memory operand like 4(sp), got %S" s
+  | Some i ->
+    if String.length s = 0 || s.[String.length s - 1] <> ')' then
+      fail line "unterminated memory operand %S" s
+    else
+      let off_str = String.sub s 0 i in
+      let reg_str = String.sub s (i + 1) (String.length s - i - 2) in
+      let off = if off_str = "" then 0 else parse_int line off_str in
+      (parse_reg line reg_str, off)
+
+type target = Label of string | Numeric of int
+
+let parse_target line s =
+  if s = "" then fail line "empty target"
+  else
+    match int_of_string_opt s with
+    | Some v -> Numeric v
+    | None -> Label s
+
+(* Emit a control-flow instruction whose operand is either a label (to be
+   resolved) or a numeric PC-relative offset, exactly as the disassembler
+   prints it. *)
+let emit_control b line target make_from_offset make_from_target =
+  match target with
+  | Numeric off -> Dsl.raw b (make_from_offset off)
+  | Label name -> (
+    try make_from_target name
+    with Invalid_argument msg -> fail line "%s" msg)
+
+let statement b line mnemonic operands =
+  let reg i =
+    match List.nth_opt operands i with
+    | Some s -> parse_reg line s
+    | None -> fail line "missing operand %d for %s" (i + 1) mnemonic
+  in
+  let operand i =
+    match List.nth_opt operands i with
+    | Some s -> s
+    | None -> fail line "missing operand %d for %s" (i + 1) mnemonic
+  in
+  let expect n =
+    if List.length operands <> n then
+      fail line "%s expects %d operand(s), got %d" mnemonic n
+        (List.length operands)
+  in
+  let alu_rrr op =
+    expect 3;
+    Dsl.alu b op (reg 0) (reg 1) (reg 2)
+  in
+  let alu_rri op =
+    expect 3;
+    Dsl.alui b op (reg 0) (reg 1) (parse_int line (operand 2))
+  in
+  let branch c =
+    expect 3;
+    let t = parse_target line (operand 2) in
+    emit_control b line t
+      (fun off -> Instr.Br (c, reg 0, reg 1, off))
+      (fun name -> Dsl.br b c (reg 0) (reg 1) name)
+  in
+  match mnemonic with
+  | "li" ->
+    expect 2;
+    Dsl.li b (reg 0) (parse_int line (operand 1))
+  | "la" ->
+    expect 2;
+    Dsl.la b (reg 0) (operand 1)
+  | "mv" ->
+    expect 2;
+    Dsl.mv b (reg 0) (reg 1)
+  | "ld" ->
+    expect 2;
+    let rs1, off = parse_mem_operand line (operand 1) in
+    Dsl.ld b (reg 0) rs1 off
+  | "st" ->
+    expect 2;
+    let rs1, off = parse_mem_operand line (operand 1) in
+    Dsl.st b (reg 0) rs1 off
+  | "jmp" ->
+    expect 1;
+    let t = parse_target line (operand 0) in
+    emit_control b line t (fun off -> Instr.Jmp off) (fun name -> Dsl.jmp b name)
+  | "jal" ->
+    expect 2;
+    let rd = reg 0 in
+    let t = parse_target line (operand 1) in
+    emit_control b line t
+      (fun off -> Instr.Jal (rd, off))
+      (fun name ->
+        if Reg.equal rd Reg.ra then Dsl.call b name
+        else fail line "jal with a label target requires the ra link register")
+  | "call" ->
+    expect 1;
+    Dsl.call b (operand 0)
+  | "jr" ->
+    expect 1;
+    Dsl.jr b (reg 0)
+  | "jalr" ->
+    expect 2;
+    Dsl.jalr b (reg 0) (reg 1)
+  | "ret" ->
+    expect 0;
+    Dsl.ret b
+  | "out" ->
+    expect 1;
+    Dsl.out b (reg 0)
+  | "halt" ->
+    expect 0;
+    Dsl.halt b
+  | "nop" ->
+    expect 0;
+    Dsl.nop b
+  | "fork" ->
+    expect 1;
+    let t = parse_target line (operand 0) in
+    emit_control b line t
+      (fun abs -> Instr.Fork abs)
+      (fun name -> Dsl.fork_to b name)
+  | "push" ->
+    expect 1;
+    Dsl.push b (reg 0)
+  | "pop" ->
+    expect 1;
+    Dsl.pop b (reg 0)
+  | _ -> (
+    (* ALU families: bare name = register form, trailing 'i' = immediate *)
+    match Instr.alu_op_of_name mnemonic with
+    | Some op -> alu_rrr op
+    | None ->
+      let n = String.length mnemonic in
+      let imm_form =
+        if n > 1 && mnemonic.[n - 1] = 'i' then
+          Instr.alu_op_of_name (String.sub mnemonic 0 (n - 1))
+        else None
+      in
+      (match imm_form with
+      | Some op -> alu_rri op
+      | None -> (
+        (* branches: b<cmp> *)
+        if n > 1 && mnemonic.[0] = 'b' then
+          match Instr.cmp_op_of_name (String.sub mnemonic 1 (n - 1)) with
+          | Some c -> branch c
+          | None -> fail line "unknown mnemonic %S" mnemonic
+        else fail line "unknown mnemonic %S" mnemonic)))
+
+type section = Text | Data
+
+let parse source =
+  let lines = String.split_on_char '\n' source in
+  (* Pre-scan for .base so the builder starts at the right address. *)
+  let base = ref Layout.code_base in
+  List.iteri
+    (fun i raw ->
+      let s = String.trim (strip_comment raw) in
+      match tokenize s with
+      | [ ".base"; v ] -> base := parse_int (i + 1) v
+      | _ -> ())
+    lines;
+  let b = Dsl.create ~base:!base () in
+  let entry = ref None in
+  let section = ref Text in
+  try
+    List.iteri
+      (fun i raw ->
+        let line = i + 1 in
+        let s = String.trim (strip_comment raw) in
+        if s <> "" then begin
+          (* Peel off any number of leading "name:" labels. *)
+          let rec peel s =
+            match String.index_opt s ':' with
+            | Some j
+              when j > 0
+                   && String.for_all
+                        (fun c ->
+                          c = '_' || c = '.'
+                          || (c >= 'a' && c <= 'z')
+                          || (c >= 'A' && c <= 'Z')
+                          || (c >= '0' && c <= '9'))
+                        (String.sub s 0 j) ->
+              let name = String.sub s 0 j in
+              let rest = String.trim (String.sub s (j + 1) (String.length s - j - 1)) in
+              (match !section with
+              | Text -> Dsl.label b name
+              | Data -> ignore (Dsl.alloc b ~label:name 0 : int));
+              peel rest
+            | _ -> s
+          in
+          let s = peel s in
+          if s <> "" then
+            match tokenize s with
+            | [] -> ()
+            | ".base" :: _ -> () (* consumed in pre-scan *)
+            | [ ".entry"; name ] -> entry := Some name
+            | ".entry" :: _ -> fail line ".entry expects one label"
+            | [ ".data" ] -> section := Data
+            | [ ".text" ] -> section := Text
+            | [ ".org"; v ] -> Dsl.org_data b (parse_int line v)
+            | ".word" :: values when !section = Data ->
+              ignore
+                (Dsl.data_words b (List.map (parse_int line) values) : int)
+            | [ ".space"; n ] when !section = Data ->
+              ignore (Dsl.alloc b (parse_int line n) : int)
+            | mnemonic :: operands when !section = Text ->
+              statement b line mnemonic operands
+            | tok :: _ -> fail line "unexpected %S in data section" tok
+        end)
+      lines;
+    Ok (Dsl.build ?entry:!entry b ())
+  with
+  | Parse_error e -> Error e
+  | Invalid_argument message -> Error { line = 0; message }
+
+let parse_exn source =
+  match parse source with
+  | Ok p -> p
+  | Error e -> invalid_arg (Format.asprintf "%a" pp_error e)

@@ -1,0 +1,35 @@
+(** Text assembler for SIR.
+
+    Grammar (one statement per line; [;] or [#] start a comment):
+
+    {v
+    .base 0x1000          ; optional, before any instruction
+    .entry main           ; optional, defaults to base
+    main:
+        li    t0, 10
+    loop:
+        subi  t0, t0, 1   ; <op>i spellings accepted for ALU immediates
+        bne   t0, zero, loop
+        ld    t1, 4(sp)
+        st    t1, 0(gp)
+        call  subroutine
+        halt
+    .data                 ; switch to data emission (at .org or data_base)
+    .org 0x100000         ; optional placement
+    table: .word 1 2 3 -5
+    buf:   .space 16
+    v}
+
+    Branch/jump operands may be labels or absolute hex/decimal addresses.
+    The mnemonics match {!Mssp_isa.Instr.pp} output, so disassembled
+    programs re-assemble. *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : string -> (Mssp_isa.Program.t, error) result
+(** Assemble a source string. *)
+
+val parse_exn : string -> Mssp_isa.Program.t
+(** @raise Invalid_argument with a located message on error. *)

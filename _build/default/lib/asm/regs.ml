@@ -1,0 +1,40 @@
+(** Named register bindings for writing programs in OCaml.
+
+    Conventions: [zero] hardwired, [ra] link, [sp] stack, [gp] data
+    pointer, [t0]-[t11] temporaries (caller-saved by convention),
+    [s0]-[s15] saved. Nothing enforces the convention; the workloads
+    follow it. *)
+
+let r = Mssp_isa.Reg.of_int
+let zero = Mssp_isa.Reg.zero
+let ra = Mssp_isa.Reg.ra
+let sp = Mssp_isa.Reg.sp
+let gp = Mssp_isa.Reg.gp
+let t0 = r 4
+let t1 = r 5
+let t2 = r 6
+let t3 = r 7
+let t4 = r 8
+let t5 = r 9
+let t6 = r 10
+let t7 = r 11
+let t8 = r 12
+let t9 = r 13
+let t10 = r 14
+let t11 = r 15
+let s0 = r 16
+let s1 = r 17
+let s2 = r 18
+let s3 = r 19
+let s4 = r 20
+let s5 = r 21
+let s6 = r 22
+let s7 = r 23
+let s8 = r 24
+let s9 = r 25
+let s10 = r 26
+let s11 = r 27
+let s12 = r 28
+let s13 = r 29
+let s14 = r 30
+let s15 = r 31

@@ -1,0 +1,1 @@
+lib/baseline/baseline.ml: Array Hashtbl List Mssp_cache Mssp_core Mssp_isa Mssp_seq Mssp_state

@@ -1,0 +1,1 @@
+lib/baseline/baseline.mli: Mssp_core Mssp_isa Mssp_seq Mssp_state

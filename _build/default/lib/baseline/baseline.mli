@@ -1,0 +1,68 @@
+(** Baseline machines the evaluation compares MSSP against.
+
+    - {!sequential}: one in-order core with a private L1 over the shared
+      L2 latencies — the same core model as an MSSP slave, running the
+      whole program. The denominator of every speedup number.
+    - {!oracle_parallel}: a limit study — speculative parallelization
+      with a perfect oracle (zero-cost task boundaries every [task_size]
+      instructions, perfect live-ins, no squashes, free spawn), bounded
+      only by slave count and commit serialization. The ceiling MSSP's
+      master-driven prediction is measured against.
+    - The "no-distillation master" ablation is MSSP itself run on a
+      package built with {!Mssp_distill.Distill.identity_options}; see
+      E11 in the bench harness. *)
+
+type result = {
+  cycles : int;
+  instructions : int;
+  stop : Mssp_seq.Machine.stop;
+  state : Mssp_state.Full.t;
+}
+
+val sequential :
+  ?timing:Mssp_core.Mssp_config.timing ->
+  ?also_load:Mssp_isa.Program.t list ->
+  ?fuel:int ->
+  Mssp_isa.Program.t ->
+  result
+(** Run the program to completion on the sequential baseline, counting
+    cycles with the given timing (default {!Mssp_core.Mssp_config.default_timing}:
+    [slave_base] per instruction plus I/D-cache access costs).
+    [also_load] places extra images (e.g. the distilled binary) in memory
+    first, so final states are comparable with an MSSP run's architected
+    state. *)
+
+val oracle_parallel :
+  ?timing:Mssp_core.Mssp_config.timing ->
+  ?task_size:int ->
+  slaves:int ->
+  ?fuel:int ->
+  Mssp_isa.Program.t ->
+  result
+(** Ideal speculative parallelization of the program's dynamic trace:
+    slices of [task_size] (default 100) instructions are executed on
+    [slaves] pipelined cores with perfect predictions; each task still
+    pays its execution cycles (with per-slave L1s) and serialized
+    verify/commit cost. Returns the modeled cycle count; [state] is the
+    sequential final state (the oracle is correct by construction). *)
+
+val ilp_limit :
+  ?width:int ->
+  ?window:int ->
+  ?fuel:int ->
+  Mssp_isa.Program.t ->
+  result
+(** Idealized out-of-order superscalar limit: dataflow-scheduled
+    execution of the dynamic trace with perfect branch prediction and
+    perfect memory disambiguation, bounded only by true register/memory
+    dependences, issue [width] (default 4) and a reorder [window]
+    (default 128 instructions; the window bound makes wide configs
+    converge instead of exploding). Single-cycle ALU, cache-modeled
+    loads. This is the "one complex core" side of the era's CMP debate:
+    MSSP's claim is that several simple cores plus a master can compete
+    with (and scale past) a wide core's ILP.
+
+    [cycles] is the modeled completion time of the last instruction. *)
+
+val speedup : baseline:result -> int -> float
+(** [speedup ~baseline cycles] = baseline cycles / [cycles]. *)

@@ -1,0 +1,1 @@
+lib/cfg/cfg.ml: Array Format Int List Mssp_isa Printf Regset String

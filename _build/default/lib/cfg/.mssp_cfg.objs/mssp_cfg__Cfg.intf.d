@@ -1,0 +1,1 @@
+lib/cfg/cfg.mli: Format Mssp_isa Regset

@@ -1,0 +1,1 @@
+lib/cfg/regset.ml: Format Int List Mssp_isa String

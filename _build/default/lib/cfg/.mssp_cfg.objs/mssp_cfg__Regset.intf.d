@@ -1,0 +1,1 @@
+lib/cfg/regset.mli: Format Mssp_isa

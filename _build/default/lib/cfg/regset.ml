@@ -1,0 +1,27 @@
+module Reg = Mssp_isa.Reg
+
+type t = int
+
+let empty = 0
+let full = (1 lsl Reg.count) - 1
+let bit r = 1 lsl Reg.to_int r
+let singleton r = bit r
+let add r s = s lor bit r
+let remove r s = s land lnot (bit r)
+let mem r s = s land bit r <> 0
+let union = ( lor )
+let inter = ( land )
+let diff a b = a land lnot b
+let equal = Int.equal
+let subset a b = a land lnot b = 0
+
+let cardinal s =
+  let rec go s acc = if s = 0 then acc else go (s lsr 1) (acc + (s land 1)) in
+  go s 0
+
+let of_list rs = List.fold_left (fun s r -> add r s) empty rs
+let to_list s = List.filter (fun r -> mem r s) Reg.all
+
+let pp fmt s =
+  Format.fprintf fmt "{%s}"
+    (String.concat "," (List.map Reg.name (to_list s)))

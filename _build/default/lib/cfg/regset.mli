@@ -1,0 +1,21 @@
+(** Register sets as 32-bit masks — dataflow lattice values for liveness. *)
+
+type t = private int
+
+val empty : t
+val full : t
+(** All 32 registers (the conservative "anything may be live" value). *)
+
+val singleton : Mssp_isa.Reg.t -> t
+val add : Mssp_isa.Reg.t -> t -> t
+val remove : Mssp_isa.Reg.t -> t -> t
+val mem : Mssp_isa.Reg.t -> t -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+val cardinal : t -> int
+val of_list : Mssp_isa.Reg.t list -> t
+val to_list : t -> Mssp_isa.Reg.t list
+val pp : Format.formatter -> t -> unit

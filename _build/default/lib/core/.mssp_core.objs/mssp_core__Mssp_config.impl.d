@@ -1,0 +1,1 @@
+lib/core/mssp_config.ml: Mssp_cache

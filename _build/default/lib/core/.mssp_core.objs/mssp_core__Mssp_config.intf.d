@@ -1,0 +1,1 @@
+lib/core/mssp_config.mli: Mssp_cache

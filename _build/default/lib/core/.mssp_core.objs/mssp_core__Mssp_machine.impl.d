@@ -1,0 +1,1 @@
+lib/core/mssp_machine.ml: Array Format Hashtbl List Mssp_cache Mssp_config Mssp_distill Mssp_isa Mssp_seq Mssp_sim_engine Mssp_state Mssp_task Option Queue

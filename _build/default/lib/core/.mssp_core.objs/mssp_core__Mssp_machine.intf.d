@@ -1,0 +1,1 @@
+lib/core/mssp_machine.mli: Format Mssp_config Mssp_distill Mssp_state Mssp_task

@@ -1,0 +1,75 @@
+type timing = {
+  master_base : int;
+  slave_base : int;
+  spawn_latency : int;
+  verify_base : int;
+  verify_per_live_in : int;
+  verify_parallelism : int;
+  commit_base : int;
+  commit_per_live_out : int;
+  commit_parallelism : int;
+  restart_latency : int;
+  recovery_per_instr : int;
+  l1 : Mssp_cache.Cache.config;
+  lat : Mssp_cache.Cache.Hierarchy.latencies;
+}
+
+let default_timing =
+  {
+    master_base = 1;
+    slave_base = 1;
+    spawn_latency = 10;
+    verify_base = 5;
+    verify_per_live_in = 1;
+    verify_parallelism = 8;
+    commit_base = 5;
+    commit_per_live_out = 1;
+    commit_parallelism = 8;
+    restart_latency = 30;
+    recovery_per_instr = 2;
+    l1 = Mssp_cache.Cache.config ();
+    lat = Mssp_cache.Cache.Hierarchy.latencies ();
+  }
+
+type t = {
+  slaves : int;
+  max_in_flight : int;
+  task_size : int;
+  task_budget : int;
+  isolated_slaves : bool;
+  control_only_master : bool;
+  verify_refinement : bool;
+  dual_mode : bool;
+  dual_trigger : int;
+  dual_burst : int;
+  fault_injection : (int * float) option;
+  record_tasks : bool;
+  record_trace : bool;
+  master_chunk : int;
+  max_cycles : int;
+  max_squashes : int;
+  timing : timing;
+}
+
+let default =
+  {
+    slaves = 4;
+    max_in_flight = 8;
+    task_size = 50;
+    task_budget = 5_000;
+    isolated_slaves = false;
+    control_only_master = false;
+    verify_refinement = false;
+    dual_mode = false;
+    dual_trigger = 3;
+    dual_burst = 5_000;
+    fault_injection = None;
+    record_tasks = true;
+    record_trace = false;
+    master_chunk = 1_000_000;
+    max_cycles = 2_000_000_000;
+    max_squashes = 1_000_000;
+    timing = default_timing;
+  }
+
+let with_slaves n t = { t with slaves = n; max_in_flight = 2 * n }

@@ -1,0 +1,87 @@
+(** Configuration of the MSSP machine: structure and timing.
+
+    Timing parameters are in cycles and mirror the relative magnitudes of
+    the MICRO 2002 evaluation: single-cycle issue on every core, a
+    private L1 per core, a shared L2 holding architected state, tens of
+    cycles to move a checkpoint across the chip, and a verification cost
+    proportional to the number of live-ins checked. *)
+
+type timing = {
+  master_base : int;  (** cycles per distilled instruction before caches *)
+  slave_base : int;  (** cycles per original instruction before caches *)
+  spawn_latency : int;  (** checkpoint transfer master -> slave *)
+  verify_base : int;  (** fixed verification cost per task *)
+  verify_per_live_in : int;
+  verify_parallelism : int;
+      (** live-ins compared per [verify_per_live_in] cycles — the
+          verification unit checks many cells at once, like a wide CAM
+          against the L2 *)
+  commit_base : int;  (** fixed commit cost per task *)
+  commit_per_live_out : int;
+  commit_parallelism : int;  (** live-outs written per cost unit *)
+  restart_latency : int;  (** master reseed after a squash *)
+  recovery_per_instr : int;
+      (** extra per-instruction cost of non-speculative recovery
+          (architected state is in the L2, not a private L1) *)
+  l1 : Mssp_cache.Cache.config;  (** per-core private L1 *)
+  lat : Mssp_cache.Cache.Hierarchy.latencies;
+}
+
+val default_timing : timing
+
+type t = {
+  slaves : int;  (** number of slave processors *)
+  max_in_flight : int;  (** checkpoint window (spawned, uncommitted) *)
+  task_size : int;
+      (** master instructions between checkpoints: the master skips
+          [Fork] markers until it has executed this many instructions
+          since the last checkpoint — dynamic task sizing, standing in
+          for the paper's unrolling-based sizing. Original-program task
+          length ≈ [task_size × distillation ratio]. *)
+  task_budget : int;  (** per-task instruction bound *)
+  isolated_slaves : bool;
+      (** slaves see only master-supplied data (abstract-model mode)
+          rather than falling back to architected state *)
+  control_only_master : bool;
+      (** checkpoints carry only the start PC, no value predictions:
+          slaves read everything from architected state. This models
+          plain task-level speculative parallelization (Multiscalar-style
+          control speculation without MSSP's value forwarding) — the
+          comparison that shows why the master predicts {e values}, not
+          just control flow. *)
+  verify_refinement : bool;
+      (** maintain a shadow SEQ machine and check, at every commit and
+          recovery, that architected state equals the shadow — the
+          executable jumping-refinement witness (costly; for tests) *)
+  dual_mode : bool;
+      (** the real machine's forward-progress guarantee: when speculation
+          stops paying (several squashes with no commit in between), drop
+          to plain sequential execution for [dual_burst] instructions
+          before re-engaging the master. Restores the ≥1x performance
+          floor under hostile/hopeless distilled code. *)
+  dual_trigger : int;
+      (** consecutive squashes without an intervening commit that trip
+          the fallback *)
+  dual_burst : int;  (** sequential instructions per fallback burst *)
+  fault_injection : (int * float) option;
+      (** [(seed, p)]: corrupt one live-in binding of a checkpoint with
+          probability [p] — soft-error injection into the speculative
+          domain. Verification must absorb every such fault; only
+          squash rates may move. *)
+  record_tasks : bool;  (** keep per-task size/live-in lists in stats *)
+  record_trace : bool;  (** keep the timestamped machine event log *)
+  master_chunk : int;
+      (** run-away guard: a master producing no fork for this many
+          instructions is stopped (execution continues correctly via
+          recovery) *)
+  max_cycles : int;  (** hard stop for the whole simulation *)
+  max_squashes : int;  (** hard stop *)
+  timing : timing;
+}
+
+val default : t
+(** 4 slaves, window 8, task size 50, budget 5000, fallback mode,
+    refinement check off. *)
+
+val with_slaves : int -> t -> t
+(** Convenience: set slave count and scale the window to 2x slaves. *)

@@ -1,0 +1,692 @@
+module Cell = Mssp_state.Cell
+module Fragment = Mssp_state.Fragment
+module Full = Mssp_state.Full
+module Instr = Mssp_isa.Instr
+module Reg = Mssp_isa.Reg
+module Seq_machine = Mssp_seq.Machine
+module Exec = Mssp_seq.Exec
+module Task = Mssp_task.Task
+module Distill = Mssp_distill.Distill
+module Sim = Mssp_sim_engine.Sim
+module Hierarchy = Mssp_cache.Cache.Hierarchy
+
+type squash_reason =
+  | Live_in_mismatch
+  | Task_failed of Task.fail_reason
+  | Master_dead
+
+type stats = {
+  mutable cycles : int;
+  mutable master_instructions : int;
+  mutable tasks_spawned : int;
+  mutable tasks_committed : int;
+  mutable instructions_committed : int;
+  mutable tasks_discarded : int;
+  mutable squashes : int;
+  mutable squash_mismatch : int;
+  mutable squash_task_failed : int;
+  mutable squash_master_dead : int;
+  mutable recovery_segments : int;
+  mutable recovery_instructions : int;
+  mutable sequential_bursts : int;
+  mutable sequential_instructions : int;
+      (** instructions retired in dual-mode sequential bursts (a subset
+          of [recovery_instructions]) *)
+  mutable faults_injected : int;
+  mutable live_ins_checked : int;
+  mutable live_outs_committed : int;
+  mutable slave_busy_cycles : int;
+  mutable task_sizes : int list;
+  mutable live_in_counts : int list;
+}
+
+let fresh_stats () =
+  {
+    cycles = 0;
+    master_instructions = 0;
+    tasks_spawned = 0;
+    tasks_committed = 0;
+    instructions_committed = 0;
+    tasks_discarded = 0;
+    squashes = 0;
+    squash_mismatch = 0;
+    squash_task_failed = 0;
+    squash_master_dead = 0;
+    recovery_segments = 0;
+    recovery_instructions = 0;
+    sequential_bursts = 0;
+    sequential_instructions = 0;
+    faults_injected = 0;
+    live_ins_checked = 0;
+    live_outs_committed = 0;
+    slave_busy_cycles = 0;
+    task_sizes = [];
+    live_in_counts = [];
+  }
+
+type event =
+  | Ev_spawn of { cycle : int; id : int; entry : int }
+  | Ev_task_done of { cycle : int; id : int; ok : bool }
+  | Ev_commit of { cycle : int; id : int; instructions : int }
+  | Ev_squash of { cycle : int; reason : squash_reason; discarded : int }
+  | Ev_recovery of { cycle : int; instructions : int }
+  | Ev_restart of { cycle : int; distilled_pc : int }
+  | Ev_master_dead of { cycle : int; pc : int }
+  | Ev_halt of { cycle : int }
+
+let event_cycle = function
+  | Ev_spawn { cycle; _ }
+  | Ev_task_done { cycle; _ }
+  | Ev_commit { cycle; _ }
+  | Ev_squash { cycle; _ }
+  | Ev_recovery { cycle; _ }
+  | Ev_restart { cycle; _ }
+  | Ev_master_dead { cycle; _ }
+  | Ev_halt { cycle } ->
+    cycle
+
+let pp_event fmt = function
+  | Ev_spawn { cycle; id; entry } ->
+    Format.fprintf fmt "%8d  spawn    task %d at %#x" cycle id entry
+  | Ev_task_done { cycle; id; ok } ->
+    Format.fprintf fmt "%8d  done     task %d (%s)" cycle id
+      (if ok then "complete" else "failed")
+  | Ev_commit { cycle; id; instructions } ->
+    Format.fprintf fmt "%8d  commit   task %d (+%d instrs)" cycle id instructions
+  | Ev_squash { cycle; reason; discarded } ->
+    Format.fprintf fmt "%8d  squash   %s, %d tasks discarded" cycle
+      (match reason with
+      | Live_in_mismatch -> "live-in mismatch"
+      | Task_failed _ -> "task failed"
+      | Master_dead -> "master dead")
+      discarded
+  | Ev_recovery { cycle; instructions } ->
+    Format.fprintf fmt "%8d  recover  %d instrs non-speculative" cycle instructions
+  | Ev_restart { cycle; distilled_pc } ->
+    Format.fprintf fmt "%8d  restart  master at %#x" cycle distilled_pc
+  | Ev_master_dead { cycle; pc } ->
+    Format.fprintf fmt "%8d  master   dead at %#x" cycle pc
+  | Ev_halt { cycle } -> Format.fprintf fmt "%8d  halt" cycle
+
+type stop_reason = Halted | Cycle_limit | Squash_limit | Wedged
+
+type result = {
+  arch : Full.t;
+  stop : stop_reason;
+  stats : stats;
+  refinement_violations : int;
+  trace : event list;
+}
+
+(* A checkpoint: one task-to-be in the in-flight window. Its end boundary
+   becomes known when the master produces the *next* checkpoint (or
+   dies); the task executes once the end is known and a slave is free. *)
+type checkpoint = {
+  cp_id : int;
+  cp_entry : int;
+  cp_live_in : Fragment.t;
+  mutable cp_end : int option;
+  mutable cp_end_occurrence : int;
+      (** which arrival at [cp_end] is the boundary: the master's count
+          of its own passes over that marker within this task *)
+  mutable cp_end_known : bool;
+  mutable cp_task : Task.t option;
+  mutable cp_finished : bool;
+}
+
+type master = {
+  mutable m_state : Full.t;
+  mutable m_dirty : Fragment.t;
+      (** memory the master wrote since its last seed — cumulative, so a
+          checkpoint's live-in prediction covers everything the slave may
+          need from any older in-flight task (the hardware's speculative
+          version forwarding) *)
+  mutable m_dead : bool;
+  mutable m_waiting : bool;
+  mutable m_pending : (int * Fragment.t) option;
+  mutable m_since_cp : int;
+      (** instructions since the last checkpoint — the task-size pacing
+          counter; [Fork] markers are skipped while it is below
+          [config.task_size] *)
+  m_passes : (int, int) Hashtbl.t;
+      (** per-boundary-site marker passes since the last checkpoint;
+          tells the slave which arrival at the end PC is the boundary *)
+}
+
+let run ?(config = Mssp_config.default) (d : Distill.t) =
+  let cfg = config in
+  let t = cfg.timing in
+  let sim = Sim.create () in
+  let stats = fresh_stats () in
+  (* Architected state holds BOTH images: the original program (PC at its
+     entry) and the distilled program (the master's code is ordinary
+     memory, as on the real machine). *)
+  let arch = Full.create () in
+  Full.load arch d.original;
+  Full.load ~set_entry:false arch d.distilled;
+  let shadow = if cfg.verify_refinement then Some (Full.copy arch) else None in
+  let violations = ref 0 in
+  let advance_shadow k =
+    match shadow with
+    | None -> ()
+    | Some sh ->
+      ignore (Seq_machine.seq_in_place sh k : Seq_machine.stop option);
+      if not (Full.equal_observable sh arch) then incr violations
+  in
+  (* caches: master's hierarchy owns the shared L2; slaves attach to it *)
+  let master_cache = Hierarchy.make ~l1:t.l1 ~lat:t.lat () in
+  let slave_caches =
+    Array.init cfg.slaves (fun _ ->
+        Hierarchy.make_shared ~l1:t.l1 ~lat:t.lat ~l2:master_cache ())
+  in
+  let slave_free = Array.make cfg.slaves true in
+  let find_free_slave () =
+    let rec go i =
+      if i = cfg.slaves then None else if slave_free.(i) then Some i else go (i + 1)
+    in
+    go 0
+  in
+  let window : checkpoint Queue.t = Queue.create () in
+  let last_cp = ref None in
+  let next_cp_id = ref 0 in
+  let master =
+    {
+      m_state = Full.copy arch;
+      m_dirty = Fragment.empty;
+      m_dead = false;
+      m_waiting = false;
+      m_pending = None;
+      m_since_cp = cfg.task_size (* fork immediately at start *);
+      m_passes = Hashtbl.create 16;
+    }
+  in
+  Full.set_pc master.m_state d.distilled.entry;
+  let entry_set = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace entry_set e ()) d.task_entries;
+  (* soft-error injection into checkpoints: a deterministic PRNG decides,
+     per spawn, whether to corrupt one live-in binding *)
+  let fault_rng =
+    match cfg.fault_injection with
+    | None -> None
+    | Some (seed, p) ->
+      let state = ref ((seed lxor 0x9E3779B9) land max_int) in
+      Some
+        (fun () ->
+          state := ((!state * 25214903917) + 11) land ((1 lsl 48) - 1);
+          float_of_int (!state lsr 16) /. float_of_int (1 lsl 32) < p)
+  in
+  let maybe_corrupt cp_id li =
+    match fault_rng with
+    | Some flip when flip () && not (Fragment.is_empty li) ->
+      let bindings = Fragment.to_list li in
+      let c, v = List.nth bindings (cp_id mod List.length bindings) in
+      stats.faults_injected <- stats.faults_injected + 1;
+      Fragment.add c (v lxor 0x5A5A5A5A) li
+    | Some _ | None -> li
+  in
+  (* dual-mode: squashes with no commit in between *)
+  let fruitless_squashes = ref 0 in
+  let trace = ref [] in
+  let emit ev = if cfg.record_trace then trace := ev :: !trace in
+  let running = ref true in
+  let commit_busy = ref false in
+  let stop_reason = ref Halted in
+  let halt_machine reason =
+    running := false;
+    stop_reason := reason;
+    emit (Ev_halt { cycle = Sim.now sim });
+    (* later-scheduled events are dead; the machine's time is now *)
+    stats.cycles <- Sim.now sim
+  in
+  (* Event guard: drop stale (squashed) events, stop on the cycle limit. *)
+  let guarded thunk () =
+    if !running then
+      if Sim.now sim > cfg.max_cycles then halt_machine Cycle_limit
+      else thunk ()
+  in
+  let epoch_guarded thunk =
+    let ep = Sim.epoch sim in
+    guarded (fun () -> if not (Sim.cancelled sim ep) then thunk ())
+  in
+
+  let master_note_pass e =
+    let n =
+      match Hashtbl.find_opt master.m_passes e with Some n -> n | None -> 0
+    in
+    Hashtbl.replace master.m_passes e (n + 1);
+    n + 1
+  in
+  (* --- master ------------------------------------------------------ *)
+  let master_live_in e =
+    if cfg.control_only_master then Fragment.singleton Cell.Pc e
+    else if cfg.isolated_slaves then
+      Fragment.add Cell.Pc e (Full.snapshot master.m_state)
+    else begin
+      let f = ref (Fragment.add Cell.Pc e master.m_dirty) in
+      List.iter
+        (fun r ->
+          match Cell.reg r with
+          | Some c -> f := Fragment.add c (Full.get master.m_state c) !f
+          | None -> ())
+        Reg.all;
+      !f
+    end
+  in
+  (* One functional master instruction; returns its cost, a fork, or
+     death (halt/fault/trap). The master-side PC map redirects jumps that
+     landed in original code (indirect returns) back into distilled
+     code. *)
+  let master_step () =
+    let pc0 = Full.pc master.m_state in
+    let pc =
+      match Hashtbl.find_opt d.pc_map pc0 with
+      | Some dpc ->
+        Full.set_pc master.m_state dpc;
+        dpc
+      | None -> pc0
+    in
+    let word = Full.get_mem master.m_state pc in
+    match Instr.decode_cached word with
+    | None -> `Dead
+    | Some Instr.Halt -> `Dead
+    | Some (Instr.Fork e) -> `Fork e
+    | Some _ ->
+      let cost = ref t.master_base in
+      let read c =
+        (match c with
+        | Cell.Mem a -> cost := !cost + Hierarchy.access master_cache a
+        | Cell.Pc | Cell.Reg _ -> ());
+        Some (Full.get master.m_state c)
+      in
+      let write c v =
+        (match c with
+        | Cell.Mem a ->
+          cost := !cost + Hierarchy.access master_cache a;
+          master.m_dirty <- Fragment.add c v master.m_dirty
+        | Cell.Pc | Cell.Reg _ -> ());
+        Full.set master.m_state c v
+      in
+      (match Exec.step ~read ~write with
+      | Exec.Stepped ->
+        stats.master_instructions <- stats.master_instructions + 1;
+        `Cost !cost
+      | Exec.Halted | Exec.Fault _ -> `Dead
+      | Exec.Missing _ -> assert false)
+  in
+  (* Forward declarations: the component processes call each other. *)
+  let rec master_run () =
+    if master.m_dead || master.m_waiting then ()
+    else begin
+      let rec go budget cost_acc =
+        if budget = 0 then begin
+          (* run-away master: no checkpoint for a whole chunk *)
+          master.m_dead <- true;
+          emit (Ev_master_dead { cycle = Sim.now sim; pc = Full.pc master.m_state });
+          Sim.schedule sim ~delay:cost_acc (epoch_guarded on_master_dead)
+        end
+        else
+          match master_step () with
+          | `Cost c ->
+            master.m_since_cp <- master.m_since_cp + 1;
+            go (budget - 1) (cost_acc + c)
+          | `Fork e when master.m_since_cp < cfg.task_size ->
+            (* marker skipped: pacing says the task would be too small.
+               Markers are free for the master (a real implementation
+               keeps fork sites in a table, not the pipeline). *)
+            ignore (master_note_pass e : int);
+            Full.set_pc master.m_state (Full.pc master.m_state + 1);
+            go budget cost_acc
+          | `Fork e ->
+            (* step past the fork and snapshot the prediction now; the
+               spawn takes effect once the accumulated cycles elapse *)
+            let occurrence = master_note_pass e in
+            Hashtbl.reset master.m_passes;
+            Full.set_pc master.m_state (Full.pc master.m_state + 1);
+            master.m_since_cp <- 0;
+            let li = master_live_in e in
+            Sim.schedule sim ~delay:(cost_acc + t.master_base)
+              (epoch_guarded (fun () -> handle_fork e li occurrence))
+          | `Dead ->
+            master.m_dead <- true;
+            emit (Ev_master_dead { cycle = Sim.now sim; pc = Full.pc master.m_state });
+            Sim.schedule sim ~delay:cost_acc (epoch_guarded on_master_dead)
+      in
+      go cfg.master_chunk 0
+    end
+  and handle_fork e li occurrence =
+    (* The fork's identity settles where the PREVIOUS task ends — even if
+       the new task cannot be spawned yet for lack of a window slot
+       (otherwise a window of 1 deadlocks: the lone task could never
+       learn its end). *)
+    (match !last_cp with
+    | Some cp when not cp.cp_end_known ->
+      cp.cp_end <- Some e;
+      cp.cp_end_occurrence <- occurrence;
+      cp.cp_end_known <- true;
+      try_start_tasks ()
+    | Some _ | None -> ());
+    ignore (occurrence : int);
+    if Queue.length window >= cfg.max_in_flight then begin
+      master.m_waiting <- true;
+      master.m_pending <- Some (e, li)
+    end
+    else begin
+      spawn e li;
+      master_run ()
+    end
+  and spawn e li =
+    let li = maybe_corrupt !next_cp_id li in
+    let cp =
+      {
+        cp_id = !next_cp_id;
+        cp_entry = e;
+        cp_live_in = li;
+        cp_end = None;
+        cp_end_occurrence = 1;
+        cp_end_known = false;
+        cp_task = None;
+        cp_finished = false;
+      }
+    in
+    incr next_cp_id;
+    stats.tasks_spawned <- stats.tasks_spawned + 1;
+    emit (Ev_spawn { cycle = Sim.now sim; id = cp.cp_id; entry = e });
+    Queue.add cp window;
+    last_cp := Some cp;
+    try_start_tasks ()
+  and on_master_dead () =
+    (match !last_cp with
+    | Some cp when not cp.cp_end_known ->
+      cp.cp_end <- None;
+      cp.cp_end_known <- true
+    | Some _ | None -> ());
+    try_start_tasks ();
+    commit_kick ()
+  (* --- slaves ------------------------------------------------------ *)
+  and try_start_tasks () =
+    Queue.iter
+      (fun cp ->
+        if cp.cp_task = None && cp.cp_end_known then
+          match find_free_slave () with
+          | None -> ()
+          | Some s ->
+            slave_free.(s) <- false;
+            let cache = slave_caches.(s) in
+            let cost = ref 0 in
+            let on_access c =
+              match c with
+              | Cell.Mem a -> cost := !cost + Hierarchy.access cache a
+              | Cell.Pc | Cell.Reg _ -> ()
+            in
+            let task =
+              Task.make ~id:cp.cp_id ~start_pc:cp.cp_entry ~end_pc:cp.cp_end
+                ~end_occurrence:cp.cp_end_occurrence ~budget:cfg.task_budget
+                ~live_in:cp.cp_live_in
+            in
+            let view =
+              if cfg.isolated_slaves then Task.Isolated
+              else Task.Fallback (fun c -> Full.get arch c)
+            in
+            ignore (Task.run ~on_access task view : Task.status);
+            cp.cp_task <- Some task;
+            let total =
+              t.spawn_latency + (t.slave_base * task.Task.executed) + !cost
+            in
+            stats.slave_busy_cycles <- stats.slave_busy_cycles + total;
+            Sim.schedule sim ~delay:total
+              (epoch_guarded (fun () ->
+                   cp.cp_finished <- true;
+                   emit
+                     (Ev_task_done
+                        {
+                          cycle = Sim.now sim;
+                          id = cp.cp_id;
+                          ok =
+                            (match task.Task.status with
+                            | Task.Complete _ -> true
+                            | Task.Running | Task.Failed _ -> false);
+                        });
+                   slave_free.(s) <- true;
+                   try_start_tasks ();
+                   commit_kick ())))
+      window
+  (* --- verify/commit unit ------------------------------------------ *)
+  and commit_kick () =
+    (* The commit unit re-examines the window head; serialization of the
+       actual verify/commit costs happens via the delayed continuation in
+       [commit_head]. Multiple kicks at the same instant are harmless:
+       the head is popped before the next event runs. *)
+    Sim.schedule sim ~delay:0 (epoch_guarded commit_head)
+  and commit_head () =
+    if !commit_busy then ()
+    else
+      match Queue.peek_opt window with
+      | None -> if master.m_dead then start_squash Master_dead else ()
+      | Some cp ->
+      if not cp.cp_finished then ()
+      else begin
+        let task = Option.get cp.cp_task in
+        let n_live_ins = Task.live_in_size task in
+        stats.live_ins_checked <- stats.live_ins_checked + n_live_ins;
+        let completed =
+          match task.Task.status with
+          | Task.Complete _ -> true
+          | Task.Running | Task.Failed _ -> false
+        in
+        if completed && Full.consistent task.Task.reads arch then begin
+          (* the memoization hit: superimpose the live-outs *)
+          ignore (Queue.pop window : checkpoint);
+          Full.apply arch task.Task.writes;
+          let n_outs = Fragment.cardinal task.Task.writes in
+          fruitless_squashes := 0;
+          emit
+            (Ev_commit
+               {
+                 cycle = Sim.now sim;
+                 id = cp.cp_id;
+                 instructions = task.Task.executed;
+               });
+          stats.tasks_committed <- stats.tasks_committed + 1;
+          stats.instructions_committed <-
+            stats.instructions_committed + task.Task.executed;
+          stats.live_outs_committed <- stats.live_outs_committed + n_outs;
+          if cfg.record_tasks then begin
+            stats.task_sizes <- task.Task.executed :: stats.task_sizes;
+            stats.live_in_counts <- n_live_ins :: stats.live_in_counts
+          end;
+          advance_shadow task.Task.executed;
+          let ceil_div a b = (a + b - 1) / max 1 b in
+          let cost =
+            t.verify_base
+            + (t.verify_per_live_in * ceil_div n_live_ins t.verify_parallelism)
+            + t.commit_base
+            + (t.commit_per_live_out * ceil_div n_outs t.commit_parallelism)
+          in
+          match task.Task.status with
+          | Task.Complete Task.Program_halted -> halt_machine Halted
+          | Task.Complete Task.Reached_boundary | Task.Running | Task.Failed _
+            ->
+            commit_busy := true;
+            Sim.schedule sim ~delay:cost
+              (epoch_guarded (fun () ->
+                   commit_busy := false;
+                   wake_master ();
+                   commit_head ()))
+        end
+        else begin
+          let reason =
+            match task.Task.status with
+            | Task.Complete _ -> Live_in_mismatch
+            | Task.Failed r -> Task_failed r
+            | Task.Running -> assert false
+          in
+          start_squash reason
+        end
+      end
+  and wake_master () =
+    if master.m_waiting then begin
+      master.m_waiting <- false;
+      match master.m_pending with
+      | Some (e, li) ->
+        master.m_pending <- None;
+        if Queue.length window >= cfg.max_in_flight then begin
+          master.m_waiting <- true;
+          master.m_pending <- Some (e, li)
+        end
+        else begin
+          spawn e li;
+          master_run ()
+        end
+      | None -> master_run ()
+    end
+  (* --- squash and recovery ----------------------------------------- *)
+  and start_squash reason =
+    stats.squashes <- stats.squashes + 1;
+    (match reason with
+    | Live_in_mismatch -> stats.squash_mismatch <- stats.squash_mismatch + 1
+    | Task_failed _ ->
+      stats.squash_task_failed <- stats.squash_task_failed + 1
+    | Master_dead -> stats.squash_master_dead <- stats.squash_master_dead + 1);
+    if stats.squashes > cfg.max_squashes then halt_machine Squash_limit
+    else start_recovery reason
+  and start_recovery reason =
+    (* discard all speculative work *)
+    emit
+      (Ev_squash
+         {
+           cycle = Sim.now sim;
+           reason;
+           discarded = Queue.length window;
+         });
+    stats.tasks_discarded <- stats.tasks_discarded + Queue.length window;
+    Sim.bump_epoch sim;
+    Queue.clear window;
+    last_cp := None;
+    Array.fill slave_free 0 cfg.slaves true;
+    Hierarchy.invalidate_l1 master_cache;
+    Array.iter Hierarchy.invalidate_l1 slave_caches;
+    master.m_dead <- false;
+    master.m_waiting <- false;
+    master.m_pending <- None;
+    commit_busy := false;
+    (* Non-speculative execution on architected state: at least one
+       instruction, then up to the next task entry (or the program's
+       halt). Every squash therefore makes forward progress. In dual
+       mode, a run of fruitless squashes extends the segment into a long
+       sequential burst — the machine's "revert to normal execution"
+       escape hatch. *)
+    incr fruitless_squashes;
+    let min_steps =
+      if cfg.dual_mode && !fruitless_squashes >= cfg.dual_trigger then begin
+        stats.sequential_bursts <- stats.sequential_bursts + 1;
+        cfg.dual_burst
+      end
+      else 0
+    in
+    let m = Seq_machine.of_state arch in
+    let steps = ref 0 in
+    let fuel = 200_000_000 in
+    let rec go () =
+      if !steps >= fuel then `Fuel
+      else if Seq_machine.step m then begin
+        incr steps;
+        if !steps >= min_steps && Hashtbl.mem entry_set (Full.pc arch) then
+          `At_entry
+        else go ()
+      end
+      else `Stopped
+    in
+    let outcome = go () in
+    stats.recovery_segments <- stats.recovery_segments + 1;
+    stats.recovery_instructions <- stats.recovery_instructions + !steps;
+    stats.sequential_instructions <-
+      stats.sequential_instructions + min !steps min_steps;
+    emit (Ev_recovery { cycle = Sim.now sim; instructions = !steps });
+    advance_shadow !steps;
+    let recovery_cycles =
+      !steps * (t.slave_base + t.recovery_per_instr)
+    in
+    match outcome with
+    | `Stopped ->
+      (* the program halted (or faulted) during recovery: done *)
+      Sim.schedule sim ~delay:recovery_cycles
+        (guarded (fun () -> halt_machine Halted))
+    | `Fuel -> halt_machine Cycle_limit
+    | `At_entry -> (
+      let e = Full.pc arch in
+      match Distill.distilled_entry_for d e with
+      | None ->
+        (* no distilled entry here (shouldn't happen: entries are
+           filtered to mapped ones) — keep recovering *)
+        Sim.schedule sim ~delay:recovery_cycles
+          (epoch_guarded (fun () -> start_recovery Master_dead))
+      | Some dpc ->
+        master.m_state <- Full.copy arch;
+        master.m_dirty <- Fragment.empty;
+        master.m_since_cp <- cfg.task_size;
+        Hashtbl.reset master.m_passes;
+        Full.set_pc master.m_state dpc;
+        emit (Ev_restart { cycle = Sim.now sim; distilled_pc = dpc });
+        Sim.schedule sim
+          ~delay:(recovery_cycles + t.restart_latency)
+          (epoch_guarded master_run))
+  in
+
+  (* kick off *)
+  Sim.schedule sim ~delay:0 (guarded master_run);
+  (match Sim.run ~limit:cfg.max_cycles sim with
+  | Sim.Drained ->
+    (* if we never halted and nothing is pending, the machine wedged —
+       report it rather than masquerading as a clean halt *)
+    if !running then begin
+      stop_reason := Wedged;
+      stats.cycles <- Sim.now sim
+    end
+  | Sim.Hit_limit ->
+    if !running then begin
+      stop_reason := Cycle_limit;
+      stats.cycles <- Sim.now sim
+    end);
+  {
+    arch;
+    stop = !stop_reason;
+    stats;
+    refinement_violations = !violations;
+    trace = List.rev !trace;
+  }
+
+let total_committed r =
+  r.stats.instructions_committed + r.stats.recovery_instructions
+
+let mean_of = function
+  | [] -> 0.0
+  | l ->
+    float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l)
+
+let mean_task_size r = mean_of r.stats.task_sizes
+let mean_live_ins r = mean_of r.stats.live_in_counts
+
+let squash_rate r =
+  if r.stats.tasks_committed = 0 then float_of_int r.stats.squashes
+  else float_of_int r.stats.squashes /. float_of_int r.stats.tasks_committed
+
+let slave_occupancy r ~config =
+  let total = r.stats.cycles * config.Mssp_config.slaves in
+  if total = 0 then 0.0
+  else float_of_int r.stats.slave_busy_cycles /. float_of_int total
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "@[<v>cycles: %d@,\
+     master instructions: %d@,\
+     tasks: %d spawned, %d committed, %d discarded@,\
+     instructions committed via tasks: %d (+%d recovery)@,\
+     squashes: %d (mismatch %d, failed %d, master-dead %d)@,\
+     sequential bursts: %d (%d instructions), faults injected: %d@,\
+     live-ins checked: %d, live-outs committed: %d@,\
+     slave busy cycles: %d@]"
+    s.cycles s.master_instructions s.tasks_spawned s.tasks_committed
+    s.tasks_discarded s.instructions_committed s.recovery_instructions
+    s.squashes s.squash_mismatch s.squash_task_failed s.squash_master_dead
+    s.sequential_bursts s.sequential_instructions s.faults_injected
+    s.live_ins_checked s.live_outs_committed s.slave_busy_cycles

@@ -1,0 +1,111 @@
+(** The MSSP machine — the paper's primary contribution, executable.
+
+    One master processor runs the distilled program, peeling off a
+    checkpoint (predicted live-ins) at every [Fork] and handing tasks to
+    a pool of slave processors that execute the {e original} program
+    concurrently. An in-order verification/commit unit applies each
+    oldest completed task's live-outs to architected state iff its
+    recorded live-ins match that state; any mismatch squashes all
+    in-flight work, re-executes non-speculatively up to the next task
+    boundary, and restarts the master there.
+
+    Correctness never depends on the master or the distilled code: with
+    [verify_refinement] on, the machine checks at every commit and
+    recovery step that architected state equals a shadow sequential
+    machine — the executable form of the paper's jumping refinement
+    (MSSP transition ⇒ a [seq] transition sequence on the ψ-projection).
+
+    The simulator is event-driven and deterministic. Functionally, a
+    task executes eagerly when its end boundary becomes known (the next
+    checkpoint's start PC) and a slave is free; its completion, the
+    verification and the commit are then scheduled with the configured
+    latencies. Timing therefore models: master speed (with private L1),
+    checkpoint transfer, slave execution (with private L1), architected
+    (shared L2) access, verification/commit serialization, and squash/
+    restart penalties. *)
+
+type squash_reason =
+  | Live_in_mismatch  (** recorded live-ins ≠ architected state *)
+  | Task_failed of Mssp_task.Task.fail_reason
+  | Master_dead  (** master halted/faulted/ran away with work remaining *)
+
+type stats = {
+  mutable cycles : int;
+  mutable master_instructions : int;
+  mutable tasks_spawned : int;
+  mutable tasks_committed : int;
+  mutable instructions_committed : int;  (** via committed tasks *)
+  mutable tasks_discarded : int;  (** in-flight work lost to squashes *)
+  mutable squashes : int;
+  mutable squash_mismatch : int;
+  mutable squash_task_failed : int;
+  mutable squash_master_dead : int;
+  mutable recovery_segments : int;
+  mutable recovery_instructions : int;  (** non-speculative instructions *)
+  mutable sequential_bursts : int;  (** dual-mode fallback episodes *)
+  mutable sequential_instructions : int;
+      (** instructions retired inside dual-mode bursts (subset of
+          [recovery_instructions]) *)
+  mutable faults_injected : int;  (** corrupted checkpoints (fault injection) *)
+  mutable live_ins_checked : int;
+  mutable live_outs_committed : int;
+  mutable slave_busy_cycles : int;
+  mutable task_sizes : int list;  (** committed task lengths (if recorded) *)
+  mutable live_in_counts : int list;  (** recorded live-ins per committed task *)
+}
+
+(** Timestamped machine events, recorded when
+    [Mssp_config.record_trace] is set — the observability layer for
+    debugging schedules and for the trace well-formedness tests. *)
+type event =
+  | Ev_spawn of { cycle : int; id : int; entry : int }
+  | Ev_task_done of { cycle : int; id : int; ok : bool }
+  | Ev_commit of { cycle : int; id : int; instructions : int }
+  | Ev_squash of { cycle : int; reason : squash_reason; discarded : int }
+  | Ev_recovery of { cycle : int; instructions : int }
+  | Ev_restart of { cycle : int; distilled_pc : int }
+  | Ev_master_dead of { cycle : int; pc : int }
+  | Ev_halt of { cycle : int }
+
+val pp_event : Format.formatter -> event -> unit
+val event_cycle : event -> int
+
+type stop_reason =
+  | Halted
+  | Cycle_limit
+  | Squash_limit
+  | Wedged
+      (** the event queue drained before the program halted — a machine
+          bug surfaced honestly; should never occur *)
+
+type result = {
+  arch : Mssp_state.Full.t;  (** final architected state *)
+  stop : stop_reason;
+  stats : stats;
+  refinement_violations : int;
+      (** commits/recoveries where architected state diverged from the
+          shadow SEQ machine; 0 unless the machine is broken *)
+  trace : event list;
+      (** chronological event log (empty unless [record_trace]) *)
+}
+
+val run :
+  ?config:Mssp_config.t -> Mssp_distill.Distill.t -> result
+(** Simulate the distilled package's original program under MSSP until
+    the program halts (or a safety limit trips). Architected state starts
+    as the freshly loaded program image. *)
+
+val total_committed : result -> int
+(** Instructions retired into architected state: committed-task
+    instructions plus non-speculative recovery instructions. *)
+
+val mean_task_size : result -> float
+val mean_live_ins : result -> float
+
+val squash_rate : result -> float
+(** Squashes per committed task. *)
+
+val slave_occupancy : result -> config:Mssp_config.t -> float
+(** Mean fraction of slave processors busy over the run. *)
+
+val pp_stats : Format.formatter -> stats -> unit

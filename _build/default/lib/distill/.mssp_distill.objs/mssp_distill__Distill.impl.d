@@ -1,0 +1,1 @@
+lib/distill/distill.ml: Array Format Hashtbl Int List Mssp_cfg Mssp_isa Mssp_profile

@@ -1,0 +1,1 @@
+lib/distill/distill.mli: Format Hashtbl Mssp_isa Mssp_profile

@@ -1,0 +1,119 @@
+(** The program distiller.
+
+    Produces the {e distilled program} the master executes: an
+    approximate, aggressively reduced version of the original binary,
+    annotated with [Fork] task-boundary markers. The transformations are
+    deliberately {e unsound} — correctness never depends on them
+    (verification catches every wrong prediction); they only have to be
+    right often enough to be fast (paper §1–2).
+
+    Transformations, all profile-driven:
+    + {b Branch hardening}: a branch taken (or fallen through) with
+      frequency ≥ [branch_bias_threshold] on the training input becomes an
+      unconditional jump (or nothing), removing the test and the cold arm
+      from the master's path.
+    + {b Load-value promotion}: a load returning the same value with
+      frequency ≥ [load_stability_threshold] becomes [Li] of that value,
+      breaking the master's dependence on memory.
+    + {b Dead-write removal}: register writes never observed live
+      (liveness on the hardened CFG) become [Nop].
+    + {b Non-communicating store removal}: stores whose values were never
+      loaded back within [store_comm_distance] dynamic instructions on
+      the training input become [Nop] in the master's code — their
+      live-outs are produced by slaves anyway, and long-distance
+      communication flows through architected state, not through the
+      master's predictions. (If the reference input does read one back
+      sooner, the slave sees a stale value and verification squashes —
+      unsound-but-checked, like every other transformation here.)
+    + {b Compaction}: unreachable blocks and [Nop]s are dropped and the
+      survivors re-laid-out contiguously at
+      {!Mssp_isa.Layout.distilled_base}, with all direct control-flow
+      retargeted. (Indirect targets materialized as constants are {e not}
+      rewritten — the master may wander into original code, which is
+      functionally harmless; see DESIGN.md.)
+    + {b Task-boundary insertion}: [Fork orig_pc] markers are placed at
+      every hot loop header and function entry, plus the program entry,
+      so all useful work flows through slave tasks. Markers are cheap:
+      the {e master} paces actual checkpoint creation with its task-size
+      counter ([Mssp_config.task_size]), the moral equivalent of the
+      paper's loop unrolling for task sizing.
+
+    The result also carries the {e entry map} (original task-entry PC →
+    distilled PC of its [Fork]), which the machine uses to restart the
+    master after a squash. *)
+
+type options = {
+  branch_bias_threshold : float;
+      (** harden branches with bias ≥ this; > 1.0 disables hardening *)
+  min_branch_count : int;  (** never harden branches executed fewer times *)
+  promote_stable_loads : bool;
+  load_stability_threshold : float;
+  min_load_count : int;
+  remove_dead_writes : bool;
+  remove_noncomm_stores : bool;
+  store_comm_distance : int;
+      (** stores whose minimum observed store-to-load distance exceeds
+          this are dropped from the distilled code *)
+  min_store_count : int;  (** never drop stores executed fewer times *)
+  compact : bool;  (** drop unreachable code and [Nop]s, re-lay-out *)
+  min_boundary_count : int;
+      (** candidate boundaries executed fewer times are ignored *)
+}
+
+val default_options : options
+(** bias 0.98 (min 8), loads off by default (stability 0.999, min 16),
+    dead-write and non-communicating-store removal on (comm distance
+    1000, min 8), compaction on, boundary min 4. *)
+
+val identity_options : options
+(** Disable every code transformation: the distilled program is the
+    original program plus [Fork] markers — the "no-distillation master"
+    ablation (E11). *)
+
+type stats = {
+  original_static : int;
+  distilled_static : int;
+  forks_inserted : int;
+  branches_hardened : int;
+  loads_promoted : int;
+  dead_writes_removed : int;
+  stores_removed : int;
+  blocks_dropped : int;
+  estimated_dynamic_original : int;
+      (** dynamic instructions of the training run *)
+  estimated_dynamic_distilled : int;
+      (** training-run dynamic count re-priced on the distilled code:
+          surviving instructions keep their counts, forks add theirs *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val static_ratio : stats -> float
+(** original/distilled static size (> 1 means smaller distilled code). *)
+
+val dynamic_ratio : stats -> float
+(** estimated original/distilled dynamic length — the paper's headline
+    distillation metric. *)
+
+type t = {
+  original : Mssp_isa.Program.t;
+  distilled : Mssp_isa.Program.t;  (** based at [Layout.distilled_base] *)
+  task_entries : int list;  (** original task-boundary PCs, sorted *)
+  entry_map : (int, int) Hashtbl.t;  (** original entry PC -> distilled PC *)
+  pc_map : (int, int) Hashtbl.t;
+      (** every retained original block start -> its distilled address;
+          the master-side redirection map. Calls in distilled code leave
+          {e original} return addresses in registers (so values predict
+          the original program); when the master then jumps to an
+          original-code address, the machine redirects it through this
+          map back into distilled code. *)
+  stats : stats;
+}
+
+val distill :
+  ?options:options -> Mssp_isa.Program.t -> Mssp_profile.Profile.t -> t
+
+val distilled_entry_for : t -> int -> int option
+(** Distilled PC (of the [Fork]) for an original task-entry PC. *)
+
+val is_task_entry : t -> int -> bool

@@ -1,0 +1,1 @@
+lib/formal/abstract_task.ml: Format Mssp_state Seq_model

@@ -1,0 +1,1 @@
+lib/formal/abstract_task.mli: Format Mssp_state

@@ -1,0 +1,1 @@
+lib/formal/iteration1.ml: Abstract_task Format List Mssp_model Mssp_state Option Rewrite Safety Seq_model

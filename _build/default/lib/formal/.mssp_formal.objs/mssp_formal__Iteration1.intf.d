@@ -1,0 +1,1 @@
+lib/formal/iteration1.mli: Abstract_task Format Mssp_model Rewrite Seq_model

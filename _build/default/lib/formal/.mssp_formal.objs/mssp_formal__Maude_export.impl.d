@@ -1,0 +1,1 @@
+lib/formal/maude_export.ml: Abstract_task List Mssp_isa Mssp_state Printf String

@@ -1,0 +1,1 @@
+lib/formal/maude_export.mli: Abstract_task Mssp_state

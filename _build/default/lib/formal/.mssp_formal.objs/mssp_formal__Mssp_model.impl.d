@@ -1,0 +1,1 @@
+lib/formal/mssp_model.ml: Abstract_task Format List Mssp_state Option Rewrite Safety

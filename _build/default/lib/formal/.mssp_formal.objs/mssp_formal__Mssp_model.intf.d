@@ -1,0 +1,1 @@
+lib/formal/mssp_model.mli: Abstract_task Format Mssp_state Rewrite Seq_model

@@ -1,0 +1,1 @@
+lib/formal/refinement.ml: List Mssp_model Mssp_state Seq_model

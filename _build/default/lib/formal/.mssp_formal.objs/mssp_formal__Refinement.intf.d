@@ -1,0 +1,1 @@
+lib/formal/refinement.mli: Mssp_model Seq_model

@@ -1,0 +1,1 @@
+lib/formal/rewrite.ml: Format List

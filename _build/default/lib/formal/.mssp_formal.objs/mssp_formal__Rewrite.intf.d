@@ -1,0 +1,1 @@
+lib/formal/rewrite.mli: Format

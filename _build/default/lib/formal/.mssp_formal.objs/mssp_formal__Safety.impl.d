@@ -1,0 +1,1 @@
+lib/formal/safety.ml: Abstract_task List Mssp_seq Mssp_state Seq_model

@@ -1,0 +1,1 @@
+lib/formal/safety.mli: Abstract_task Mssp_state

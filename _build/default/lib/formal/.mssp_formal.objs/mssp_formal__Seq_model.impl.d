@@ -1,0 +1,1 @@
+lib/formal/seq_model.ml: Mssp_seq Mssp_state

@@ -1,0 +1,1 @@
+lib/formal/seq_model.mli: Format Mssp_isa Mssp_state

@@ -1,0 +1,29 @@
+module Fragment = Mssp_state.Fragment
+
+type t = {
+  live_in : Fragment.t;
+  n : int;
+  live_out : Fragment.t;
+  k : int;
+}
+
+let make live_in n = { live_in; n; live_out = live_in; k = 0 }
+let count t = t.n
+let is_complete t = t.k >= t.n
+
+let evolve t =
+  if t.k < t.n then { t with live_out = Seq_model.next t.live_out; k = t.k + 1 }
+  else t
+
+let rec evolve_fully t = if is_complete t then t else evolve_fully (evolve t)
+
+let equal a b =
+  a.n = b.n && a.k = b.k
+  && Fragment.equal a.live_in b.live_in
+  && Fragment.equal a.live_out b.live_out
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>⟨|in|=%d, n=%d, |out|=%d, k=%d⟩@]"
+    (Fragment.cardinal t.live_in) t.n
+    (Fragment.cardinal t.live_out)
+    t.k

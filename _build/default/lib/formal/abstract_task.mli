@@ -1,0 +1,31 @@
+(** The paper's task tuples [⟨S_in, n, S_out, k⟩] (Definition 4) and the
+    evolution rule (Definition 5) — the second-iteration refinement where
+    tasks acquire structure and evolve by [next] on their live-out set. *)
+
+type t = {
+  live_in : Mssp_state.Fragment.t;  (** [S_in] *)
+  n : int;  (** instructions constituting complete execution *)
+  live_out : Mssp_state.Fragment.t;  (** [S_out] *)
+  k : int;  (** instructions executed so far, [0 ≤ k ≤ n] *)
+}
+
+val make : Mssp_state.Fragment.t -> int -> t
+(** A newly created task [⟨S_in, n, S_in, 0⟩]. *)
+
+val count : t -> int
+(** The paper's [#t]. *)
+
+val is_complete : t -> bool
+(** [k = n]. *)
+
+val evolve : t -> t
+(** One step of Definition 5:
+    [⟨S_in, n, S_out, k⟩ ⇒ ⟨S_in, n, next S_out, k+1⟩] when [k < n];
+    identity otherwise. *)
+
+val evolve_fully : t -> t
+(** Evolution to completion. Lemma 2:
+    [evolve_fully (make s n) = ⟨s, n, seq s n, n⟩]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,113 @@
+module Fragment = Mssp_state.Fragment
+
+type task = {
+  t_label : string;
+  t_count : int;
+  t_safe : Seq_model.state -> bool;
+  (* identity for multiset equality: structured tasks carry their origin;
+     oracle tasks are identified by label+count *)
+  t_origin : Abstract_task.t option;
+}
+
+let of_abstract a =
+  {
+    t_label = Format.asprintf "%a" Abstract_task.pp a;
+    t_count = Abstract_task.count a;
+    t_safe = (fun s -> Safety.safe a s);
+    t_origin = Some a;
+  }
+
+let oracle_task ~label ~count ~safe =
+  { t_label = label; t_count = count; t_safe = safe; t_origin = None }
+
+let count t = t.t_count
+let is_safe t s = t.t_safe s
+
+let task_equal a b =
+  a.t_count = b.t_count
+  &&
+  match (a.t_origin, b.t_origin) with
+  | Some x, Some y ->
+    (* evolution must be invisible at this level: identify tuples up to
+       their live-in and length *)
+    Fragment.equal x.Abstract_task.live_in y.Abstract_task.live_in
+    && x.Abstract_task.n = y.Abstract_task.n
+  | None, None -> a.t_label = b.t_label
+  | Some _, None | None, Some _ -> false
+
+type state = { arch : Seq_model.state; tasks : task list }
+
+let make ~arch tasks = { arch; tasks }
+
+let rec remove_first eq x = function
+  | [] -> None
+  | y :: rest ->
+    if eq x y then Some rest
+    else Option.map (fun r -> y :: r) (remove_first eq x rest)
+
+let multiset_equal eq a b =
+  List.length a = List.length b
+  &&
+  let rec go a b =
+    match a with
+    | [] -> b = []
+    | x :: rest -> (
+      match remove_first eq x b with Some b' -> go rest b' | None -> false)
+  in
+  go a b
+
+let equal s1 s2 =
+  Fragment.equal s1.arch s2.arch && multiset_equal task_equal s1.tasks s2.tasks
+
+let pp fmt s =
+  Format.fprintf fmt "@[<v>arch: %a@,%d opaque tasks@]" Fragment.pp s.arch
+    (List.length s.tasks)
+
+let transitions s =
+  let commits =
+    let rec go before acc = function
+      | [] -> List.rev acc
+      | t :: after ->
+        let acc =
+          if t.t_safe s.arch then
+            {
+              arch = Seq_model.seq s.arch t.t_count;
+              tasks = List.rev_append before after;
+            }
+            :: acc
+          else acc
+        in
+        go (t :: before) acc after
+    in
+    go [] [] s.tasks
+  in
+  let discard =
+    if s.tasks <> [] && commits = [] then [ { s with tasks = [] } ] else []
+  in
+  commits @ discard
+
+module System = struct
+  type nonrec state = state
+
+  let equal = equal
+  let pp = pp
+  let transitions = transitions
+end
+
+module Search = Rewrite.Make (System)
+
+let abstraction (m : Mssp_model.state) =
+  {
+    arch = m.Mssp_model.arch;
+    tasks = List.map of_abstract m.Mssp_model.tasks;
+  }
+
+let refines_iteration1 trace =
+  let rec go = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) ->
+      let a1 = abstraction a and b1 = abstraction b in
+      (* stutter (evolution) or one iteration-1 step (commit/discard) *)
+      (equal a1 b1 || List.exists (equal b1) (transitions a1)) && go rest
+  in
+  go trace

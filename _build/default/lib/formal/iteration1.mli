@@ -1,0 +1,47 @@
+(** The paper's first-iteration MSSP model (§4): tasks are {e atomic and
+    uninterpreted} — all the machine can see of a task is its instruction
+    count [#t] and a safety oracle; committing a safe task advances the
+    architected state by [seq(S, #t)] (Definition 3), and a state whose
+    task set contains no safe member discards the remainder.
+
+    The second iteration (structured task tuples, {!Mssp_model}) is a
+    {e stuttering refinement} of this model: evolution steps change
+    nothing visible here (task safety is defined on the fully evolved
+    tuple, so it is invariant under evolution), and commits map to
+    commits. {!refines_iteration1} checks that on concrete traces. *)
+
+type task
+(** Opaque: count and safety oracle only. *)
+
+val of_abstract : Abstract_task.t -> task
+(** Wrap a structured task, forgetting its structure (the abstraction
+    function of the refinement). *)
+
+val oracle_task :
+  label:string -> count:int -> safe:(Seq_model.state -> bool) -> task
+(** A genuinely uninterpreted task: any safety oracle at all. This is the
+    model's "black box master" degree of freedom — nothing constrains
+    what tasks exist, only what committing them means. *)
+
+val count : task -> int
+val is_safe : task -> Seq_model.state -> bool
+
+type state = { arch : Seq_model.state; tasks : task list }
+
+val make : arch:Seq_model.state -> task list -> state
+val equal : state -> state -> bool
+val pp : Format.formatter -> state -> unit
+
+val transitions : state -> state list
+(** Commit any safe task ([mssp(S, t|τ) ⇒ mssp(seq(S,#t), τ)]), or
+    discard everything when no member is safe (and the set is
+    non-empty). *)
+
+module System : Rewrite.SYSTEM with type state = state
+module Search : module type of Rewrite.Make (System)
+
+val refines_iteration1 : Mssp_model.state list -> bool
+(** Stuttering refinement (§5): every transition of an iteration-2 trace
+    maps, under [of_abstract] on tasks and identity on the architected
+    state, to zero steps (evolution — a stutter) or one step (commit /
+    discard) of this model. *)

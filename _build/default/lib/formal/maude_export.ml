@@ -1,0 +1,154 @@
+module Fragment = Mssp_state.Fragment
+module Cell = Mssp_state.Cell
+
+let machine_state_module =
+  {|*** Machine states as fragments: finite maps from cells to values,
+*** built with an assoc/comm union ; whose identity is empty.
+*** Superimposition << and consistency ~<= follow Definition 8.
+fmod MACHINE-STATE is
+  protecting INT .
+
+  sorts Cell Binding State .
+  subsort Binding < State .
+
+  op pc : -> Cell [ctor] .
+  op reg : Int -> Cell [ctor] .
+  op mem : Int -> Cell [ctor] .
+
+  op _|->_ : Cell Int -> Binding [ctor prec 50] .
+  op empty : -> State [ctor] .
+  op _;_ : State State -> State [ctor assoc comm id: empty prec 60] .
+
+  vars C : Cell . vars V V' : Int . vars S S' : State .
+
+  *** insert replaces any existing binding for the cell
+  op insert : Cell Int State -> State .
+  eq insert(C, V', (C |-> V ; S)) = (C |-> V' ; S) .
+  eq insert(C, V', S) = (C |-> V' ; S) [owise] .
+
+  *** superimposition: right operand wins on overlap (S0 << S1 = S0 overwritten by S1)
+  op _<<_ : State State -> State [prec 65] .
+  eq S << empty = S .
+  eq S << (C |-> V' ; S') = insert(C, V', S) << S' .
+
+  *** consistency: every binding of the left is present in the right
+  op _~<=_ : State State -> Bool [prec 70] .
+  eq empty ~<= S = true .
+  eq (C |-> V ; S) ~<= (C |-> V ; S') = S ~<= (C |-> V ; S') .
+  eq S ~<= S' = false [owise] .
+endfm
+|}
+
+let seq_module =
+  {|*** The sequential reference model: an uninterpreted single-step next
+*** and its iteration seq (Definition 2). Concrete ISAs instantiate next.
+fmod SEQ is
+  protecting MACHINE-STATE .
+  protecting NAT .
+
+  op next : State -> State .
+  op seq : State Nat -> State .
+
+  var S : State . var N : Nat .
+  eq seq(S, 0) = S .
+  eq seq(S, s N) = seq(next(S), N) .
+endfm
+|}
+
+let tasks_module =
+  {|*** Tasks as 4-tuples < live-in, n, live-out, k > (Definition 4) with
+*** the evolution rule advancing live-outs by next (Definition 5).
+mod MSSP-TASKS is
+  protecting SEQ .
+
+  sorts Task TaskSet .
+  subsort Task < TaskSet .
+
+  op <_,_,_,_> : State Nat State Nat -> Task [ctor] .
+  op none : -> TaskSet [ctor] .
+  op _|_ : TaskSet TaskSet -> TaskSet [ctor assoc comm id: none] .
+
+  op newTask : State Nat -> Task .
+  var Sin : State . var N : Nat .
+  eq newTask(Sin, N) = < Sin, N, Sin, 0 > .
+
+  var Sout : State . var K : Nat .
+  crl [evolve] : < Sin, N, Sout, K > => < Sin, N, next(Sout), s K >
+    if K < N .
+endm
+|}
+
+let mssp_module =
+  {|*** The MSSP machine: architected state plus a task multiset; a
+*** complete task commits iff it is safe (Definition 6), by
+*** superimposing its live-outs (Definition 7); when nothing is safe the
+*** remainder is discarded (the Section 4.3 extension). No ordering is
+*** imposed on commits: | is assoc/comm.
+mod MSSP is
+  protecting MSSP-TASKS .
+
+  sort Machine .
+  op mssp : State TaskSet -> Machine [ctor] .
+
+  op safe : Task State -> Bool .
+  var Sin Sout S : State . var N K : Nat . var T : Task . var TS : TaskSet .
+  eq safe(< Sin, N, Sout, N >, S) = seq(S, N) == (S << Sout) .
+
+  crl [commit] : mssp(S, < Sin, N, Sout, N > | TS)
+              => mssp(S << Sout, TS)
+    if safe(< Sin, N, Sout, N >, S) .
+
+  op noneSafe : TaskSet State -> Bool .
+  eq noneSafe(none, S) = true .
+  eq noneSafe(< Sin, N, Sout, K > | TS, S) =
+       (K < N or not safe(< Sin, N, Sout, K >, S)) and noneSafe(TS, S) .
+
+  crl [discard] : mssp(S, T | TS) => mssp(S, none)
+    if noneSafe(T | TS, S) .
+endm
+|}
+
+let prelude =
+  String.concat "\n" [ machine_state_module; seq_module; tasks_module; mssp_module ]
+
+let term_of_cell = function
+  | Cell.Pc -> "pc"
+  | Cell.Reg r -> Printf.sprintf "reg(%d)" (Mssp_isa.Reg.to_int r)
+  | Cell.Mem a -> Printf.sprintf "mem(%d)" a
+
+let term_of_fragment f =
+  if Fragment.is_empty f then "empty"
+  else
+    let bindings =
+      Fragment.fold
+        (fun c v acc -> Printf.sprintf "(%s |-> %d)" (term_of_cell c) v :: acc)
+        f []
+    in
+    String.concat " ; " (List.rev bindings)
+
+let term_of_task (t : Abstract_task.t) =
+  Printf.sprintf "< %s, %d, %s, %d >"
+    (term_of_fragment t.Abstract_task.live_in)
+    t.Abstract_task.n
+    (term_of_fragment t.Abstract_task.live_out)
+    t.Abstract_task.k
+
+let instance_module ~name ~arch ~tasks =
+  let task_set =
+    match tasks with
+    | [] -> "none"
+    | ts -> String.concat " | " (List.map term_of_task ts)
+  in
+  Printf.sprintf
+    {|*** Concrete instance exported from the OCaml executable model.
+mod %s is
+  protecting MSSP .
+  op init : -> Machine .
+  eq init = mssp(%s, %s) .
+endm
+|}
+    (String.uppercase_ascii name)
+    (term_of_fragment arch) task_set
+
+let export ~name ~arch ~tasks =
+  prelude ^ "\n" ^ instance_module ~name ~arch ~tasks

@@ -1,0 +1,51 @@
+(** Export of the formal models as Maude 2 source text.
+
+    The companion paper's artifact is a set of Maude modules defining
+    SEQ, the three MSSP iterations and their proofs [reference 8 in the
+    paper]. Maude is not available in this environment, so the executable
+    OCaml models in this library are the checked artifact — but this
+    module emits the corresponding rewrite theories as Maude source, so
+    the correspondence is explicit and the output can be loaded into a
+    real Maude elsewhere.
+
+    The emitted theories mirror the paper exactly:
+    - [MACHINE-STATE]: cells, values, fragments as assoc/comm [;] with
+      identity [empty], superimposition [<<] and consistency [~<=] with
+      Definition 8's equations;
+    - [SEQ]: the uninterpreted [next] and the derived [seq];
+    - [MSSP-TASKS]: Definition 4 tuples and the Definition 5 evolution
+      rule;
+    - [MSSP]: Definition 7's commit rule guarded by Definition 6's
+      safety, plus the discard extension;
+    and a concrete instance module can embed any fragment/task-set of
+    this library as an initial term for [search]/[rew]. *)
+
+val machine_state_module : string
+val seq_module : string
+val tasks_module : string
+val mssp_module : string
+
+val prelude : string
+(** The four theory modules concatenated in dependency order. *)
+
+val term_of_fragment : Mssp_state.Fragment.t -> string
+(** A fragment as a Maude term, e.g.
+    [(pc |-> 4096) ; (reg(4) |-> 7) ; empty]. *)
+
+val term_of_task : Abstract_task.t -> string
+(** A task tuple as a Maude term [< In, N, Out, K >]. *)
+
+val instance_module :
+  name:string ->
+  arch:Mssp_state.Fragment.t ->
+  tasks:Abstract_task.t list ->
+  string
+(** A module defining [init] as the given abstract-machine state, ready
+    for [rew init .] or [search init =>* ...]. *)
+
+val export :
+  name:string ->
+  arch:Mssp_state.Fragment.t ->
+  tasks:Abstract_task.t list ->
+  string
+(** Prelude plus the instance module: a complete, loadable .maude file. *)

@@ -1,0 +1,111 @@
+module Fragment = Mssp_state.Fragment
+module Cell = Mssp_state.Cell
+
+type state = { arch : Fragment.t; tasks : Abstract_task.t list }
+
+let make ~arch tasks = { arch; tasks }
+
+(* multiset equality over tasks *)
+let rec remove_first eq x = function
+  | [] -> None
+  | y :: rest ->
+    if eq x y then Some rest
+    else Option.map (fun r -> y :: r) (remove_first eq x rest)
+
+let multiset_equal eq a b =
+  let rec go a b =
+    match a with
+    | [] -> b = []
+    | x :: rest -> (
+      match remove_first eq x b with
+      | Some b' -> go rest b'
+      | None -> false)
+  in
+  List.length a = List.length b && go a b
+
+let equal s1 s2 =
+  Fragment.equal s1.arch s2.arch
+  && multiset_equal Abstract_task.equal s1.tasks s2.tasks
+
+let pp fmt s =
+  Format.fprintf fmt "@[<v>arch: %a@,tasks:@,%a@]" Fragment.pp s.arch
+    (Format.pp_print_list Abstract_task.pp)
+    s.tasks
+
+(* §7: accesses to memory-mapped I/O are not idempotent, so a task that
+   touches the I/O region must execute non-speculatively — modeled here
+   as: it may only commit when it is the sole member of the task set
+   (no speculative work co-exists with it). *)
+let touches_io (t : Abstract_task.t) =
+  let io f = Fragment.fold (fun c _ acc -> acc || Cell.is_io c) f false in
+  io t.Abstract_task.live_out || io t.Abstract_task.live_in
+
+let commit_candidates s =
+  let alone = match s.tasks with [ _ ] -> true | _ -> false in
+  let rec go before acc = function
+    | [] -> List.rev acc
+    | t :: after ->
+      let acc =
+        if
+          Abstract_task.is_complete t
+          && Safety.safe t s.arch
+          && ((not (touches_io t)) || alone)
+        then
+          ( t,
+            {
+              arch = Safety.commit t s.arch;
+              tasks = List.rev_append before after;
+            } )
+          :: acc
+        else acc
+      in
+      go (t :: before) acc after
+  in
+  go [] [] s.tasks
+
+let evolve_transitions s =
+  let rec go before acc = function
+    | [] -> List.rev acc
+    | t :: after ->
+      let acc =
+        if Abstract_task.is_complete t then acc
+        else
+          { s with tasks = List.rev_append before (Abstract_task.evolve t :: after) }
+          :: acc
+      in
+      go (t :: before) acc after
+  in
+  go [] [] s.tasks
+
+let transitions s =
+  let evolves = evolve_transitions s in
+  let commits = List.map snd (commit_candidates s) in
+  let discard =
+    (* enabled only when stuck: tasks remain, none can evolve, none is
+       safe — committing would otherwise still be possible *)
+    if s.tasks <> [] && evolves = [] && commits = [] then
+      [ { s with tasks = [] } ]
+    else []
+  in
+  evolves @ commits @ discard
+
+module System = struct
+  type nonrec state = state
+
+  let equal = equal
+  let pp = pp
+  let transitions = transitions
+end
+
+module Search = Rewrite.Make (System)
+
+let psi s = s.arch
+
+let run_greedy s =
+  let s = { s with tasks = List.map Abstract_task.evolve_fully s.tasks } in
+  let rec go s =
+    match commit_candidates s with
+    | [] -> s.arch
+    | (_, s') :: _ -> go s'
+  in
+  go s

@@ -1,0 +1,53 @@
+(** The abstract MSSP machine (paper §4.2/§5.4) as a transition system.
+
+    A state is an architected fragment plus a multiset of active tasks.
+    Transitions:
+    - {e evolve}: any incomplete task advances one step (Definition 5;
+      tasks evolve independently and concurrently);
+    - {e commit}: any complete task that is {e safe} for the current
+      architected state commits ([S ← live_out t], Definition 7) and
+      leaves the set — note no ordering is imposed (the | operator is
+      associative-commutative);
+    - {e discard}: when nothing can evolve or commit, the remaining set
+      is dropped — the [mssp(S,τ) = mssp(S,∅)] extension that makes bad
+      commit orders cost only efficiency, never correctness.
+
+    The paper's §7 extension is included: a task touching the
+    memory-mapped I/O region (a non-idempotent cell in its live-ins or
+    live-outs) may only commit when it is the {e sole} member of the
+    task set — I/O executes with no speculative work in flight.
+
+    The master is deliberately absent: tasks appear in the initial state
+    with arbitrary live-ins (that is the paper's "black box" master). *)
+
+type state = {
+  arch : Mssp_state.Fragment.t;
+  tasks : Abstract_task.t list;  (** multiset *)
+}
+
+val make : arch:Mssp_state.Fragment.t -> Abstract_task.t list -> state
+
+val equal : state -> state -> bool
+val pp : Format.formatter -> state -> unit
+
+val commit_candidates : state -> (Abstract_task.t * state) list
+(** Complete, safe, committable tasks and the state each commit yields
+    (I/O-touching tasks are committable only when alone; see above). *)
+
+val touches_io : Abstract_task.t -> bool
+
+val transitions : state -> state list
+(** All enabled evolve/commit/discard transitions. Final states have an
+    empty task set. *)
+
+module System : Rewrite.SYSTEM with type state = state
+module Search : module type of Rewrite.Make (System)
+
+val psi : state -> Seq_model.state
+(** The refinement projection ψ: the architected fragment. *)
+
+val run_greedy : state -> Mssp_state.Fragment.t
+(** Drive to completion: evolve everything, then repeatedly commit the
+    first safe task; discard the remainder when none is safe. Returns
+    the final architected state. A deterministic sample of the
+    nondeterministic semantics. *)

@@ -1,0 +1,32 @@
+module Fragment = Mssp_state.Fragment
+
+type verdict = Energy | Jump of int | Violation
+
+let classify ~before ~after ~bound =
+  if Fragment.equal before after then Energy
+  else begin
+    let rec search s k =
+      if k > bound then Violation
+      else
+        let s' = Seq_model.next s in
+        if Fragment.equal s' after then Jump k
+        else if Fragment.equal s' s then Violation (* SEQ fixed point *)
+        else search s' (k + 1)
+    in
+    search before 1
+  end
+
+let check_step ~bound t u =
+  classify ~before:(Mssp_model.psi t) ~after:(Mssp_model.psi u) ~bound
+
+let check_trace ~bound trace =
+  let rec go acc = function
+    | [] | [ _ ] -> List.rev acc
+    | a :: (b :: _ as rest) -> go (check_step ~bound a b :: acc) rest
+  in
+  go [] trace
+
+let is_refinement_trace ~bound trace =
+  List.for_all
+    (function Energy | Jump _ -> true | Violation -> false)
+    (check_trace ~bound trace)

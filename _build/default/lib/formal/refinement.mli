@@ -1,0 +1,27 @@
+(** Jumping refinement (paper Definition 1), executable.
+
+    [R'] (MSSP) is a jumping ψ-refinement of [R] (SEQ) iff every R'
+    transition [t ⇒ u] admits a SEQ sequence [ψ(t) ⇒* ψ(u)]. On the
+    abstract models ψ is the architected fragment and SEQ is
+    deterministic, so the check is concrete: either [ψ(t) = ψ(u)] (the
+    transition "accumulates energy" — evolves a task) or some
+    [k ≤ bound] has [seq (ψ t) k = ψ u] (the transition "jumps" — a
+    commit of a safe task jumps exactly [#t] states). *)
+
+type verdict =
+  | Energy  (** ψ unchanged by the transition *)
+  | Jump of int  (** ψ advanced by exactly this many SEQ steps *)
+  | Violation  (** no SEQ sequence within the bound reproduces ψ(u) *)
+
+val classify :
+  before:Seq_model.state -> after:Seq_model.state -> bound:int -> verdict
+(** Search for the witness [k]. *)
+
+val check_step : bound:int -> Mssp_model.state -> Mssp_model.state -> verdict
+(** Classify one abstract-machine transition through ψ. *)
+
+val check_trace : bound:int -> Mssp_model.state list -> verdict list
+(** Classify every step of a trace; the trace witnesses jumping
+    refinement iff no element is [Violation]. *)
+
+val is_refinement_trace : bound:int -> Mssp_model.state list -> bool

@@ -1,0 +1,60 @@
+module type SYSTEM = sig
+  type state
+
+  val equal : state -> state -> bool
+  val pp : Format.formatter -> state -> unit
+
+  val transitions : state -> state list
+end
+
+module Make (S : SYSTEM) = struct
+  let successors = S.transitions
+
+  let mem s l = List.exists (S.equal s) l
+
+  let reachable ?(bound = 1000) start =
+    let visited = ref [ start ] in
+    let rec go frontier depth =
+      if depth = 0 || frontier = [] then ()
+      else begin
+        let next =
+          List.concat_map S.transitions frontier
+          |> List.fold_left
+               (fun acc s ->
+                 if mem s !visited || mem s acc then acc else s :: acc)
+               []
+        in
+        visited := !visited @ List.rev next;
+        go (List.rev next) (depth - 1)
+      end
+    in
+    go [ start ] bound;
+    !visited
+
+  let can_reach ?bound start pred = List.exists pred (reachable ?bound start)
+
+  let final_states ?bound start =
+    List.filter (fun s -> S.transitions s = []) (reachable ?bound start)
+
+  let rec is_trace = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) ->
+      List.exists (S.equal b) (S.transitions a) && is_trace rest
+
+  let random_run ~seed ~max_steps start =
+    let state = ref ((seed * 2654435761) land max_int) in
+    let rand bound =
+      state := ((!state * 25214903917) + 11) land ((1 lsl 48) - 1);
+      (!state lsr 16) mod bound
+    in
+    let rec go s acc steps =
+      if steps = 0 then List.rev (s :: acc)
+      else
+        match S.transitions s with
+        | [] -> List.rev (s :: acc)
+        | succs ->
+          let s' = List.nth succs (rand (List.length succs)) in
+          go s' (s :: acc) (steps - 1)
+    in
+    go start [] max_steps
+end

@@ -1,0 +1,43 @@
+(** A minimal executable stand-in for the paper's rewriting-logic
+    framework: transition systems as "state plus enumerable successors",
+    with breadth-first reachability (Maude's [search]) and trace
+    checking. The SEQ and MSSP abstract models instantiate this
+    signature; the refinement results are then checked over concrete
+    instances rather than proved symbolically — see DESIGN.md for the
+    substitution note (Maude → executable models + properties). *)
+
+module type SYSTEM = sig
+  type state
+
+  val equal : state -> state -> bool
+  val pp : Format.formatter -> state -> unit
+
+  val transitions : state -> state list
+  (** All one-step successors (the applicable rewrite instances). An
+      empty list means the state is final. *)
+end
+
+module Make (S : SYSTEM) : sig
+  val successors : S.state -> S.state list
+
+  val reachable : ?bound:int -> S.state -> S.state list
+  (** Breadth-first set of states reachable within [bound] steps
+      (default 1000); includes the start state. Deduplicated with
+      [S.equal]. *)
+
+  val can_reach : ?bound:int -> S.state -> (S.state -> bool) -> bool
+  (** Does some reachable state satisfy the predicate? (Maude's
+      [search =>* such that].) *)
+
+  val final_states : ?bound:int -> S.state -> S.state list
+  (** Reachable states with no successors. *)
+
+  val is_trace : S.state list -> bool
+  (** Is each consecutive pair related by one transition? *)
+
+  val random_run : seed:int -> max_steps:int -> S.state -> S.state list
+  (** One maximal (or [max_steps]-bounded) run, choosing among enabled
+      transitions with a deterministic PRNG — used to sample executions
+      of the non-deterministic MSSP model. Returns the trace, start
+      first. *)
+end

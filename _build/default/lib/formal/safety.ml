@@ -1,0 +1,30 @@
+module Fragment = Mssp_state.Fragment
+module Frag_exec = Mssp_seq.Frag_exec
+
+let commit t s =
+  Fragment.superimpose s (Abstract_task.evolve_fully t).Abstract_task.live_out
+
+let safe t s =
+  let t = Abstract_task.evolve_fully t in
+  Fragment.equal
+    (Seq_model.seq s (Abstract_task.count t))
+    (Fragment.superimpose s t.Abstract_task.live_out)
+
+let consistent_and_complete t s =
+  Fragment.consistent t.Abstract_task.live_in s
+  && Frag_exec.n_complete t.Abstract_task.live_in (Abstract_task.count t)
+
+let rec set_safe tasks s =
+  match tasks with
+  | [] -> Some []
+  | _ ->
+    let rec try_each before = function
+      | [] -> None
+      | t :: after ->
+        if safe t s then
+          match set_safe (List.rev_append before after) (commit t s) with
+          | Some rest -> Some (t :: rest)
+          | None -> try_each (t :: before) after
+        else try_each (t :: before) after
+    in
+    try_each [] tasks

@@ -1,0 +1,55 @@
+module Fragment = Mssp_state.Fragment
+module Cell = Mssp_state.Cell
+module Full = Mssp_state.Full
+module Frag_exec = Mssp_seq.Frag_exec
+
+type state = Fragment.t
+
+let next s = match Frag_exec.next s with Ok s' -> s' | Error _ -> s
+
+let seq s n =
+  let rec go s k = if k = 0 then s else go (next s) (k - 1) in
+  go s n
+
+let equal = Fragment.equal
+let pp = Fragment.pp
+
+let of_program p =
+  let full = Full.create () in
+  Full.load full p;
+  Full.snapshot full
+
+let complete_of_program ?(fuel = 100_000) p =
+  let full = Full.create () in
+  Full.load full p;
+  (* Observe a real run to learn every cell it touches, then materialize
+     those cells (default 0) in the initial fragment. *)
+  let touched = ref Cell.Set.empty in
+  let m = Mssp_seq.Machine.of_state (Full.copy full) in
+  let probe = m.Mssp_seq.Machine.state in
+  let rec go k =
+    if k = 0 then ()
+    else begin
+      let read c =
+        touched := Cell.Set.add c !touched;
+        Some (Full.get probe c)
+      in
+      let write c v =
+        touched := Cell.Set.add c !touched;
+        Full.set probe c v
+      in
+      match Mssp_seq.Exec.step ~read ~write with
+      | Mssp_seq.Exec.Stepped -> go (k - 1)
+      | Mssp_seq.Exec.Halted | Mssp_seq.Exec.Fault _ | Mssp_seq.Exec.Missing _
+        -> ()
+    end
+  in
+  go fuel;
+  let base = Full.snapshot full in
+  Cell.Set.fold
+    (fun c acc ->
+      if Fragment.mem c acc then acc else Fragment.add c (Full.get full c) acc)
+    !touched base
+
+let deterministic s1 s2 ~n =
+  (not (Fragment.consistent s1 s2)) || Fragment.consistent (seq s1 n) (seq s2 n)

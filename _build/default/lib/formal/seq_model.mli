@@ -1,0 +1,31 @@
+(** The paper's SEQ model (§4.1): machine states are fragments, [next]
+    executes one instruction, [seq S n] iterates it. [next] is total —
+    halted, faulted and incomplete states are fixed points — matching the
+    paper's uninterpreted total [next] while staying executable. *)
+
+type state = Mssp_state.Fragment.t
+
+val next : state -> state
+val seq : state -> int -> state
+
+val equal : state -> state -> bool
+val pp : Format.formatter -> state -> unit
+
+val of_program : Mssp_isa.Program.t -> state
+(** Fully loaded initial state: the program image, registers, PC — a
+    complete state by construction (until it reads unwritten memory,
+    which reads as 0 via the loader's materialization of the data
+    image... cells genuinely absent stop execution; use
+    {!complete_of_program} for states closed under a run). *)
+
+val complete_of_program : ?fuel:int -> Mssp_isa.Program.t -> state
+(** Initial fragment {e closed over an actual run}: every cell the
+    program will touch within [fuel] steps (default 100k) is
+    materialized (unwritten memory as 0), so [seq] never stops on
+    incompleteness. This is how finite fragments play the role of the
+    paper's total machine states. *)
+
+val deterministic : state -> state -> n:int -> bool
+(** The §6.2 determinism requirement, checkable on instances:
+    [S1 ⊑ S2] implies [seq S1 n ⊑ seq S2 n] (vacuously true if the
+    premise fails). *)

@@ -1,0 +1,1 @@
+lib/isa/instr.pp.ml: Format Hashtbl List Ppx_deriving_runtime Printf Reg

@@ -1,0 +1,1 @@
+lib/isa/program.pp.ml: Array Format Hashtbl Instr Layout List

@@ -1,0 +1,135 @@
+(** Instructions of the SIR ISA.
+
+    SIR ("Simple Intermediate RISC") is the instruction set shared by the
+    sequential reference machine, the MSSP slaves and the master's distilled
+    programs. It is deliberately minimal but complete enough to compile
+    realistic control- and data-flow: three-operand ALU ops, immediates,
+    loads/stores, PC-relative conditional branches, direct and indirect
+    jumps with link, an output instruction, [Halt], and the [Fork] marker
+    that delimits tasks inside distilled code.
+
+    Memory is word-addressed: every address holds one OCaml [int] value.
+    Instructions are {e encoded into memory words} (see {!encode}), so a
+    program is ordinary machine state — the property the paper's
+    completeness notion (Section 6.2) relies on, and what lets a distilled
+    program be "just another program in memory".
+
+    Semantics conventions (implemented by [Mssp_seq.Exec]):
+    - arithmetic is OCaml native [int] arithmetic (wrap-around at 63 bits);
+    - division/remainder by zero yields 0 (execution must be total and
+      deterministic — determinism is an axiom of the paper's SEQ model);
+    - shift amounts are masked to [0, 63];
+    - branch and jump offsets are in words, relative to the instruction's
+      own PC: the target of [Br (_, _, _, off)] at address [pc] is
+      [pc + off];
+    - [Fork] behaves as [Nop] on the sequential machine and on slaves; the
+      master interprets it as a task-boundary checkpoint directive. *)
+
+(** ALU operations. Comparison-producing ops yield 1 (true) or 0. *)
+type alu_op =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** division by zero yields 0 *)
+  | Rem  (** remainder by zero yields 0 *)
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr  (** arithmetic right shift *)
+  | Slt  (** set if less-than (signed) *)
+  | Sle  (** set if less-or-equal (signed) *)
+  | Seq  (** set if equal *)
+  | Sne  (** set if not equal *)
+
+(** Branch comparison predicates. *)
+type cmp_op = Eq | Ne | Lt | Ge | Le | Gt
+
+type t =
+  | Alu of alu_op * Reg.t * Reg.t * Reg.t
+      (** [Alu (op, rd, rs1, rs2)]: [rd <- rs1 op rs2]. *)
+  | Alui of alu_op * Reg.t * Reg.t * int
+      (** [Alui (op, rd, rs1, imm)]: [rd <- rs1 op imm]. *)
+  | Li of Reg.t * int  (** [rd <- imm]. *)
+  | Ld of Reg.t * Reg.t * int  (** [Ld (rd, rs1, off)]: [rd <- mem[rs1+off]]. *)
+  | St of Reg.t * Reg.t * int
+      (** [St (rs2, rs1, off)]: [mem[rs1+off] <- rs2]. *)
+  | Br of cmp_op * Reg.t * Reg.t * int
+      (** [Br (c, rs1, rs2, off)]: if [c rs1 rs2] then [pc <- pc+off]
+          else fall through. *)
+  | Jmp of int  (** [pc <- pc + off]. *)
+  | Jal of Reg.t * int  (** [rd <- pc+1; pc <- pc + off]. *)
+  | Jr of Reg.t  (** [pc <- rs]. *)
+  | Jalr of Reg.t * Reg.t  (** [Jalr (rd, rs)]: [rd <- pc+1; pc <- rs]. *)
+  | Out of Reg.t
+      (** Append [rs] to the architected output stream: writes
+          [mem[out_base + mem[out_count_addr]] <- rs] and increments
+          [mem[out_count_addr]] (see {!Layout}). Output is thus ordinary
+          memory state and participates in live-out verification. *)
+  | Fork of int
+      (** [Fork orig_pc]: task-boundary marker in distilled code carrying
+          the {e original-program} start PC of the next task. [Nop] to
+          everyone but the master. *)
+  | Halt
+  | Nop
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+
+val equal_alu_op : alu_op -> alu_op -> bool
+val equal_cmp_op : cmp_op -> cmp_op -> bool
+val pp_alu_op : Format.formatter -> alu_op -> unit
+val pp_cmp_op : Format.formatter -> cmp_op -> unit
+
+val alu_op_name : alu_op -> string
+val cmp_op_name : cmp_op -> string
+val alu_op_of_name : string -> alu_op option
+val cmp_op_of_name : string -> cmp_op option
+
+val eval_alu : alu_op -> int -> int -> int
+(** Total, deterministic ALU evaluation per the conventions above. *)
+
+val eval_cmp : cmp_op -> int -> int -> bool
+
+val imm_bits : int
+(** Width of the encoded immediate field (32). Immediates outside
+    [-2{^31}, 2{^31}-1] cannot be encoded; the assembler's [Li] accepts
+    them by splitting into [Li]/[Shl]/[Or] sequences. *)
+
+val imm_fits : int -> bool
+(** Whether an immediate fits the encoded field. *)
+
+val encode : t -> int
+(** Encode an instruction into a memory word.
+    @raise Invalid_argument if an immediate does not fit ({!imm_fits}). *)
+
+val decode : int -> t option
+(** Decode a memory word. [None] if the word is not a valid encoding —
+    e.g. arbitrary data executed by a wayward master. Total: never
+    raises. Round-trip: [decode (encode i) = Some i] for encodable [i]. *)
+
+val decode_cached : int -> t option
+(** {!decode} through a global memo table keyed by the word value.
+    Decoding is pure, so the cache can never go stale (self-modifying
+    code included: a different word is a different key). This is the
+    simulators' fetch path. *)
+
+val reads : pc:int -> t -> [ `Reg of Reg.t | `Mem_at of Reg.t * int ] list
+(** Register and memory operands read by an instruction, excluding the PC
+    and instruction-fetch cells (which every instruction reads).
+    [`Mem_at (r, off)] denotes address [value-of r + off], resolvable only
+    against a concrete state. [Out] reads its operand register and the
+    output counter cell (reported by the executor, not here). *)
+
+val writes_reg : t -> Reg.t option
+(** Destination register, if any ([Reg.zero] destinations excluded). *)
+
+val is_control : t -> bool
+(** Branches, jumps, [Halt]: instructions that may set PC non-sequentially. *)
+
+val branch_targets : pc:int -> t -> int list
+(** Possible static successor PCs of an instruction at [pc]: both arms for
+    branches, the target for jumps, the empty list for [Jr]/[Jalr]
+    (statically unknown) and [Halt], [pc+1] otherwise. *)

@@ -1,0 +1,10 @@
+let code_base = 0x1000
+let distilled_base = 0x40000
+let data_base = 0x100000
+let heap_base = 0x200000
+let stack_base = 0x7FF000
+let out_count_addr = 0x9FFFFF
+let out_base = 0xA00000
+let io_base = 0xB00000
+let io_limit = 0xB01000
+let is_io addr = addr >= io_base && addr < io_limit

@@ -1,0 +1,38 @@
+(** Address-space conventions shared by the loader, machines and tools.
+
+    Memory is a single flat word-addressed space. These constants carve it
+    into regions; nothing in the semantics enforces them — they are layout
+    conventions, exactly like a linker script. *)
+
+val code_base : int
+(** Where the loader places the original program's code. *)
+
+val distilled_base : int
+(** Where the distiller places distilled code. Disjoint from the original
+    code region so that both programs coexist in one address space, as on
+    the real machine. *)
+
+val data_base : int
+(** Start of the static data segment. *)
+
+val heap_base : int
+(** Start of the bump-allocated heap used by workload programs. *)
+
+val stack_base : int
+(** Initial stack pointer (stacks grow downward). *)
+
+val out_count_addr : int
+(** Cell holding the number of values output so far via [Out]. *)
+
+val out_base : int
+(** [Out] appends values at [out_base + mem[out_count_addr]]. *)
+
+val io_base : int
+(** Start of the memory-mapped I/O region: accesses here are
+    non-idempotent and must not be executed speculatively (paper §7). *)
+
+val io_limit : int
+(** One past the last I/O address. *)
+
+val is_io : int -> bool
+(** Whether an address falls in the non-idempotent I/O region. *)

@@ -1,0 +1,34 @@
+type t = {
+  base : int;
+  code : Instr.t array;
+  entry : int;
+  data : (int * int) list;
+  symbols : (string * int) list;
+}
+
+let make ?(base = Layout.code_base) ?entry ?(data = []) ?(symbols = []) code =
+  let entry = match entry with Some e -> e | None -> base in
+  { base; code; entry; data; symbols }
+
+let length p = Array.length p.code
+let limit p = p.base + length p
+let in_code p addr = addr >= p.base && addr < limit p
+
+let instr_at p addr =
+  if in_code p addr then Some p.code.(addr - p.base) else None
+
+let symbol p name = List.assoc name p.symbols
+
+let pp fmt p =
+  let label_of = Hashtbl.create 16 in
+  List.iter (fun (name, addr) -> Hashtbl.replace label_of addr name) p.symbols;
+  Format.fprintf fmt "@[<v>entry: %#x@,@," p.entry;
+  Array.iteri
+    (fun i instr ->
+      let addr = p.base + i in
+      (match Hashtbl.find_opt label_of addr with
+      | Some name -> Format.fprintf fmt "%s:@," name
+      | None -> ());
+      Format.fprintf fmt "  %#6x: %a@," addr Instr.pp instr)
+    p.code;
+  Format.fprintf fmt "@]"

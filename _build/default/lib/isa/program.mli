@@ -1,0 +1,43 @@
+(** Executable program images.
+
+    A program is a relocated code image (instructions at consecutive
+    addresses starting at [base]), an entry PC, an initial data image and
+    a symbol table. The loader ({!Mssp_state.Full.load}) encodes the code
+    into memory words, writes the data image, seeds [sp], and sets the PC
+    to [entry]. *)
+
+type t = {
+  base : int;  (** address of [code.(0)] *)
+  code : Instr.t array;
+  entry : int;  (** initial PC (absolute) *)
+  data : (int * int) list;  (** initial memory image: (address, value) *)
+  symbols : (string * int) list;  (** label -> absolute address *)
+}
+
+val make :
+  ?base:int ->
+  ?entry:int ->
+  ?data:(int * int) list ->
+  ?symbols:(string * int) list ->
+  Instr.t array ->
+  t
+(** [make code] is a program with [base] defaulting to {!Layout.code_base}
+    and [entry] defaulting to [base]. *)
+
+val length : t -> int
+(** Static instruction count. *)
+
+val limit : t -> int
+(** One past the last code address: [base + length]. *)
+
+val in_code : t -> int -> bool
+(** Whether an address falls inside the code image. *)
+
+val instr_at : t -> int -> Instr.t option
+(** Instruction at an absolute address, if inside the image. *)
+
+val symbol : t -> string -> int
+(** Address of a label. @raise Not_found if absent. *)
+
+val pp : Format.formatter -> t -> unit
+(** Disassembly listing with addresses and symbols. *)

@@ -1,0 +1,52 @@
+type t = int
+
+let count = 32
+
+let of_int i =
+  if i < 0 || i >= count then
+    invalid_arg (Printf.sprintf "Reg.of_int: %d out of range" i)
+  else i
+
+let of_int_opt i = if i < 0 || i >= count then None else Some i
+let to_int r = r
+let zero = 0
+let ra = 1
+let sp = 2
+let gp = 3
+let equal = Int.equal
+let compare = Int.compare
+
+let name r =
+  match r with
+  | 0 -> "zero"
+  | 1 -> "ra"
+  | 2 -> "sp"
+  | 3 -> "gp"
+  | r when r < 16 -> Printf.sprintf "t%d" (r - 4)
+  | r -> Printf.sprintf "s%d" (r - 16)
+
+let pp fmt r = Format.pp_print_string fmt (name r)
+
+let of_name s =
+  let parse_suffix prefix base limit =
+    let plen = String.length prefix in
+    if String.length s > plen && String.sub s 0 plen = prefix then
+      match int_of_string_opt (String.sub s plen (String.length s - plen)) with
+      | Some n when n >= 0 && base + n < limit -> Some (base + n)
+      | _ -> None
+    else None
+  in
+  match s with
+  | "zero" -> Some 0
+  | "ra" -> Some 1
+  | "sp" -> Some 2
+  | "gp" -> Some 3
+  | _ -> (
+    match parse_suffix "t" 4 16 with
+    | Some r -> Some r
+    | None -> (
+      match parse_suffix "s" 16 32 with
+      | Some r -> Some r
+      | None -> parse_suffix "r" 0 32))
+
+let all = List.init count (fun i -> i)

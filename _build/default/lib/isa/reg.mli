@@ -1,0 +1,48 @@
+(** Architectural registers of the SIR ISA.
+
+    SIR has 32 general-purpose integer registers. Register 0 is hardwired
+    to zero, as in MIPS/RISC-V: writes to it are discarded and reads always
+    return [0]. The program counter is a separate architectural cell (see
+    {!Mssp_state.Cell}). *)
+
+type t = private int
+(** A register index in [0, 31]. *)
+
+val count : int
+(** Number of architectural registers (32). *)
+
+val of_int : int -> t
+(** [of_int i] is register [i].
+    @raise Invalid_argument if [i] is outside [0, count-1]. *)
+
+val of_int_opt : int -> t option
+(** [of_int_opt i] is [Some (of_int i)] when in range, else [None]. *)
+
+val to_int : t -> int
+(** Numeric index of a register. *)
+
+val zero : t
+(** [r0], hardwired to zero. *)
+
+val ra : t
+(** [r1], link register written by [Jal]/[Jalr] (convention). *)
+
+val sp : t
+(** [r2], stack pointer (convention: seeded by the loader). *)
+
+val gp : t
+(** [r3], global/data pointer (convention). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val name : t -> string
+(** Assembler name: [zero], [ra], [sp], [gp], then [t0]..[t11] for r4-r15
+    and [s0]..[s15] for r16-r31. *)
+
+val of_name : string -> t option
+(** Parse an assembler name or a bare [rN] form. *)
+
+val all : t list
+(** All 32 registers, in index order. *)

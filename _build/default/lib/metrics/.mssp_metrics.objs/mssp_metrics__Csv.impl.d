@@ -1,0 +1,1 @@
+lib/metrics/csv.ml: List Out_channel String

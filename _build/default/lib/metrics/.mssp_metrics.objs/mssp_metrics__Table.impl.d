@@ -1,0 +1,1 @@
+lib/metrics/table.ml: List Printf String

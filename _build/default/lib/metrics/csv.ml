@@ -1,0 +1,16 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape s =
+  if needs_quoting s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let line fields = String.concat "," (List.map escape fields)
+
+let to_string ~header rows =
+  String.concat "\n" (List.map line (header :: rows)) ^ "\n"
+
+let write_file file ~header rows =
+  Out_channel.with_open_text file (fun oc ->
+      Out_channel.output_string oc (to_string ~header rows))

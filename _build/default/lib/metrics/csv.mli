@@ -1,0 +1,13 @@
+(** Minimal CSV output — machine-readable experiment results.
+
+    Quoting follows RFC 4180: fields containing commas, quotes or
+    newlines are quoted, embedded quotes doubled. *)
+
+val escape : string -> string
+(** Quote a single field if needed. *)
+
+val line : string list -> string
+(** One CSV record (no trailing newline). *)
+
+val to_string : header:string list -> string list list -> string
+val write_file : string -> header:string list -> string list list -> unit

@@ -1,0 +1,47 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+    exp (List.fold_left (fun a x -> a +. log x) 0.0 xs /. float_of_int (List.length xs))
+
+let stddev = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+    let m = mean xs in
+    sqrt (mean (List.map (fun x -> (x -. m) ** 2.0) xs))
+
+let percentile p = function
+  | [] -> 0.0
+  | xs ->
+    let sorted = List.sort compare xs in
+    let a = Array.of_list sorted in
+    let n = Array.length a in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+
+let median xs = percentile 50.0 xs
+
+let histogram ~bins = function
+  | [] -> []
+  | xs ->
+    let lo = List.fold_left min infinity xs in
+    let hi = List.fold_left max neg_infinity xs in
+    let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+    let counts = Array.make bins 0 in
+    List.iter
+      (fun x ->
+        let b = min (bins - 1) (int_of_float ((x -. lo) /. width)) in
+        counts.(b) <- counts.(b) + 1)
+      xs;
+    List.init bins (fun b ->
+        ( lo +. (float_of_int b *. width),
+          lo +. (float_of_int (b + 1) *. width),
+          counts.(b) ))
+
+let of_ints = List.map float_of_int

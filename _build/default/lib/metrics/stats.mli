@@ -1,0 +1,15 @@
+(** Small numerical helpers for the evaluation harness. *)
+
+val mean : float list -> float
+val geomean : float list -> float
+(** Geometric mean — the paper's aggregate for speedups. 0 on empty. *)
+
+val stddev : float list -> float
+val median : float list -> float
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0,100], linear interpolation. *)
+
+val histogram : bins:int -> float list -> (float * float * int) list
+(** [(lo, hi, count)] per bin over the data range. *)
+
+val of_ints : int list -> float list

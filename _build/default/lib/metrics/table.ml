@@ -1,0 +1,56 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?align ~header rows =
+  let ncols = List.length header in
+  let aligns =
+    match align with
+    | Some a when List.length a = ncols -> a
+    | Some _ | None -> List.mapi (fun i _ -> if i = 0 then Left else Right) header
+  in
+  let normalize row =
+    let n = List.length row in
+    if n >= ncols then row else row @ List.init (ncols - n) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  let line cells =
+    String.concat "  "
+      (List.mapi
+         (fun i c -> pad (List.nth aligns i) (List.nth widths i) c)
+         cells)
+  in
+  let rule =
+    String.concat "--"
+      (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (line header :: rule :: List.map line rows) ^ "\n"
+
+let fmt_float v = Printf.sprintf "%.2f" v
+
+let render_series ~x_label ~y_label points =
+  let max_y = List.fold_left (fun m (_, y) -> max m y) 0.0 points in
+  let bar y =
+    if max_y <= 0.0 then ""
+    else String.make (max 0 (int_of_float (24.0 *. y /. max_y))) '#'
+  in
+  let rows =
+    List.map (fun (x, y) -> [ x; fmt_float y; bar y ]) points
+  in
+  render
+    ~align:[ Right; Right; Left ]
+    ~header:[ x_label; y_label; "" ]
+    rows

@@ -1,0 +1,29 @@
+(** ASCII tables and series for the bench harness — the "figures" of this
+    reproduction are aligned text tables and rows of series points, one
+    per paper table/figure. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  header:string list ->
+  string list list ->
+  string
+(** Aligned table with a header rule. [align] defaults to Left for the
+    first column and Right for the rest. Rows shorter than the header are
+    padded. *)
+
+val render_series :
+  x_label:string ->
+  y_label:string ->
+  (string * float) list ->
+  string
+(** A one-series "figure": x value, y value and a proportional bar, e.g.
+    {v
+    slaves  speedup
+         1     1.07  ######
+         2     1.90  ###########
+    v} *)
+
+val fmt_float : float -> string
+(** Two-decimal rendering used across the harness. *)

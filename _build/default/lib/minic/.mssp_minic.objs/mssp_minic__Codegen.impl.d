@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Ast Format Hashtbl List Mssp_asm Mssp_isa Optimize Parser

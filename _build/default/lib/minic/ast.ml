@@ -1,0 +1,80 @@
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+
+type unop = Neg | Not
+
+type expr =
+  | Int of int
+  | Var of string
+  | Index of string * expr
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list
+
+type stmt =
+  | Local of string * expr option
+  | Assign of string * expr
+  | Store of string * expr * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of expr option
+  | Print of expr
+  | Expr of expr
+
+type decl =
+  | Global of string * int
+  | Func of string * string list * stmt list
+
+type program = decl list
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "&&" | Or -> "||"
+
+let rec pp_expr fmt = function
+  | Int n -> Format.pp_print_int fmt n
+  | Var x -> Format.pp_print_string fmt x
+  | Index (a, e) -> Format.fprintf fmt "%s[%a]" a pp_expr e
+  | Binop (op, l, r) ->
+    Format.fprintf fmt "(%a %s %a)" pp_expr l (binop_name op) pp_expr r
+  | Unop (Neg, e) -> Format.fprintf fmt "(-%a)" pp_expr e
+  | Unop (Not, e) -> Format.fprintf fmt "(!%a)" pp_expr e
+  | Call (f, args) ->
+    Format.fprintf fmt "%s(%a)" f
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         pp_expr)
+      args
+
+let rec pp_stmt fmt = function
+  | Local (x, None) -> Format.fprintf fmt "int %s;" x
+  | Local (x, Some e) -> Format.fprintf fmt "int %s = %a;" x pp_expr e
+  | Assign (x, e) -> Format.fprintf fmt "%s = %a;" x pp_expr e
+  | Store (a, i, e) -> Format.fprintf fmt "%s[%a] = %a;" a pp_expr i pp_expr e
+  | If (c, t, []) -> Format.fprintf fmt "if (%a) %a" pp_expr c pp_block t
+  | If (c, t, e) ->
+    Format.fprintf fmt "if (%a) %a else %a" pp_expr c pp_block t pp_block e
+  | While (c, b) -> Format.fprintf fmt "while (%a) %a" pp_expr c pp_block b
+  | Return None -> Format.pp_print_string fmt "return;"
+  | Return (Some e) -> Format.fprintf fmt "return %a;" pp_expr e
+  | Print e -> Format.fprintf fmt "print(%a);" pp_expr e
+  | Expr e -> Format.fprintf fmt "%a;" pp_expr e
+
+and pp_block fmt stmts =
+  Format.fprintf fmt "{@[<v 2>@,%a@]@,}"
+    (Format.pp_print_list pp_stmt)
+    stmts
+
+let pp_program fmt program =
+  List.iter
+    (function
+      | Global (x, 1) -> Format.fprintf fmt "int %s;@," x
+      | Global (x, n) -> Format.fprintf fmt "int %s[%d];@," x n
+      | Func (f, params, body) ->
+        Format.fprintf fmt "int %s(%s) %a@," f
+          (String.concat ", " (List.map (fun p -> "int " ^ p) params))
+          pp_block body)
+    program

@@ -1,0 +1,43 @@
+(** MiniC abstract syntax.
+
+    MiniC is the integer subset of C the workloads are written in:
+    global scalars and arrays, functions with value parameters and
+    recursion, [if]/[while], the usual arithmetic/comparison/logical
+    operators, and [print(e)] for observable output. Programs start at
+    [main()]. The compiler ({!Codegen}) emits SIR; the interpreter
+    ({!Interp}) is the independent reference both are tested against. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or  (** short-circuiting *)
+
+type unop = Neg | Not
+
+type expr =
+  | Int of int
+  | Var of string
+  | Index of string * expr  (** [a[e]] *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list
+
+type stmt =
+  | Local of string * expr option  (** [int x;] / [int x = e;] *)
+  | Assign of string * expr
+  | Store of string * expr * expr  (** [a[e1] = e2;] *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of expr option
+  | Print of expr
+  | Expr of expr  (** expression statement (for calls) *)
+
+type decl =
+  | Global of string * int  (** name, element count (1 = scalar) *)
+  | Func of string * string list * stmt list
+
+type program = decl list
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_stmt : Format.formatter -> stmt -> unit
+val pp_program : Format.formatter -> program -> unit

@@ -1,0 +1,319 @@
+open Ast
+module Dsl = Mssp_asm.Dsl
+module Instr = Mssp_isa.Instr
+open Mssp_asm.Regs
+
+type error = { message : string }
+
+let pp_error fmt { message } = Format.pp_print_string fmt message
+
+exception Fail of string
+
+let fail fmt = Format.kasprintf (fun message -> raise (Fail message)) fmt
+
+type global = { base_label : string; size : int }
+
+type fenv = {
+  globals : (string, global) Hashtbl.t;
+  funcs : (string, int) Hashtbl.t;  (** name -> arity *)
+}
+
+(* per-function compilation context *)
+type ctx = {
+  b : Dsl.t;
+  env : fenv;
+  slots : (string, int) Hashtbl.t;  (** local -> slot index *)
+  nlocals : int;
+  nargs : int;
+  mutable depth : int;  (** temporaries currently pushed *)
+  epilogue : string;  (** label of the shared function epilogue *)
+}
+
+(* function-scoped locals: collect every [int x] in the body once *)
+let rec collect_locals acc = function
+  | [] -> acc
+  | Local (x, _) :: rest ->
+    collect_locals (if List.mem x acc then acc else acc @ [ x ]) rest
+  | If (_, t, e) :: rest ->
+    collect_locals (collect_locals (collect_locals acc t) e) rest
+  | While (_, body) :: rest -> collect_locals (collect_locals acc body) rest
+  | (Assign _ | Store _ | Return _ | Print _ | Expr _) :: rest ->
+    collect_locals acc rest
+
+(* stack addressing, adjusted for expression temporaries:
+   [temps(depth)][locals(nlocals)][ra][arg_{n-1} .. arg_0] *)
+let local_offset ctx slot = ctx.depth + slot
+let arg_offset ctx i = ctx.depth + ctx.nlocals + 1 + (ctx.nargs - 1 - i)
+
+let push_reg ctx r =
+  Dsl.alui ctx.b Instr.Sub sp sp 1;
+  Dsl.st ctx.b r sp 0;
+  ctx.depth <- ctx.depth + 1
+
+let pop_reg ctx r =
+  Dsl.ld ctx.b r sp 0;
+  Dsl.alui ctx.b Instr.Add sp sp 1;
+  ctx.depth <- ctx.depth - 1
+
+let var_slot ctx x = Hashtbl.find_opt ctx.slots x
+
+let global_scalar ctx x =
+  match Hashtbl.find_opt ctx.env.globals x with
+  | Some g when g.size = 1 -> g
+  | Some _ -> fail "array %s used as a scalar" x
+  | None -> fail "unbound identifier %s" x
+
+let global_array ctx x =
+  match Hashtbl.find_opt ctx.env.globals x with
+  | Some g -> g
+  | None -> fail "unbound array %s" x
+
+(* evaluate an expression; result pushed on the stack *)
+let rec eval ctx e =
+  match e with
+  | Int n ->
+    Dsl.li ctx.b t0 n;
+    push_reg ctx t0
+  | Var x -> (
+    match var_slot ctx x with
+    | Some slot when slot < ctx.nlocals ->
+      Dsl.ld ctx.b t0 sp (local_offset ctx slot);
+      push_reg ctx t0
+    | Some arg_index ->
+      (* parameters are encoded as slots >= nlocals: arg i *)
+      Dsl.ld ctx.b t0 sp (arg_offset ctx (arg_index - ctx.nlocals));
+      push_reg ctx t0
+    | None ->
+      let g = global_scalar ctx x in
+      Dsl.la ctx.b t1 g.base_label;
+      Dsl.ld ctx.b t0 t1 0;
+      push_reg ctx t0)
+  | Index (a, idx) ->
+    let g = global_array ctx a in
+    eval ctx idx;
+    pop_reg ctx t1;
+    Dsl.la ctx.b t2 g.base_label;
+    Dsl.alu ctx.b Instr.Add t2 t2 t1;
+    Dsl.ld ctx.b t0 t2 0;
+    push_reg ctx t0
+  | Unop (Neg, e) ->
+    eval ctx e;
+    pop_reg ctx t1;
+    Dsl.alu ctx.b Instr.Sub t0 zero t1;
+    push_reg ctx t0
+  | Unop (Not, e) ->
+    eval ctx e;
+    pop_reg ctx t1;
+    Dsl.alu ctx.b Instr.Seq t0 t1 zero;
+    push_reg ctx t0
+  | Binop (And, l, r) ->
+    let done_ = Dsl.fresh_label ctx.b "and" in
+    eval ctx l;
+    pop_reg ctx t1;
+    Dsl.li ctx.b t0 0;
+    Dsl.br ctx.b Instr.Eq t1 zero done_;
+    eval ctx r;
+    pop_reg ctx t1;
+    Dsl.alu ctx.b Instr.Sne t0 t1 zero;
+    Dsl.label ctx.b done_;
+    push_reg ctx t0
+  | Binop (Or, l, r) ->
+    let done_ = Dsl.fresh_label ctx.b "or" in
+    eval ctx l;
+    pop_reg ctx t1;
+    Dsl.li ctx.b t0 1;
+    Dsl.br ctx.b Instr.Ne t1 zero done_;
+    eval ctx r;
+    pop_reg ctx t1;
+    Dsl.alu ctx.b Instr.Sne t0 t1 zero;
+    Dsl.label ctx.b done_;
+    push_reg ctx t0
+  | Binop (op, l, r) ->
+    eval ctx l;
+    eval ctx r;
+    pop_reg ctx t2;
+    pop_reg ctx t1;
+    let alu_op =
+      match op with
+      | Add -> Instr.Add
+      | Sub -> Instr.Sub
+      | Mul -> Instr.Mul
+      | Div -> Instr.Div
+      | Mod -> Instr.Rem
+      | Eq -> Instr.Seq
+      | Ne -> Instr.Sne
+      | Lt -> Instr.Slt
+      | Le -> Instr.Sle
+      | Gt -> Instr.Slt (* swapped below *)
+      | Ge -> Instr.Sle (* swapped below *)
+      | And | Or -> assert false
+    in
+    (match op with
+    | Gt | Ge -> Dsl.alu ctx.b alu_op t0 t2 t1
+    | _ -> Dsl.alu ctx.b alu_op t0 t1 t2);
+    push_reg ctx t0
+  | Call (f, args) -> (
+    match Hashtbl.find_opt ctx.env.funcs f with
+    | None -> fail "call to unknown function %s" f
+    | Some arity ->
+      let given = List.length args in
+      if arity <> given then
+        fail "%s expects %d argument(s), given %d" f arity given;
+      List.iter (eval ctx) args;
+      Dsl.call ctx.b ("fn_" ^ f);
+      (* pop the argument temporaries, then push the result *)
+      if given > 0 then Dsl.alui ctx.b Instr.Add sp sp given;
+      ctx.depth <- ctx.depth - given;
+      push_reg ctx t0)
+
+let rec stmt ctx s =
+  match s with
+  | Local (x, init) ->
+    let slot =
+      match var_slot ctx x with
+      | Some slot when slot < ctx.nlocals -> slot
+      | _ -> fail "internal: local %s has no slot" x
+    in
+    (match init with
+    | Some e ->
+      eval ctx e;
+      pop_reg ctx t0
+    | None -> Dsl.li ctx.b t0 0);
+    Dsl.st ctx.b t0 sp (local_offset ctx slot)
+  | Assign (x, e) -> (
+    eval ctx e;
+    pop_reg ctx t0;
+    match var_slot ctx x with
+    | Some slot when slot < ctx.nlocals ->
+      Dsl.st ctx.b t0 sp (local_offset ctx slot)
+    | Some arg_index ->
+      Dsl.st ctx.b t0 sp (arg_offset ctx (arg_index - ctx.nlocals))
+    | None ->
+      let g = global_scalar ctx x in
+      Dsl.la ctx.b t1 g.base_label;
+      Dsl.st ctx.b t0 t1 0)
+  | Store (a, idx, e) ->
+    let g = global_array ctx a in
+    eval ctx idx;
+    eval ctx e;
+    pop_reg ctx t2 (* value *);
+    pop_reg ctx t1 (* index *);
+    Dsl.la ctx.b t3 g.base_label;
+    Dsl.alu ctx.b Instr.Add t3 t3 t1;
+    Dsl.st ctx.b t2 t3 0
+  | If (c, then_, else_) ->
+    let l_else = Dsl.fresh_label ctx.b "else" in
+    let l_end = Dsl.fresh_label ctx.b "endif" in
+    eval ctx c;
+    pop_reg ctx t0;
+    Dsl.br ctx.b Instr.Eq t0 zero l_else;
+    List.iter (stmt ctx) then_;
+    Dsl.jmp ctx.b l_end;
+    Dsl.label ctx.b l_else;
+    List.iter (stmt ctx) else_;
+    Dsl.label ctx.b l_end
+  | While (c, body) ->
+    let l_head = Dsl.fresh_label ctx.b "while" in
+    let l_end = Dsl.fresh_label ctx.b "endwhile" in
+    Dsl.label ctx.b l_head;
+    eval ctx c;
+    pop_reg ctx t0;
+    Dsl.br ctx.b Instr.Eq t0 zero l_end;
+    List.iter (stmt ctx) body;
+    Dsl.jmp ctx.b l_head;
+    Dsl.label ctx.b l_end
+  | Return e ->
+    (match e with
+    | Some e ->
+      eval ctx e;
+      pop_reg ctx t0
+    | None -> Dsl.li ctx.b t0 0);
+    Dsl.jmp ctx.b ctx.epilogue
+  | Print e ->
+    eval ctx e;
+    pop_reg ctx t1;
+    Dsl.out ctx.b t1
+  | Expr e ->
+    eval ctx e;
+    pop_reg ctx t0
+
+let compile_function b env name params body =
+  let locals = collect_locals [] body in
+  List.iter
+    (fun p ->
+      if List.mem p locals then
+        fail "%s: local %s shadows a parameter" name p)
+    params;
+  let slots = Hashtbl.create 8 in
+  List.iteri (fun i x -> Hashtbl.replace slots x i) locals;
+  (* parameters are encoded as pseudo-slots >= nlocals *)
+  let nlocals = List.length locals in
+  List.iteri (fun i p -> Hashtbl.replace slots p (nlocals + i)) params;
+  let epilogue = Dsl.fresh_label b "epilogue" in
+  let ctx =
+    {
+      b;
+      env;
+      slots;
+      nlocals;
+      nargs = List.length params;
+      depth = 0;
+      epilogue;
+    }
+  in
+  Dsl.label b ("fn_" ^ name);
+  (* prologue: save ra, allocate locals *)
+  Dsl.push b ra;
+  if nlocals > 0 then Dsl.alui b Instr.Sub sp sp nlocals;
+  List.iter (stmt ctx) body;
+  (* implicit return 0 *)
+  Dsl.li b t0 0;
+  Dsl.label b epilogue;
+  if nlocals > 0 then Dsl.alui b Instr.Add sp sp nlocals;
+  Dsl.pop b ra;
+  Dsl.ret b
+
+let compile (program : program) =
+  try
+    let env = { globals = Hashtbl.create 16; funcs = Hashtbl.create 16 } in
+    let b = Dsl.create () in
+    (* declare everything first: mutual recursion and forward use *)
+    List.iter
+      (function
+        | Global (x, n) ->
+          if Hashtbl.mem env.globals x then fail "duplicate global %s" x;
+          let base_label = "g_" ^ x in
+          ignore (Dsl.alloc b ~label:base_label n : int);
+          Hashtbl.replace env.globals x { base_label; size = n }
+        | Func (f, params, _) ->
+          if Hashtbl.mem env.funcs f then fail "duplicate function %s" f;
+          Hashtbl.replace env.funcs f (List.length params))
+      program;
+    if not (Hashtbl.mem env.funcs "main") then fail "no main() function";
+    (* startup: call main, halt *)
+    Dsl.label b "start";
+    Dsl.call b "fn_main";
+    Dsl.halt b;
+    List.iter
+      (function
+        | Global _ -> ()
+        | Func (f, params, body) -> compile_function b env f params body)
+      program;
+    Ok (Dsl.build ~entry:"start" b ())
+  with
+  | Fail message -> Error { message }
+  | Invalid_argument message -> Error { message }
+
+let compile_exn program =
+  match compile program with
+  | Ok p -> p
+  | Error e -> invalid_arg (Format.asprintf "MiniC codegen: %a" pp_error e)
+
+let compile_source ?(optimize = true) source =
+  match Parser.parse source with
+  | Error e -> Error (Format.asprintf "%a" Parser.pp_error e)
+  | Ok ast -> (
+    let ast = if optimize then Optimize.fold_program ast else ast in
+    match compile ast with
+    | Ok p -> Ok p
+    | Error e -> Error (Format.asprintf "%a" pp_error e))

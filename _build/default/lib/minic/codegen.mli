@@ -1,0 +1,31 @@
+(** MiniC → SIR code generation.
+
+    A deliberately simple stack-machine compiler, in the style of an
+    unoptimized C compiler — exactly the kind of code the paper's
+    distiller feasts on. Calling convention: the caller pushes arguments
+    left to right, calls, then pops them; results return in [t0]; each
+    function's prologue saves [ra] and allocates its (function-scoped)
+    locals on the stack. [print(e)] compiles to [Out]. Execution starts
+    at a tiny wrapper that calls [main] and halts, so the final
+    architected state carries main's prints in the output region.
+
+    Arithmetic conventions match the ISA (and hence {!Interp}); array
+    accesses are {e not} bounds-checked in generated code (like C) —
+    the interpreter's checks serve as the program-validity oracle in
+    tests. *)
+
+type error = { message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val compile : Ast.program -> (Mssp_isa.Program.t, error) result
+(** Compile a parsed program. Fails on: missing [main], unknown
+    functions/variables, arity mismatches, scalar/array misuse,
+    duplicate declarations. *)
+
+val compile_exn : Ast.program -> Mssp_isa.Program.t
+
+val compile_source :
+  ?optimize:bool -> string -> (Mssp_isa.Program.t, string) result
+(** Parse and compile MiniC source text, applying {!Optimize.fold_program}
+    first unless [~optimize:false]. *)

@@ -1,0 +1,165 @@
+open Ast
+
+type error =
+  | Unbound of string
+  | Not_a_function of string
+  | Not_an_array of string
+  | Arity of string * int * int
+  | Out_of_bounds of string * int
+  | No_main
+  | Out_of_fuel
+
+let pp_error fmt = function
+  | Unbound x -> Format.fprintf fmt "unbound identifier %s" x
+  | Not_a_function x -> Format.fprintf fmt "%s is not a function" x
+  | Not_an_array x -> Format.fprintf fmt "%s is not an array" x
+  | Arity (f, expected, given) ->
+    Format.fprintf fmt "%s expects %d argument(s), given %d" f expected given
+  | Out_of_bounds (a, i) -> Format.fprintf fmt "%s[%d] out of bounds" a i
+  | No_main -> Format.pp_print_string fmt "no main() function"
+  | Out_of_fuel -> Format.pp_print_string fmt "out of fuel"
+
+exception Err of error
+exception Returned of int
+
+type env = {
+  globals : (string, int array) Hashtbl.t;  (** scalars are 1-element *)
+  funcs : (string, string list * stmt list) Hashtbl.t;
+  mutable output : int list;  (** reversed *)
+  mutable fuel : int;
+}
+
+let tick env =
+  env.fuel <- env.fuel - 1;
+  if env.fuel <= 0 then raise (Err Out_of_fuel)
+
+(* locals shadow globals; a new scope per function call *)
+type scope = (string, int ref) Hashtbl.t
+
+let lookup env (scope : scope) x =
+  match Hashtbl.find_opt scope x with
+  | Some r -> !r
+  | None -> (
+    match Hashtbl.find_opt env.globals x with
+    | Some arr when Array.length arr = 1 -> arr.(0)
+    | Some _ -> raise (Err (Not_an_array x)) (* array used as scalar *)
+    | None -> raise (Err (Unbound x)))
+
+let assign env (scope : scope) x v =
+  match Hashtbl.find_opt scope x with
+  | Some r -> r := v
+  | None -> (
+    match Hashtbl.find_opt env.globals x with
+    | Some arr when Array.length arr = 1 -> arr.(0) <- v
+    | Some _ -> raise (Err (Not_an_array x))
+    | None -> raise (Err (Unbound x)))
+
+let array_of env x =
+  match Hashtbl.find_opt env.globals x with
+  | Some arr -> arr
+  | None -> raise (Err (Unbound x))
+
+let bool_to_int b = if b then 1 else 0
+
+let eval_binop op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then 0 else a / b
+  | Mod -> if b = 0 then 0 else a mod b
+  | Eq -> bool_to_int (a = b)
+  | Ne -> bool_to_int (a <> b)
+  | Lt -> bool_to_int (a < b)
+  | Le -> bool_to_int (a <= b)
+  | Gt -> bool_to_int (a > b)
+  | Ge -> bool_to_int (a >= b)
+  | And | Or -> assert false (* short-circuited in eval *)
+
+let rec eval env scope e =
+  tick env;
+  match e with
+  | Int n -> n
+  | Var x -> lookup env scope x
+  | Index (a, idx) ->
+    let arr = array_of env a in
+    let i = eval env scope idx in
+    if i < 0 || i >= Array.length arr then raise (Err (Out_of_bounds (a, i)));
+    arr.(i)
+  | Unop (Neg, e) -> -eval env scope e
+  | Unop (Not, e) -> bool_to_int (eval env scope e = 0)
+  | Binop (And, l, r) ->
+    if eval env scope l = 0 then 0 else bool_to_int (eval env scope r <> 0)
+  | Binop (Or, l, r) ->
+    if eval env scope l <> 0 then 1 else bool_to_int (eval env scope r <> 0)
+  | Binop (op, l, r) ->
+    let a = eval env scope l in
+    let b = eval env scope r in
+    eval_binop op a b
+  | Call (f, args) -> call env f (List.map (eval env scope) args)
+
+and call env f arg_values =
+  match Hashtbl.find_opt env.funcs f with
+  | None -> raise (Err (Not_a_function f))
+  | Some (params, body) ->
+    let expected = List.length params and given = List.length arg_values in
+    if expected <> given then raise (Err (Arity (f, expected, given)));
+    let scope : scope = Hashtbl.create 8 in
+    List.iter2 (fun p v -> Hashtbl.replace scope p (ref v)) params arg_values;
+    (try
+       exec_block env scope body;
+       0
+     with Returned v -> v)
+
+and exec_block env scope stmts = List.iter (exec env scope) stmts
+
+and exec env scope stmt =
+  tick env;
+  match stmt with
+  | Local (x, init) ->
+    let v = match init with Some e -> eval env scope e | None -> 0 in
+    Hashtbl.replace scope x (ref v)
+  | Assign (x, e) -> assign env scope x (eval env scope e)
+  | Store (a, idx, e) ->
+    let arr = array_of env a in
+    let i = eval env scope idx in
+    if i < 0 || i >= Array.length arr then raise (Err (Out_of_bounds (a, i)));
+    arr.(i) <- eval env scope e
+  | If (c, t, e) ->
+    if eval env scope c <> 0 then exec_block env scope t
+    else exec_block env scope e
+  | While (c, body) ->
+    while eval env scope c <> 0 do
+      exec_block env scope body
+    done
+  | Return None -> raise (Returned 0)
+  | Return (Some e) -> raise (Returned (eval env scope e))
+  | Print e ->
+    (* bind first: the expression may itself print (nested calls), and
+       constructor arguments evaluate right-to-left — reading the old
+       output list before evaluating [e] would drop those prints *)
+    let v = eval env scope e in
+    env.output <- v :: env.output
+  | Expr e -> ignore (eval env scope e : int)
+
+let run ?(fuel = 50_000_000) (program : program) =
+  let env =
+    {
+      globals = Hashtbl.create 16;
+      funcs = Hashtbl.create 16;
+      output = [];
+      fuel;
+    }
+  in
+  List.iter
+    (function
+      | Global (x, n) -> Hashtbl.replace env.globals x (Array.make n 0)
+      | Func (f, params, body) -> Hashtbl.replace env.funcs f (params, body))
+    program;
+  match Hashtbl.find_opt env.funcs "main" with
+  | None -> Error No_main
+  | Some _ -> (
+    try
+      let result = call env "main" [] in
+      Ok (List.rev env.output, result)
+    with Err e -> Error e)

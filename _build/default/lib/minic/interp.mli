@@ -1,0 +1,25 @@
+(** Reference interpreter for MiniC.
+
+    Direct AST evaluation with the same arithmetic conventions as the
+    SIR ISA (native [int] wrap-around, division/modulo by zero yield 0),
+    so compiled code and the interpreter must agree bit-for-bit — the
+    compiler's differential-testing oracle. *)
+
+type error =
+  | Unbound of string
+  | Not_a_function of string
+  | Not_an_array of string
+  | Arity of string * int * int  (** function, expected, given *)
+  | Out_of_bounds of string * int
+  | No_main
+  | Out_of_fuel
+
+val pp_error : Format.formatter -> error -> unit
+
+val run :
+  ?fuel:int -> Ast.program -> (int list * int, error) result
+(** Execute [main()]; returns (printed values in order, main's return
+    value — 0 if it returns without a value). [fuel] bounds evaluation
+    steps (default 50M). Unlike the compiled code, the interpreter
+    checks array bounds — an out-of-bounds report means the program
+    (not the compiler) is broken. *)

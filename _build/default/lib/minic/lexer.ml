@@ -1,0 +1,111 @@
+type token =
+  | INT_KW | IF | ELSE | WHILE | FOR | RETURN | PRINT
+  | IDENT of string
+  | NUM of int
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | EQ
+  | EQEQ | NE | LT | LE | GT | GE
+  | ANDAND | OROR | BANG
+  | EOF
+
+let token_name = function
+  | INT_KW -> "'int'" | IF -> "'if'" | ELSE -> "'else'" | WHILE -> "'while'"
+  | FOR -> "'for'"
+  | RETURN -> "'return'" | PRINT -> "'print'"
+  | IDENT x -> Printf.sprintf "identifier %S" x
+  | NUM n -> Printf.sprintf "number %d" n
+  | LPAREN -> "'('" | RPAREN -> "')'" | LBRACE -> "'{'" | RBRACE -> "'}'"
+  | LBRACKET -> "'['" | RBRACKET -> "']'" | SEMI -> "';'" | COMMA -> "','"
+  | PLUS -> "'+'" | MINUS -> "'-'" | STAR -> "'*'" | SLASH -> "'/'"
+  | PERCENT -> "'%'" | EQ -> "'='" | EQEQ -> "'=='" | NE -> "'!='"
+  | LT -> "'<'" | LE -> "'<='" | GT -> "'>'" | GE -> "'>='"
+  | ANDAND -> "'&&'" | OROR -> "'||'" | BANG -> "'!'" | EOF -> "end of input"
+
+type error = { line : int; message : string }
+
+exception Lex_error of error
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+let keyword = function
+  | "int" -> Some INT_KW
+  | "if" -> Some IF
+  | "else" -> Some ELSE
+  | "while" -> Some WHILE
+  | "for" -> Some FOR
+  | "return" -> Some RETURN
+  | "print" -> Some PRINT
+  | _ -> None
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let tokens = ref [] in
+  let emit t = tokens := (t, !line) :: !tokens in
+  let rec go i =
+    if i >= n then emit EOF
+    else
+      match src.[i] with
+      | '\n' ->
+        incr line;
+        go (i + 1)
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        go (skip (i + 2))
+      | '/' when i + 1 < n && src.[i + 1] = '*' ->
+        let rec skip j =
+          if j + 1 >= n then
+            raise (Lex_error { line = !line; message = "unterminated comment" })
+          else if src.[j] = '*' && src.[j + 1] = '/' then j + 2
+          else begin
+            if src.[j] = '\n' then incr line;
+            skip (j + 1)
+          end
+        in
+        go (skip (i + 2))
+      | c when is_digit c ->
+        let rec scan j = if j < n && is_digit src.[j] then scan (j + 1) else j in
+        let stop = scan i in
+        emit (NUM (int_of_string (String.sub src i (stop - i))));
+        go stop
+      | c when is_ident_start c ->
+        let rec scan j = if j < n && is_ident src.[j] then scan (j + 1) else j in
+        let stop = scan i in
+        let word = String.sub src i (stop - i) in
+        emit (match keyword word with Some k -> k | None -> IDENT word);
+        go stop
+      | '(' -> emit LPAREN; go (i + 1)
+      | ')' -> emit RPAREN; go (i + 1)
+      | '{' -> emit LBRACE; go (i + 1)
+      | '}' -> emit RBRACE; go (i + 1)
+      | '[' -> emit LBRACKET; go (i + 1)
+      | ']' -> emit RBRACKET; go (i + 1)
+      | ';' -> emit SEMI; go (i + 1)
+      | ',' -> emit COMMA; go (i + 1)
+      | '+' -> emit PLUS; go (i + 1)
+      | '-' -> emit MINUS; go (i + 1)
+      | '*' -> emit STAR; go (i + 1)
+      | '/' -> emit SLASH; go (i + 1)
+      | '%' -> emit PERCENT; go (i + 1)
+      | '=' when i + 1 < n && src.[i + 1] = '=' -> emit EQEQ; go (i + 2)
+      | '=' -> emit EQ; go (i + 1)
+      | '!' when i + 1 < n && src.[i + 1] = '=' -> emit NE; go (i + 2)
+      | '!' -> emit BANG; go (i + 1)
+      | '<' when i + 1 < n && src.[i + 1] = '=' -> emit LE; go (i + 2)
+      | '<' -> emit LT; go (i + 1)
+      | '>' when i + 1 < n && src.[i + 1] = '=' -> emit GE; go (i + 2)
+      | '>' -> emit GT; go (i + 1)
+      | '&' when i + 1 < n && src.[i + 1] = '&' -> emit ANDAND; go (i + 2)
+      | '|' when i + 1 < n && src.[i + 1] = '|' -> emit OROR; go (i + 2)
+      | c ->
+        raise
+          (Lex_error
+             { line = !line; message = Printf.sprintf "illegal character %C" c })
+  in
+  go 0;
+  List.rev !tokens

@@ -1,0 +1,24 @@
+(** Hand-rolled lexer for MiniC. *)
+
+type token =
+  | INT_KW | IF | ELSE | WHILE | FOR | RETURN | PRINT
+  | IDENT of string
+  | NUM of int
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | EQ  (** [=] *)
+  | EQEQ | NE | LT | LE | GT | GE
+  | ANDAND | OROR | BANG
+  | EOF
+
+val token_name : token -> string
+
+type error = { line : int; message : string }
+
+exception Lex_error of error
+
+val tokenize : string -> (token * int) list
+(** Tokens with their 1-based line numbers; ends with [EOF]. Comments
+    ([// ...] and [/* ... */]) and whitespace are skipped.
+    @raise Lex_error on an illegal character or unterminated comment. *)

@@ -1,0 +1,91 @@
+open Ast
+
+let rec effect_free = function
+  | Int _ | Var _ -> true
+  | Index (_, e) | Unop (_, e) -> effect_free e
+  | Binop (_, l, r) -> effect_free l && effect_free r
+  | Call _ -> false
+
+let bool_to_int b = if b then 1 else 0
+
+let eval_binop op a b =
+  match op with
+  | Add -> Some (a + b)
+  | Sub -> Some (a - b)
+  | Mul -> Some (a * b)
+  | Div -> Some (if b = 0 then 0 else a / b)
+  | Mod -> Some (if b = 0 then 0 else a mod b)
+  | Eq -> Some (bool_to_int (a = b))
+  | Ne -> Some (bool_to_int (a <> b))
+  | Lt -> Some (bool_to_int (a < b))
+  | Le -> Some (bool_to_int (a <= b))
+  | Gt -> Some (bool_to_int (a > b))
+  | Ge -> Some (bool_to_int (a >= b))
+  | And -> Some (bool_to_int (a <> 0 && b <> 0))
+  | Or -> Some (bool_to_int (a <> 0 || b <> 0))
+
+(* e as a boolean: (e != 0), folding when already 0/1-valued *)
+let booleanize e =
+  match e with
+  | Int n -> Int (bool_to_int (n <> 0))
+  | Binop ((Eq | Ne | Lt | Le | Gt | Ge | And | Or), _, _) | Unop (Not, _) -> e
+  | _ -> Binop (Ne, e, Int 0)
+
+let rec fold_expr e =
+  match e with
+  | Int _ | Var _ -> e
+  | Index (a, i) -> Index (a, fold_expr i)
+  | Unop (op, e) -> (
+    match (op, fold_expr e) with
+    | Neg, Int n -> Int (-n)
+    | Not, Int n -> Int (bool_to_int (n = 0))
+    | Neg, Unop (Neg, e') -> e'
+    | op, e -> Unop (op, e))
+  | Call (f, args) -> Call (f, List.map fold_expr args)
+  | Binop (op, l, r) -> (
+    let l = fold_expr l and r = fold_expr r in
+    match (op, l, r) with
+    | _, Int a, Int b -> (
+      match eval_binop op a b with Some v -> Int v | None -> Binop (op, l, r))
+    (* short-circuit: exact by the operators' own skipping rules *)
+    | And, Int 0, _ -> Int 0
+    | And, Int _, r -> booleanize r
+    | Or, Int 0, r -> booleanize r
+    | Or, Int _, _ -> Int 1
+    (* identities that cannot change effects *)
+    | Add, e, Int 0 | Add, Int 0, e -> e
+    | Sub, e, Int 0 -> e
+    | Mul, e, Int 1 | Mul, Int 1, e -> e
+    | Mul, e, Int 0 when effect_free e -> Int 0
+    | Mul, Int 0, e when effect_free e -> Int 0
+    | Div, e, Int 1 -> e
+    | op, l, r -> Binop (op, l, r))
+
+let rec fold_stmts stmts = List.concat_map fold_stmt stmts
+
+and fold_stmt s =
+  match s with
+  | Local (x, init) -> [ Local (x, Option.map fold_expr init) ]
+  | Assign (x, e) -> [ Assign (x, fold_expr e) ]
+  | Store (a, i, e) -> [ Store (a, fold_expr i, fold_expr e) ]
+  | Print e -> [ Print (fold_expr e) ]
+  | Return e -> [ Return (Option.map fold_expr e) ]
+  | Expr e ->
+    let e = fold_expr e in
+    if effect_free e then [] else [ Expr e ]
+  | If (c, t, f) -> (
+    match fold_expr c with
+    | Int 0 -> fold_stmts f
+    | Int _ -> fold_stmts t
+    | c -> [ If (c, fold_stmts t, fold_stmts f) ])
+  | While (c, body) -> (
+    match fold_expr c with
+    | Int 0 -> []
+    | c -> [ While (c, fold_stmts body) ])
+
+let fold_program program =
+  List.map
+    (function
+      | Global _ as d -> d
+      | Func (f, params, body) -> Func (f, params, fold_stmts body))
+    program

@@ -1,0 +1,24 @@
+(** Semantics-preserving AST optimizations.
+
+    Unlike the distiller — which is free to be wrong — these folds must
+    be exact: the differential fuzzer in [test/test_minic.ml] checks
+    that folding changes neither prints nor results on random programs.
+
+    Performed:
+    - constant folding of arithmetic/comparison/unary operators, with
+      MiniC's conventions (division/modulo by zero yield 0);
+    - short-circuit simplification where it cannot skip side effects:
+      [0 && e → 0], [c && e → (e != 0)] for constant non-zero [c]
+      (and dually for [||]) — exact because [&&]/[||] would not have
+      evaluated, or would always have evaluated, [e] anyway;
+    - algebraic identities that cannot change effects: [e + 0], [e * 1],
+      [e * 0] only when [e] is effect-free, etc.;
+    - branch pruning of [if]/[while] with constant conditions (dropping
+      statically dead statements, which can never execute). *)
+
+val fold_expr : Ast.expr -> Ast.expr
+val fold_stmts : Ast.stmt list -> Ast.stmt list
+val fold_program : Ast.program -> Ast.program
+
+val effect_free : Ast.expr -> bool
+(** No calls: evaluation cannot print, write state or diverge. *)

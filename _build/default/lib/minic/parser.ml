@@ -1,0 +1,335 @@
+open Ast
+
+type error = { line : int; message : string }
+
+let pp_error fmt { line; message } =
+  Format.fprintf fmt "line %d: %s" line message
+
+exception Parse_error of error
+
+type state = { mutable tokens : (Lexer.token * int) list }
+
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let peek st =
+  match st.tokens with (t, l) :: _ -> (t, l) | [] -> (Lexer.EOF, 0)
+
+let advance st =
+  match st.tokens with _ :: rest -> st.tokens <- rest | [] -> ()
+
+let expect st tok =
+  let t, l = peek st in
+  if t = tok then advance st
+  else fail l "expected %s, found %s" (Lexer.token_name tok) (Lexer.token_name t)
+
+let expect_ident st =
+  match peek st with
+  | Lexer.IDENT x, _ ->
+    advance st;
+    x
+  | t, l -> fail l "expected identifier, found %s" (Lexer.token_name t)
+
+(* expression parsing: precedence climbing over binary levels *)
+let binop_of_token = function
+  | Lexer.OROR -> Some (Or, 1)
+  | Lexer.ANDAND -> Some (And, 2)
+  | Lexer.EQEQ -> Some (Eq, 3)
+  | Lexer.NE -> Some (Ne, 3)
+  | Lexer.LT -> Some (Lt, 3)
+  | Lexer.LE -> Some (Le, 3)
+  | Lexer.GT -> Some (Gt, 3)
+  | Lexer.GE -> Some (Ge, 3)
+  | Lexer.PLUS -> Some (Add, 4)
+  | Lexer.MINUS -> Some (Sub, 4)
+  | Lexer.STAR -> Some (Mul, 5)
+  | Lexer.SLASH -> Some (Div, 5)
+  | Lexer.PERCENT -> Some (Mod, 5)
+  | _ -> None
+
+let rec parse_expr st = parse_binary st 1
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match binop_of_token (fst (peek st)) with
+    | Some (op, prec) when prec >= min_prec ->
+      advance st;
+      let rhs = parse_binary st (prec + 1) in
+      lhs := Binop (op, !lhs, rhs)
+    | Some _ | None -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary st =
+  match peek st with
+  | Lexer.MINUS, _ ->
+    advance st;
+    Unop (Neg, parse_unary st)
+  | Lexer.BANG, _ ->
+    advance st;
+    Unop (Not, parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Lexer.NUM n, _ ->
+    advance st;
+    Int n
+  | Lexer.LPAREN, _ ->
+    advance st;
+    let e = parse_expr st in
+    expect st Lexer.RPAREN;
+    e
+  | Lexer.IDENT x, _ -> (
+    advance st;
+    match peek st with
+    | Lexer.LPAREN, _ ->
+      advance st;
+      let args = parse_args st in
+      expect st Lexer.RPAREN;
+      Call (x, args)
+    | Lexer.LBRACKET, _ ->
+      advance st;
+      let idx = parse_expr st in
+      expect st Lexer.RBRACKET;
+      Index (x, idx)
+    | _ -> Var x)
+  | t, l -> fail l "expected expression, found %s" (Lexer.token_name t)
+
+and parse_args st =
+  match peek st with
+  | Lexer.RPAREN, _ -> []
+  | _ ->
+    let rec more acc =
+      match peek st with
+      | Lexer.COMMA, _ ->
+        advance st;
+        more (parse_expr st :: acc)
+      | _ -> List.rev acc
+    in
+    more [ parse_expr st ]
+
+let rec parse_stmt st =
+  match peek st with
+  | Lexer.INT_KW, _ ->
+    advance st;
+    let x = expect_ident st in
+    let init =
+      match peek st with
+      | Lexer.EQ, _ ->
+        advance st;
+        Some (parse_expr st)
+      | _ -> None
+    in
+    expect st Lexer.SEMI;
+    Local (x, init)
+  | Lexer.IF, _ ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let cond = parse_expr st in
+    expect st Lexer.RPAREN;
+    let then_ = parse_block st in
+    let else_ =
+      match peek st with
+      | Lexer.ELSE, _ -> (
+        advance st;
+        match peek st with
+        | Lexer.IF, _ -> [ parse_stmt st ] (* else-if chains *)
+        | _ -> parse_block st)
+      | _ -> []
+    in
+    If (cond, then_, else_)
+  | Lexer.WHILE, _ ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let cond = parse_expr st in
+    expect st Lexer.RPAREN;
+    While (cond, parse_block st)
+  | Lexer.FOR, _ ->
+    (* for (init; cond; step) B  desugars to  { init; while (cond) { B; step; } }
+       init is a declaration or assignment; step an assignment *)
+    advance st;
+    expect st Lexer.LPAREN;
+    let init =
+      match peek st with
+      | Lexer.SEMI, _ ->
+        advance st;
+        []
+      | _ -> [ parse_simple_stmt st ] (* consumes the ';' *)
+    in
+    let cond =
+      match peek st with
+      | Lexer.SEMI, _ -> Int 1
+      | _ -> parse_expr st
+    in
+    expect st Lexer.SEMI;
+    let step =
+      match peek st with
+      | Lexer.RPAREN, _ -> []
+      | _ -> [ parse_for_step st ]
+    in
+    expect st Lexer.RPAREN;
+    let body = parse_block st in
+    (* the desugared form inside a throwaway If (1) keeps this a single
+       statement without a dedicated Block node *)
+    If (Int 1, init @ [ While (cond, body @ step) ], [])
+  | Lexer.RETURN, _ ->
+    advance st;
+    let e =
+      match peek st with
+      | Lexer.SEMI, _ -> None
+      | _ -> Some (parse_expr st)
+    in
+    expect st Lexer.SEMI;
+    Return e
+  | Lexer.PRINT, _ ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let e = parse_expr st in
+    expect st Lexer.RPAREN;
+    expect st Lexer.SEMI;
+    Print e
+  | Lexer.IDENT x, _ -> (
+    (* assignment, array store, or expression statement *)
+    match st.tokens with
+    | (Lexer.IDENT _, _) :: (Lexer.EQ, _) :: _ ->
+      advance st;
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.SEMI;
+      Assign (x, e)
+    | (Lexer.IDENT _, _) :: (Lexer.LBRACKET, _) :: _ -> (
+      (* could be a[e] = e; or an expression mentioning a[e] *)
+      advance st;
+      advance st;
+      let idx = parse_expr st in
+      expect st Lexer.RBRACKET;
+      match peek st with
+      | Lexer.EQ, _ ->
+        advance st;
+        let e = parse_expr st in
+        expect st Lexer.SEMI;
+        Store (x, idx, e)
+      | _ ->
+        (* re-parse as expression statement starting from the index *)
+        let lhs = Index (x, idx) in
+        let e = parse_expr_continuation st lhs in
+        expect st Lexer.SEMI;
+        Expr e)
+    | _ ->
+      let e = parse_expr st in
+      expect st Lexer.SEMI;
+      Expr e)
+  | (Lexer.NUM _ | Lexer.LPAREN | Lexer.MINUS | Lexer.BANG), _ ->
+    let e = parse_expr st in
+    expect st Lexer.SEMI;
+    Expr e
+  | t, l -> fail l "expected statement, found %s" (Lexer.token_name t)
+
+(* the init clause of a for: a declaration or assignment, ';' included *)
+and parse_simple_stmt st =
+  match peek st with
+  | (Lexer.INT_KW | Lexer.IDENT _), _ -> parse_stmt st
+  | t, l -> fail l "expected for-initializer, found %s" (Lexer.token_name t)
+
+(* the step clause of a for: an assignment or expression, no ';' *)
+and parse_for_step st =
+  match st.tokens with
+  | (Lexer.IDENT x, _) :: (Lexer.EQ, _) :: _ ->
+    advance st;
+    advance st;
+    Assign (x, parse_expr st)
+  | (Lexer.IDENT x, _) :: (Lexer.LBRACKET, _) :: _ -> (
+    advance st;
+    advance st;
+    let idx = parse_expr st in
+    expect st Lexer.RBRACKET;
+    match peek st with
+    | Lexer.EQ, _ ->
+      advance st;
+      Store (x, idx, parse_expr st)
+    | _ -> Expr (parse_expr_continuation st (Index (x, idx))))
+  | _ -> Expr (parse_expr st)
+
+(* continue binary parsing with an already-parsed left operand *)
+and parse_expr_continuation st lhs =
+  let acc = ref lhs in
+  let continue_ = ref true in
+  while !continue_ do
+    match binop_of_token (fst (peek st)) with
+    | Some (op, prec) ->
+      advance st;
+      let rhs = parse_binary st (prec + 1) in
+      acc := Binop (op, !acc, rhs)
+    | None -> continue_ := false
+  done;
+  !acc
+
+and parse_block st =
+  expect st Lexer.LBRACE;
+  let rec go acc =
+    match peek st with
+    | Lexer.RBRACE, _ ->
+      advance st;
+      List.rev acc
+    | Lexer.EOF, l -> fail l "unterminated block"
+    | _ -> go (parse_stmt st :: acc)
+  in
+  go []
+
+let parse_decl st =
+  expect st Lexer.INT_KW;
+  let name = expect_ident st in
+  match peek st with
+  | Lexer.LBRACKET, l -> (
+    advance st;
+    match peek st with
+    | Lexer.NUM n, _ ->
+      advance st;
+      expect st Lexer.RBRACKET;
+      expect st Lexer.SEMI;
+      if n <= 0 then fail l "array %s must have positive size" name;
+      Global (name, n)
+    | t, l -> fail l "expected array size, found %s" (Lexer.token_name t))
+  | Lexer.LPAREN, _ ->
+    advance st;
+    let rec params acc =
+      match peek st with
+      | Lexer.RPAREN, _ ->
+        advance st;
+        List.rev acc
+      | Lexer.INT_KW, _ ->
+        advance st;
+        let p = expect_ident st in
+        (match peek st with
+        | Lexer.COMMA, _ -> advance st
+        | _ -> ());
+        params (p :: acc)
+      | t, l -> fail l "expected parameter, found %s" (Lexer.token_name t)
+    in
+    let ps = params [] in
+    Func (name, ps, parse_block st)
+  | Lexer.SEMI, _ ->
+    advance st;
+    Global (name, 1)
+  | t, l -> fail l "expected declaration, found %s" (Lexer.token_name t)
+
+let parse source =
+  try
+    let st = { tokens = Lexer.tokenize source } in
+    let rec go acc =
+      match peek st with
+      | Lexer.EOF, _ -> List.rev acc
+      | _ -> go (parse_decl st :: acc)
+    in
+    Ok (go [])
+  with
+  | Parse_error e -> Error e
+  | Lexer.Lex_error { line; message } -> Error { line; message }
+
+let parse_exn source =
+  match parse source with
+  | Ok p -> p
+  | Error e -> invalid_arg (Format.asprintf "MiniC: %a" pp_error e)

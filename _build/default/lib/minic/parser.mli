@@ -1,0 +1,29 @@
+(** Recursive-descent parser for MiniC.
+
+    Grammar (precedence low to high: [||], [&&], comparisons, [+ -],
+    [* / %], unary [- !]):
+
+    {v
+    program := decl*
+    decl    := "int" ident "[" NUM "]" ";"            // global array
+             | "int" ident ";"                        // global scalar
+             | "int" ident "(" params? ")" block      // function
+    params  := "int" ident ("," "int" ident)*
+    block   := "{" stmt* "}"
+    stmt    := "int" ident ("=" expr)? ";"
+             | ident "=" expr ";"
+             | ident "[" expr "]" "=" expr ";"
+             | "if" "(" expr ")" block ("else" block)?
+             | "while" "(" expr ")" block
+             | "return" expr? ";"
+             | "print" "(" expr ")" ";"
+             | expr ";"
+    v} *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : string -> (Ast.program, error) result
+val parse_exn : string -> Ast.program
+(** @raise Invalid_argument with a located message. *)

@@ -1,0 +1,1 @@
+lib/profile/profile.ml: Format Hashtbl Mssp_isa Mssp_seq Mssp_state

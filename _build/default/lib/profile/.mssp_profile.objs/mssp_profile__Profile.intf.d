@@ -1,0 +1,1 @@
+lib/profile/profile.mli: Format Hashtbl Mssp_isa Mssp_seq

@@ -1,0 +1,1 @@
+lib/seq_machine/exec.ml: Format List Mssp_isa Mssp_state

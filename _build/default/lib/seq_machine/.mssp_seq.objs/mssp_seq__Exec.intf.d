@@ -1,0 +1,1 @@
+lib/seq_machine/exec.mli: Format Mssp_state

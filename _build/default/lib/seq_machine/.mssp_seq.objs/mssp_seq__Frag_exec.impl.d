@@ -1,0 +1,1 @@
+lib/seq_machine/frag_exec.ml: Exec Format Mssp_state

@@ -1,0 +1,1 @@
+lib/seq_machine/machine.ml: Exec List Mssp_isa Mssp_state

@@ -1,0 +1,1 @@
+lib/seq_machine/machine.mli: Exec Mssp_isa Mssp_state

@@ -1,0 +1,128 @@
+module Cell = Mssp_state.Cell
+module Fragment = Mssp_state.Fragment
+module Instr = Mssp_isa.Instr
+module Reg = Mssp_isa.Reg
+module Layout = Mssp_isa.Layout
+
+type fault = Undecodable of { pc : int; word : int }
+
+type outcome = Stepped | Halted | Fault of fault | Missing of Cell.t
+
+let pp_fault fmt (Undecodable { pc; word }) =
+  Format.fprintf fmt "undecodable word %#x at pc %#x" word pc
+
+let pp_outcome fmt = function
+  | Stepped -> Format.pp_print_string fmt "stepped"
+  | Halted -> Format.pp_print_string fmt "halted"
+  | Fault f -> Format.fprintf fmt "fault (%a)" pp_fault f
+  | Missing c -> Format.fprintf fmt "missing cell %a" Cell.pp c
+
+exception Unavailable of Cell.t
+
+(* Instruction execution proper. All reads are performed before any write
+   (the [writes] list is built up, then flushed), so a [Missing] abort
+   leaves no partial writes behind. *)
+let step_exn ~read ~write =
+  let read_cell c = match read c with Some v -> v | None -> raise (Unavailable c) in
+  let read_reg r = if Reg.equal r Reg.zero then 0 else read_cell (Cell.Reg r) in
+  let pc = read_cell Cell.Pc in
+  let word = read_cell (Cell.Mem pc) in
+  match Instr.decode_cached word with
+  | None -> Fault (Undecodable { pc; word })
+  | Some instr ->
+    let writes = ref [] in
+    let write_reg r v =
+      if not (Reg.equal r Reg.zero) then writes := (Cell.Reg r, v) :: !writes
+    in
+    let write_mem a v = writes := (Cell.Mem a, v) :: !writes in
+    let goto target = writes := (Cell.Pc, target) :: !writes in
+    let finish () =
+      (* Oldest write first; later writes to the same cell win, matching
+         in-order retirement of the instruction's effects. *)
+      List.iter (fun (c, v) -> write c v) (List.rev !writes);
+      Stepped
+    in
+    (match instr with
+    | Instr.Halt -> Halted
+    | Instr.Nop | Instr.Fork _ ->
+      goto (pc + 1);
+      finish ()
+    | Instr.Alu (op, rd, rs1, rs2) ->
+      let v = Instr.eval_alu op (read_reg rs1) (read_reg rs2) in
+      write_reg rd v;
+      goto (pc + 1);
+      finish ()
+    | Instr.Alui (op, rd, rs1, imm) ->
+      let v = Instr.eval_alu op (read_reg rs1) imm in
+      write_reg rd v;
+      goto (pc + 1);
+      finish ()
+    | Instr.Li (rd, imm) ->
+      write_reg rd imm;
+      goto (pc + 1);
+      finish ()
+    | Instr.Ld (rd, rs1, off) ->
+      let a = read_reg rs1 + off in
+      let v = read_cell (Cell.Mem a) in
+      write_reg rd v;
+      goto (pc + 1);
+      finish ()
+    | Instr.St (rs2, rs1, off) ->
+      let a = read_reg rs1 + off in
+      let v = read_reg rs2 in
+      write_mem a v;
+      goto (pc + 1);
+      finish ()
+    | Instr.Br (c, rs1, rs2, off) ->
+      let taken = Instr.eval_cmp c (read_reg rs1) (read_reg rs2) in
+      goto (if taken then pc + off else pc + 1);
+      finish ()
+    | Instr.Jmp off ->
+      goto (pc + off);
+      finish ()
+    | Instr.Jal (rd, off) ->
+      write_reg rd (pc + 1);
+      goto (pc + off);
+      finish ()
+    | Instr.Jr rs ->
+      goto (read_reg rs);
+      finish ()
+    | Instr.Jalr (rd, rs) ->
+      let target = read_reg rs in
+      write_reg rd (pc + 1);
+      goto target;
+      finish ()
+    | Instr.Out rs ->
+      let v = read_reg rs in
+      let count = read_cell (Cell.Mem Layout.out_count_addr) in
+      write_mem (Layout.out_base + count) v;
+      write_mem Layout.out_count_addr (count + 1);
+      goto (pc + 1);
+      finish ())
+
+let step ~read ~write =
+  try step_exn ~read ~write with Unavailable c -> Missing c
+
+let delta ~read =
+  let writes = ref Fragment.empty in
+  let write c v = writes := Fragment.add c v !writes in
+  match step ~read ~write with
+  | Stepped -> Ok !writes
+  | (Halted | Fault _ | Missing _) as o -> Error o
+
+let observed_step ~read ~write =
+  let reads = ref [] in
+  let writes = ref Fragment.empty in
+  let read' c =
+    match read c with
+    | Some v ->
+      reads := (c, v) :: !reads;
+      Some v
+    | None -> None
+  in
+  let write' c v =
+    writes := Fragment.add c v !writes;
+    write c v
+  in
+  let o = step ~read:read' ~write:write' in
+  (List.rev !reads, !writes, o)

@@ -1,0 +1,59 @@
+(** The single-instruction executor — the paper's [next]/[δ], generic over
+    where state lives.
+
+    Every machine in this reproduction (the SEQ reference, the master, the
+    slaves, the pure fragment executor of the formal models) executes
+    instructions through this one function, parameterized by read/write
+    callbacks. That there is exactly {e one} implementation of instruction
+    semantics is what makes "slaves implement the same ISA as the
+    reference sequential machine" (paper §4.1) true by construction.
+
+    Reads return [int option]: [None] means the cell is unavailable in the
+    backing store — possible only for partial stores (a task's live-in
+    fragment in isolated mode). Execution is then abandoned with
+    {!outcome.Missing}, the executable counterpart of the paper's
+    {e completeness} precondition (Definition 9: [δ] is defined only on
+    complete states). *)
+
+type fault = Undecodable of { pc : int; word : int }
+    (** The word fetched at [pc] is not a valid instruction encoding. A
+        faulting machine makes no state change; [Fault] is deterministic,
+        so SEQ determinism is preserved even on garbage code. *)
+
+type outcome =
+  | Stepped  (** writes applied, PC updated *)
+  | Halted  (** [Halt] reached: no writes, PC unchanged (a fixed point) *)
+  | Fault of fault  (** no writes, PC unchanged (a fixed point) *)
+  | Missing of Mssp_state.Cell.t
+      (** a cell needed by fetch/decode/execute is unavailable; no writes
+          performed (all reads precede all writes within one instruction) *)
+
+val pp_fault : Format.formatter -> fault -> unit
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val step :
+  read:(Mssp_state.Cell.t -> int option) ->
+  write:(Mssp_state.Cell.t -> int -> unit) ->
+  outcome
+(** Execute one instruction: fetch at the PC read through [read], decode,
+    evaluate, perform writes through [write] (including the PC update).
+    Reads of the hardwired zero register do not go through [read]; writes
+    to it are discarded before reaching [write]. All reads happen before
+    any write. *)
+
+val delta :
+  read:(Mssp_state.Cell.t -> int option) ->
+  (Mssp_state.Fragment.t, outcome) result
+(** [delta ~read] is the paper's [δ(S)]: the fragment of changes that
+    executing the next instruction would make (always including the PC
+    cell), without applying them. [Error o] when the step does not
+    produce writes ([Halted], [Fault], [Missing]); never [Error Stepped]. *)
+
+val observed_step :
+  read:(Mssp_state.Cell.t -> int option) ->
+  write:(Mssp_state.Cell.t -> int -> unit) ->
+  (Mssp_state.Cell.t * int) list * Mssp_state.Fragment.t * outcome
+(** Like {!step}, but also returns the cells read with the values obtained
+    (in access order, including PC and the fetched instruction cell) and
+    the fragment of writes performed. This is how slaves record live-ins
+    and accumulate live-outs. *)

@@ -1,0 +1,75 @@
+module Cell = Mssp_state.Cell
+module Fragment = Mssp_state.Fragment
+
+type stop = Halted | Faulted of Exec.fault | Incomplete of Cell.t
+
+let pp_stop fmt = function
+  | Halted -> Format.pp_print_string fmt "halted"
+  | Faulted f -> Format.fprintf fmt "faulted (%a)" Exec.pp_fault f
+  | Incomplete c -> Format.fprintf fmt "incomplete: missing %a" Cell.pp c
+
+let of_outcome = function
+  | Exec.Halted -> Halted
+  | Exec.Fault f -> Faulted f
+  | Exec.Missing c -> Incomplete c
+  | Exec.Stepped -> assert false
+
+let next f =
+  let acc = ref f in
+  let read c = Fragment.find_opt c f in
+  let write c v = acc := Fragment.add c v !acc in
+  match Exec.step ~read ~write with
+  | Exec.Stepped -> Ok !acc
+  | (Exec.Halted | Exec.Fault _ | Exec.Missing _) as o -> Error (of_outcome o)
+
+let delta f =
+  let read c = Fragment.find_opt c f in
+  match Exec.delta ~read with
+  | Ok d -> Ok d
+  | Error o -> Error (of_outcome o)
+
+let seq f n =
+  let rec go f k =
+    if k = 0 then Ok f
+    else
+      match next f with
+      | Ok f' -> go f' (k - 1)
+      | Error Halted | Error (Faulted _) -> Ok f (* fixed point, as in SEQ *)
+      | Error (Incomplete _) as e -> e
+  in
+  go f n
+
+let cumulative f n =
+  let rec go state acc k =
+    if k = 0 then Ok acc
+    else
+      match delta state with
+      | Ok d ->
+        let acc = Fragment.superimpose acc d in
+        let state = Fragment.superimpose state d in
+        go state acc (k - 1)
+      | Error Halted | Error (Faulted _) -> Ok acc
+      | Error (Incomplete _) as e -> e
+  in
+  go f Fragment.empty n
+
+let reads1 f =
+  let reads = ref Cell.Set.empty in
+  let read c =
+    reads := Cell.Set.add c !reads;
+    Fragment.find_opt c f
+  in
+  let write _ _ = () in
+  match Exec.step ~read ~write with
+  | Exec.Stepped | Exec.Halted | Exec.Fault _ -> Ok !reads
+  | Exec.Missing c -> Error (Incomplete c)
+
+let complete1 f = match reads1 f with Ok _ -> true | Error _ -> false
+
+let rec n_complete f n =
+  if n <= 0 then true
+  else
+    match next f with
+    | Ok f' -> complete1 f && n_complete f' (n - 1)
+    | Error Halted | Error (Faulted _) -> true
+    | Error (Incomplete _) -> false

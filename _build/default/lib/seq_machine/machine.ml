@@ -1,0 +1,72 @@
+module Full = Mssp_state.Full
+module Cell = Mssp_state.Cell
+module Layout = Mssp_isa.Layout
+
+type stop = Halted | Faulted of Exec.fault | Out_of_fuel
+
+type t = {
+  state : Full.t;
+  mutable stopped : stop option;
+  mutable instructions : int;
+}
+
+let of_state state = { state; stopped = None; instructions = 0 }
+
+let of_program p =
+  let state = Full.create () in
+  Full.load state p;
+  of_state state
+
+let step m =
+  match m.stopped with
+  | Some _ -> false
+  | None -> (
+    let read c = Some (Full.get m.state c) in
+    let write c v = Full.set m.state c v in
+    match Exec.step ~read ~write with
+    | Exec.Stepped ->
+      m.instructions <- m.instructions + 1;
+      true
+    | Exec.Halted ->
+      m.stopped <- Some Halted;
+      false
+    | Exec.Fault f ->
+      m.stopped <- Some (Faulted f);
+      false
+    | Exec.Missing _ -> assert false (* full states are total *))
+
+let run ?(fuel = 100_000_000) m =
+  let rec go remaining =
+    if remaining = 0 then Out_of_fuel
+    else if step m then go (remaining - 1)
+    else
+      match m.stopped with
+      | Some s -> s
+      | None -> assert false
+  in
+  go fuel
+
+let next s =
+  let s' = Full.copy s in
+  let m = of_state s' in
+  ignore (step m : bool);
+  s'
+
+let seq_in_place s n =
+  let m = of_state s in
+  let rec go k = if k = 0 then None else if step m then go (k - 1) else m.stopped in
+  go n
+
+let seq s n =
+  let s' = Full.copy s in
+  ignore (seq_in_place s' n : stop option);
+  s'
+
+let output s =
+  let count = Full.get_mem s Layout.out_count_addr in
+  List.init count (fun i -> Full.get_mem s (Layout.out_base + i))
+
+let run_program ?fuel p =
+  let m = of_program p in
+  ignore (run ?fuel m : stop);
+  m

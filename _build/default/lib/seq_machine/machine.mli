@@ -1,0 +1,45 @@
+(** The SEQ reference machine (paper §4.1).
+
+    Runs a program on a {!Mssp_state.Full.t} with no speculation — the
+    model against which MSSP's correctness is measured, and the functional
+    core of the sequential baseline. *)
+
+type stop = Halted | Faulted of Exec.fault | Out_of_fuel
+
+type t = {
+  state : Mssp_state.Full.t;
+  mutable stopped : stop option;
+  mutable instructions : int;  (** dynamic instructions executed *)
+}
+
+val of_program : Mssp_isa.Program.t -> t
+(** Fresh machine with the program loaded and PC at its entry. *)
+
+val of_state : Mssp_state.Full.t -> t
+(** Machine over an existing state (not copied). *)
+
+val step : t -> bool
+(** Execute one instruction. [false] once the machine has halted or
+    faulted (no state change then). *)
+
+val run : ?fuel:int -> t -> stop
+(** Run until [Halt], a fault, or [fuel] instructions (default 100M). *)
+
+val next : Mssp_state.Full.t -> Mssp_state.Full.t
+(** The paper's [next(S)]: a fresh state one instruction ahead of [S].
+    Total: halted/faulted states map to themselves. [S] is not modified. *)
+
+val seq : Mssp_state.Full.t -> int -> Mssp_state.Full.t
+(** The paper's [seq(S, n)]: [n] instructions ahead of [S] (fewer if the
+    machine halts; [next] is a fixed point there). [S] is not modified. *)
+
+val seq_in_place : Mssp_state.Full.t -> int -> stop option
+(** Advance a state [n] instructions in place; [None] if all [n] executed
+    without stopping. The verification shadow uses this to avoid copies. *)
+
+val output : Mssp_state.Full.t -> int list
+(** The architected output stream: values emitted by [Out], oldest
+    first. *)
+
+val run_program : ?fuel:int -> Mssp_isa.Program.t -> t
+(** Convenience: load, run to completion, return the machine. *)

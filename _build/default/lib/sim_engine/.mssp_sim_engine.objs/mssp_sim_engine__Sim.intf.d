@@ -1,0 +1,1 @@
+lib/sim_engine/sim.mli:

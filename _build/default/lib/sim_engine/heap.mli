@@ -1,0 +1,21 @@
+(** Array-backed binary min-heap keyed by [(int, int)] pairs
+    (primary key, insertion sequence) — the event queue's core.
+
+    The secondary key makes extraction order deterministic and FIFO among
+    events scheduled for the same time, which keeps the whole simulator
+    reproducible. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> key:int -> 'a -> unit
+(** Insertion sequence numbers are assigned internally. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the minimum-key element (FIFO among equal keys). *)
+
+val peek_key : 'a t -> int option
+val clear : 'a t -> unit

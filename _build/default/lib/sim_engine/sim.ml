@@ -1,0 +1,47 @@
+type t = {
+  queue : (unit -> unit) Heap.t;
+  mutable time : int;
+  mutable current_epoch : int;
+}
+
+type epoch = int
+
+let create () = { queue = Heap.create (); time = 0; current_epoch = 0 }
+let now s = s.time
+
+let schedule_at s ~time thunk =
+  let time = max time s.time in
+  Heap.push s.queue ~key:time thunk
+
+let schedule s ~delay thunk =
+  if delay < 0 then invalid_arg "Sim.schedule: negative delay";
+  schedule_at s ~time:(s.time + delay) thunk
+
+let pending s = Heap.length s.queue
+
+type outcome = Drained | Hit_limit
+
+let step s =
+  match Heap.pop s.queue with
+  | None -> false
+  | Some (time, thunk) ->
+    s.time <- time;
+    thunk ();
+    true
+
+let run ?limit s =
+  let over_limit () =
+    match (limit, Heap.peek_key s.queue) with
+    | Some l, Some k -> k > l
+    | _, _ -> false
+  in
+  let rec go () =
+    if over_limit () then Hit_limit
+    else if step s then go ()
+    else Drained
+  in
+  go ()
+
+let epoch s = s.current_epoch
+let bump_epoch s = s.current_epoch <- s.current_epoch + 1
+let cancelled s ep = ep <> s.current_epoch

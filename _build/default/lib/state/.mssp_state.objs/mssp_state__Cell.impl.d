@@ -1,0 +1,1 @@
+lib/state/cell.pp.ml: Format Int Map Mssp_isa Set

@@ -1,0 +1,1 @@
+lib/state/cell.pp.mli: Format Map Mssp_isa Set

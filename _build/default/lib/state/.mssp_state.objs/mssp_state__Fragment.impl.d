@@ -1,0 +1,1 @@
+lib/state/fragment.pp.ml: Cell Format Int List

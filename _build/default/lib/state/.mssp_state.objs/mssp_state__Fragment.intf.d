@@ -1,0 +1,1 @@
+lib/state/fragment.pp.mli: Cell Format

@@ -1,0 +1,1 @@
+lib/state/full.pp.ml: Array Cell Format Fragment Hashtbl List Mssp_isa Option

@@ -1,0 +1,1 @@
+lib/state/full.pp.mli: Cell Format Fragment Mssp_isa

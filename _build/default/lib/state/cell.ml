@@ -1,0 +1,45 @@
+module Reg_ = Mssp_isa.Reg
+
+type t = Pc | Reg of Reg_.t | Mem of int
+
+let equal a b =
+  match (a, b) with
+  | Pc, Pc -> true
+  | Reg r1, Reg r2 -> Reg_.equal r1 r2
+  | Mem a1, Mem a2 -> Int.equal a1 a2
+  | (Pc | Reg _ | Mem _), _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Pc, Pc -> 0
+  | Pc, (Reg _ | Mem _) -> -1
+  | Reg _, Pc -> 1
+  | Reg r1, Reg r2 -> Reg_.compare r1 r2
+  | Reg _, Mem _ -> -1
+  | Mem _, (Pc | Reg _) -> 1
+  | Mem a1, Mem a2 -> Int.compare a1 a2
+
+let hash = function
+  | Pc -> 0
+  | Reg r -> 1 + Reg_.to_int r
+  | Mem a -> 64 + (a * 2654435761)
+
+let pp fmt = function
+  | Pc -> Format.pp_print_string fmt "pc"
+  | Reg r -> Reg_.pp fmt r
+  | Mem a -> Format.fprintf fmt "[%#x]" a
+
+let show c = Format.asprintf "%a" pp c
+let reg r = if Reg_.equal r Reg_.zero then None else Some (Reg r)
+let mem a = Mem a
+let is_mem = function Mem _ -> true | Pc | Reg _ -> false
+let is_io = function Mem a -> Mssp_isa.Layout.is_io a | Pc | Reg _ -> false
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,30 @@
+(** ISA-visible storage cells.
+
+    The paper's machine-state domain [S] maps cells to values. A cell is
+    the program counter, one of the 32 registers, or a memory word. The
+    hardwired zero register is {e not} a cell: it has no state. *)
+
+type t =
+  | Pc
+  | Reg of Mssp_isa.Reg.t  (** never [Reg.zero] — see {!reg} *)
+  | Mem of int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+
+val reg : Mssp_isa.Reg.t -> t option
+(** [reg r] is [Some (Reg r)] unless [r] is the hardwired zero register,
+    which holds no state. *)
+
+val mem : int -> t
+val is_mem : t -> bool
+
+val is_io : t -> bool
+(** Whether the cell lies in the non-idempotent I/O region
+    ({!Mssp_isa.Layout.is_io}). *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

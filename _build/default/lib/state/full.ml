@@ -1,0 +1,84 @@
+module Reg = Mssp_isa.Reg
+module Layout = Mssp_isa.Layout
+
+type t = { mutable pc : int; regs : int array; mem : (int, int) Hashtbl.t }
+
+let create () = { pc = 0; regs = Array.make Reg.count 0; mem = Hashtbl.create 4096 }
+
+let copy s = { pc = s.pc; regs = Array.copy s.regs; mem = Hashtbl.copy s.mem }
+let pc s = s.pc
+let set_pc s v = s.pc <- v
+let get_reg s r = if Reg.equal r Reg.zero then 0 else s.regs.(Reg.to_int r)
+
+let set_reg s r v =
+  if not (Reg.equal r Reg.zero) then s.regs.(Reg.to_int r) <- v
+
+let get_mem s a = match Hashtbl.find_opt s.mem a with Some v -> v | None -> 0
+let set_mem s a v = Hashtbl.replace s.mem a v
+
+let get s = function
+  | Cell.Pc -> s.pc
+  | Cell.Reg r -> get_reg s r
+  | Cell.Mem a -> get_mem s a
+
+let set s cell v =
+  match cell with
+  | Cell.Pc -> s.pc <- v
+  | Cell.Reg r -> set_reg s r v
+  | Cell.Mem a -> set_mem s a v
+
+let load ?(set_entry = true) s (p : Mssp_isa.Program.t) =
+  Array.iteri
+    (fun i instr -> set_mem s (p.base + i) (Mssp_isa.Instr.encode instr))
+    p.code;
+  List.iter (fun (a, v) -> set_mem s a v) p.data;
+  set_reg s Reg.sp Layout.stack_base;
+  set_reg s Reg.gp Layout.data_base;
+  if set_entry then s.pc <- p.entry
+
+let apply s f = Fragment.iter (fun c v -> set s c v) f
+let consistent f s = Fragment.fold (fun c v ok -> ok && get s c = v) f true
+
+let restrict s cells =
+  Cell.Set.fold (fun c acc -> Fragment.add c (get s c) acc) cells Fragment.empty
+
+let snapshot s =
+  let f = ref (Fragment.singleton Cell.Pc s.pc) in
+  List.iter
+    (fun r ->
+      match Cell.reg r with
+      | Some c -> f := Fragment.add c (get_reg s r) !f
+      | None -> ())
+    Reg.all;
+  Hashtbl.iter (fun a v -> f := Fragment.add (Cell.mem a) v !f) s.mem;
+  !f
+
+let diff_observable s1 s2 =
+  let diffs = ref [] in
+  let check c =
+    let v1 = get s1 c and v2 = get s2 c in
+    if v1 <> v2 then diffs := (c, v1, v2) :: !diffs
+  in
+  check Cell.Pc;
+  List.iter (fun r -> Option.iter check (Cell.reg r)) Reg.all;
+  let seen = Hashtbl.create 4096 in
+  let check_mem a _ =
+    if not (Hashtbl.mem seen a) then begin
+      Hashtbl.add seen a ();
+      check (Cell.mem a)
+    end
+  in
+  Hashtbl.iter check_mem s1.mem;
+  Hashtbl.iter check_mem s2.mem;
+  List.sort (fun (c1, _, _) (c2, _, _) -> Cell.compare c1 c2) !diffs
+
+let equal_observable s1 s2 = diff_observable s1 s2 = []
+
+let pp fmt s =
+  Format.fprintf fmt "@[<v>pc=%#x@," s.pc;
+  List.iter
+    (fun r ->
+      let v = get_reg s r in
+      if v <> 0 then Format.fprintf fmt "%s=%d@," (Reg.name r) v)
+    Reg.all;
+  Format.fprintf fmt "mem: %d cells materialized@]" (Hashtbl.length s.mem)

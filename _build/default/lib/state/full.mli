@@ -1,0 +1,70 @@
+(** Full, mutable machine state — the simulator's working representation.
+
+    A full state is total: every register exists and every memory word
+    reads as 0 until written. Architected state (the paper's "ISA-visible
+    state maintained in the shared L2"), the master's speculative state
+    and the baseline machines all use this representation.
+
+    Fragments relate to full states through {!apply} (superimposition of
+    a fragment onto a full state — the commit operation) and
+    {!consistent} (the verification check [live_in ⊑ architected]). *)
+
+type t
+
+val create : unit -> t
+(** Fresh state: PC 0, all registers 0, all memory 0. *)
+
+val copy : t -> t
+(** Deep copy; the two states share nothing. *)
+
+val get : t -> Cell.t -> int
+val set : t -> Cell.t -> int -> unit
+
+val pc : t -> int
+val set_pc : t -> int -> unit
+
+val get_reg : t -> Mssp_isa.Reg.t -> int
+(** Reads of the hardwired zero register return 0. *)
+
+val set_reg : t -> Mssp_isa.Reg.t -> int -> unit
+(** Writes to the hardwired zero register are discarded. *)
+
+val get_mem : t -> int -> int
+val set_mem : t -> int -> int -> unit
+
+val load : ?set_entry:bool -> t -> Mssp_isa.Program.t -> unit
+(** Load a program image: encode its instructions into memory at its
+    [base], write its data image, seed [sp] from {!Mssp_isa.Layout} and
+    [gp] with [Layout.data_base]. When [set_entry] (default [true]), also
+    set the PC to the program's entry. Loading a second image (e.g. the
+    distilled program at {!Mssp_isa.Layout.distilled_base}) with
+    [~set_entry:false] leaves the PC alone. *)
+
+val apply : t -> Fragment.t -> unit
+(** [apply s f] superimposes [f] onto [s]: the commit operation
+    [S ← live_out(t)]. *)
+
+val consistent : Fragment.t -> t -> bool
+(** [consistent f s] is [f ⊑ s]: full states are total, so this checks
+    only value agreement. This is the verification unit's memoization
+    check. *)
+
+val restrict : t -> Cell.Set.t -> Fragment.t
+(** Fragment holding [s]'s current values for the given cells. *)
+
+val snapshot : t -> Fragment.t
+(** PC, all registers, and every memory word ever written (explicitly
+    materialized cells). Intended for small formal-model states and
+    debugging, not for the simulator fast path. *)
+
+val equal_observable : t -> t -> bool
+(** States agree on PC, all registers, and every memory cell materialized
+    in either — i.e. they are indistinguishable by any program. This is
+    the end-to-end equivalence check between SEQ and MSSP runs. *)
+
+val diff_observable : t -> t -> (Cell.t * int * int) list
+(** Cells on which {!equal_observable} fails, with both values; for test
+    diagnostics. *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact rendering: PC, non-zero registers, dirty-memory count. *)

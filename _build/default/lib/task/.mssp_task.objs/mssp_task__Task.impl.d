@@ -1,0 +1,1 @@
+lib/task/task.ml: Format Mssp_seq Mssp_state Printf

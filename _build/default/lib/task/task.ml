@@ -1,0 +1,147 @@
+module Cell = Mssp_state.Cell
+module Fragment = Mssp_state.Fragment
+module Exec = Mssp_seq.Exec
+
+type fail_reason =
+  | Budget_exhausted
+  | Fault of Exec.fault
+  | Missing_cell of Cell.t
+  | Io_speculative of Cell.t
+
+type completion = Reached_boundary | Program_halted
+
+type status = Running | Complete of completion | Failed of fail_reason
+
+let pp_status fmt = function
+  | Running -> Format.pp_print_string fmt "running"
+  | Complete Reached_boundary -> Format.pp_print_string fmt "complete (boundary)"
+  | Complete Program_halted -> Format.pp_print_string fmt "complete (halt)"
+  | Failed Budget_exhausted -> Format.pp_print_string fmt "failed (budget)"
+  | Failed (Fault f) -> Format.fprintf fmt "failed (%a)" Exec.pp_fault f
+  | Failed (Missing_cell c) ->
+    Format.fprintf fmt "failed (missing %a)" Cell.pp c
+  | Failed (Io_speculative c) ->
+    Format.fprintf fmt "failed (speculative I/O on %a)" Cell.pp c
+
+type t = {
+  id : int;
+  start_pc : int;
+  end_pc : int option;
+  end_occurrence : int;
+  mutable end_seen : int;
+  budget : int;
+  live_in : Fragment.t;
+  mutable reads : Fragment.t;
+  mutable writes : Fragment.t;
+  mutable executed : int;
+  mutable status : status;
+}
+
+let make ~id ~start_pc ~end_pc ~end_occurrence ~budget ~live_in =
+  let live_in =
+    if Fragment.mem Cell.Pc live_in then live_in
+    else Fragment.add Cell.Pc start_pc live_in
+  in
+  {
+    id;
+    start_pc;
+    end_pc;
+    end_occurrence = max 1 end_occurrence;
+    end_seen = 0;
+    budget;
+    live_in;
+    reads = Fragment.empty;
+    writes = Fragment.empty;
+    executed = 0;
+    status = Running;
+  }
+
+type view = Isolated | Fallback of (Cell.t -> int)
+
+let no_access (_ : Cell.t) = ()
+
+let step ?(on_access = no_access) t view =
+  match t.status with
+  | Complete _ | Failed _ -> t.status
+  | Running ->
+    if t.executed >= t.budget then begin
+      t.status <- Failed Budget_exhausted;
+      t.status
+    end
+    else begin
+      let record c v =
+        if not (Fragment.mem c t.reads) then t.reads <- Fragment.add c v t.reads
+      in
+      let io_abort = ref None in
+      let guard_io c =
+        if Cell.is_io c && !io_abort = None then io_abort := Some c
+      in
+      let read c =
+        guard_io c;
+        (match c with Cell.Mem _ -> on_access c | Cell.Pc | Cell.Reg _ -> ());
+        match Fragment.find_opt c t.writes with
+        | Some v -> Some v
+        | None -> (
+          match Fragment.find_opt c t.live_in with
+          | Some v ->
+            record c v;
+            Some v
+          | None -> (
+            match view with
+            | Fallback arch ->
+              let v = arch c in
+              record c v;
+              Some v
+            | Isolated -> (
+              (* memory is total: absent cells read as 0 and that reading
+                 is itself a live-in to verify *)
+              match c with
+              | Cell.Mem _ ->
+                record c 0;
+                Some 0
+              | Cell.Pc | Cell.Reg _ -> None)))
+      in
+      let write c v =
+        guard_io c;
+        (match c with Cell.Mem _ -> on_access c | Cell.Pc | Cell.Reg _ -> ());
+        t.writes <- Fragment.add c v t.writes
+      in
+      let outcome = Exec.step ~read ~write in
+      (match !io_abort with
+      | Some c ->
+        (* the instruction touched the I/O region: discard it (its buffered
+           writes are never committed; the task fails before [executed]
+           counts the instruction) *)
+        t.status <- Failed (Io_speculative c)
+      | None -> (
+        match outcome with
+        | Exec.Stepped -> begin
+          t.executed <- t.executed + 1;
+          match (Fragment.pc t.writes, t.end_pc) with
+          | Some pc, Some end_pc when pc = end_pc ->
+            t.end_seen <- t.end_seen + 1;
+            if t.end_seen >= t.end_occurrence then
+              t.status <- Complete Reached_boundary
+          | _ -> ()
+        end
+        | Exec.Halted -> t.status <- Complete Program_halted
+        | Exec.Fault f -> t.status <- Failed (Fault f)
+        | Exec.Missing c -> t.status <- Failed (Missing_cell c)));
+      t.status
+    end
+
+let run ?on_access t view =
+  let rec go () =
+    match step ?on_access t view with Running -> go () | s -> s
+  in
+  go ()
+
+let live_in_size t = Fragment.cardinal t.reads
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>task %d: %#x -> %s, %d/%d instrs, %a@,live-ins recorded: %d, live-outs: %d@]"
+    t.id t.start_pc
+    (match t.end_pc with Some pc -> Printf.sprintf "%#x" pc | None -> "halt")
+    t.executed t.budget pp_status t.status (Fragment.cardinal t.reads)
+    (Fragment.cardinal t.writes)

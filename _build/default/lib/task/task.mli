@@ -1,0 +1,92 @@
+(** Speculative tasks — the unit of work MSSP distributes to slaves.
+
+    A task executes the {e original} program from [start_pc] until it
+    reaches [end_pc] (the next task's start), the program halts, or its
+    instruction budget runs out. It never touches architected state:
+    reads are satisfied from its own write buffer, then the master's
+    live-in prediction, then (in fallback mode) a read-only view of
+    architected state. Every value obtained from outside its own writes
+    is {e recorded}; the verification unit later replays those recordings
+    against architected state — the memoization check that makes
+    commits safe (paper Definition 6 via Theorem 2: recorded live-ins
+    consistent with architected state ⊑, plus the executability of every
+    step, imply task safety).
+
+    The instrumented executor also realizes the paper's task-evolution
+    rule (Definition 5): each step advances the live-out fragment by
+    [next]. *)
+
+type fail_reason =
+  | Budget_exhausted  (** never reached [end_pc]: master mispredicted
+                          the boundary, or the task diverged *)
+  | Fault of Mssp_seq.Exec.fault
+  | Missing_cell of Mssp_state.Cell.t
+      (** isolated mode only: the master's live-in set was incomplete *)
+  | Io_speculative of Mssp_state.Cell.t
+      (** the task tried to touch the non-idempotent memory-mapped I/O
+          region (paper §7): speculation is forbidden there, so the task
+          fails and the access re-executes non-speculatively during
+          recovery, in program order *)
+
+type completion =
+  | Reached_boundary  (** arrived at [end_pc] *)
+  | Program_halted  (** executed [Halt]: this is the program's last task *)
+
+type status = Running | Complete of completion | Failed of fail_reason
+
+val pp_status : Format.formatter -> status -> unit
+
+type t = {
+  id : int;
+  start_pc : int;
+  end_pc : int option;  (** [None]: run until [Halt] only *)
+  end_occurrence : int;
+      (** the task completes at the [end_occurrence]-th arrival at
+          [end_pc] — loop-header boundaries are passed many times within
+          one multi-iteration task, and the master tells the slave which
+          pass is the boundary (it counted its own marker passes) *)
+  mutable end_seen : int;  (** arrivals at [end_pc] so far *)
+  budget : int;
+  live_in : Mssp_state.Fragment.t;  (** master's prediction; binds [Pc] *)
+  mutable reads : Mssp_state.Fragment.t;
+      (** recorded live-ins: first-read value of every cell obtained from
+          outside the write buffer *)
+  mutable writes : Mssp_state.Fragment.t;  (** live-outs (write buffer) *)
+  mutable executed : int;  (** the paper's [k] — instructions so far *)
+  mutable status : status;
+}
+
+val make :
+  id:int ->
+  start_pc:int ->
+  end_pc:int option ->
+  end_occurrence:int ->
+  budget:int ->
+  live_in:Mssp_state.Fragment.t ->
+  t
+(** A fresh task ([⟨S_in, n, S_in, 0⟩] in the paper's tuple form). The
+    [Pc ↦ start_pc] binding is added to [live_in] if absent — the task's
+    start position is itself a live-in and is verified like any other. *)
+
+(** How reads outside the write buffer and live-in set are satisfied. *)
+type view =
+  | Isolated
+      (** absent memory cells read as 0 (memory is total); the abstract
+          model of the companion paper, where slaves see only master
+          data *)
+  | Fallback of (Mssp_state.Cell.t -> int)
+      (** read through to architected state (the MICRO'02 machine); the
+          obtained value is recorded and verified at commit *)
+
+val step : ?on_access:(Mssp_state.Cell.t -> unit) -> t -> view -> status
+(** Execute one instruction. No-op unless [Running]. [on_access] is
+    invoked for every memory cell touched (fetch, loads, stores) — the
+    hook the timing model's caches observe. *)
+
+val run : ?on_access:(Mssp_state.Cell.t -> unit) -> t -> view -> status
+(** Step until the task leaves [Running]. *)
+
+val live_in_size : t -> int
+(** Number of recorded live-in bindings (drives verification cost). *)
+
+val pp : Format.formatter -> t -> unit

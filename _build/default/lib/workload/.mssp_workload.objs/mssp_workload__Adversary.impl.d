@@ -1,0 +1,1 @@
+lib/workload/adversary.ml: Array Hashtbl List Mssp_asm Mssp_distill Mssp_isa Wl_util

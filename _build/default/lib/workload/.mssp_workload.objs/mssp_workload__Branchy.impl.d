@@ -1,0 +1,1 @@
+lib/workload/branchy.ml: Mssp_asm Mssp_isa Wl_util

@@ -1,0 +1,1 @@
+lib/workload/dijkstra.ml: Array List Mssp_asm Mssp_isa Wl_util

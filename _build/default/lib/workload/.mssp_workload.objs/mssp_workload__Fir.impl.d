@@ -1,0 +1,1 @@
+lib/workload/fir.ml: Mssp_asm Mssp_isa Wl_util

@@ -1,0 +1,1 @@
+lib/workload/hashbuild.ml: Mssp_asm Mssp_isa

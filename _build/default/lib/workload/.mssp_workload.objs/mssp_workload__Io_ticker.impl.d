@@ -1,0 +1,1 @@
+lib/workload/io_ticker.ml: Mssp_asm Mssp_isa

@@ -1,0 +1,1 @@
+lib/workload/matmul.ml: Mssp_asm Mssp_isa Wl_util

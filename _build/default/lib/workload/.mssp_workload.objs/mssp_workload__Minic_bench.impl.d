@@ -1,0 +1,1 @@
+lib/workload/minic_bench.ml: Mssp_minic Printf

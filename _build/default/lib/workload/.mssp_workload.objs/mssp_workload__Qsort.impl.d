@@ -1,0 +1,1 @@
+lib/workload/qsort.ml: Mssp_asm Mssp_isa Wl_util

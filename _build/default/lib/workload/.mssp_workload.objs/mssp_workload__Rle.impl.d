@@ -1,0 +1,1 @@
+lib/workload/rle.ml: List Mssp_asm Mssp_isa Wl_util

@@ -1,0 +1,1 @@
+lib/workload/strmatch.ml: List Mssp_asm Mssp_isa Wl_util

@@ -1,0 +1,1 @@
+lib/workload/synthetic.ml: Array Mssp_asm Mssp_isa Wl_util

@@ -1,0 +1,1 @@
+lib/workload/treesum.ml: Mssp_asm Mssp_isa

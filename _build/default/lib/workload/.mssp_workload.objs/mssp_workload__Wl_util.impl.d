@@ -1,0 +1,1 @@
+lib/workload/wl_util.ml: Array List

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Branchy Dijkstra Fir Hashbuild Io_ticker List Listwalk Matmul Minic_bench Mssp_isa Printf Qsort Rle Strmatch Treesum Vecsum

@@ -1,0 +1,65 @@
+(** Branch-dense integer code (stands in for SPEC gcc/crafty): a loop
+    over skewed data with a chain of conditionals. 90% of entries take
+    the hot path, so the distiller hardens most of the chain away; the
+    cold 10% make the master mispredict values occasionally — a realistic
+    mix of distillation win and squash pressure. *)
+
+module Dsl = Mssp_asm.Dsl
+module Instr = Mssp_isa.Instr
+open Mssp_asm.Regs
+
+let name = "branchy"
+
+let program ~size =
+  let n = size in
+  let data = Wl_util.skewed_values ~seed:23 n ~skew:0.9 ~bound:64 in
+  let b = Dsl.create () in
+  let a = Dsl.data_words b data in
+  let acc_cell = Dsl.alloc b 1 in
+  let log = Dsl.alloc b n in
+  Dsl.label b "main";
+  Dsl.li b t0 a;
+  Dsl.li b t1 n;
+  Dsl.li b t2 0; (* acc *)
+  Dsl.li b t3 0; (* rare counter *)
+  Dsl.li b s13 (a + n); (* bounds limit *)
+  Dsl.li b s12 64; (* value sanity limit *)
+  Dsl.li b s11 (log - a); (* log offset from cursor *)
+  Dsl.label b "loop";
+  Dsl.br b Instr.Ge t0 s13 "bounds_error";
+  Dsl.ld b t4 t0 0;
+  (* input sanity check and decision log, never needed *)
+  Dsl.br b Instr.Ge t4 s12 "range_error";
+  Dsl.alu b Instr.Add s14 t0 s11;
+  Dsl.st b t4 s14 0;
+  (* hot test: v = 0 (90%) *)
+  Dsl.br b Instr.Ne t4 zero "rare";
+  Dsl.alui b Instr.Add t2 t2 7;
+  Dsl.jmp b "next";
+  Dsl.label b "rare";
+  Dsl.alui b Instr.Add t3 t3 1;
+  (* a small decision chain on the rare path *)
+  Dsl.alui b Instr.And t5 t4 1;
+  Dsl.br b Instr.Eq t5 zero "even";
+  Dsl.alu b Instr.Add t2 t2 t4;
+  Dsl.jmp b "next";
+  Dsl.label b "even";
+  Dsl.alui b Instr.Mul t5 t4 3;
+  Dsl.alu b Instr.Sub t2 t2 t5;
+  Dsl.label b "next";
+  Dsl.st_addr b t2 acc_cell;
+  Dsl.alui b Instr.Add t0 t0 1;
+  Dsl.alui b Instr.Sub t1 t1 1;
+  Dsl.br b Instr.Gt t1 zero "loop";
+  Dsl.out b t2;
+  Dsl.out b t3;
+  Dsl.halt b;
+  Dsl.label b "bounds_error";
+  Dsl.li b t2 (-1);
+  Dsl.out b t2;
+  Dsl.halt b;
+  Dsl.label b "range_error";
+  Dsl.li b t2 (-2);
+  Dsl.out b t2;
+  Dsl.halt b;
+  Dsl.build ~entry:"main" b ()

@@ -1,0 +1,124 @@
+(** Dijkstra single-source shortest paths on a random sparse digraph
+    (stands in for graph/irregular codes like SPEC's 181.mcf network
+    phases). Adjacency lists in memory, an O(V) linear-scan extract-min
+    (no heap, keeping the code compact), data-dependent relaxation
+    branches — hard for the distiller, heavy on live-ins. Outputs the
+    sum of finite distances. [size] is the vertex count; ~3 edges per
+    vertex. *)
+
+module Dsl = Mssp_asm.Dsl
+module Instr = Mssp_isa.Instr
+open Mssp_asm.Regs
+
+let name = "dijkstra"
+
+let inf = 1 lsl 40
+
+let program ~size =
+  let v = max 2 size in
+  let next = Wl_util.lcg 59 in
+  (* adjacency: per-vertex list of (target, weight); ring edge i->i+1
+     guarantees connectivity, plus two random edges per vertex *)
+  let edges =
+    Array.init v (fun i ->
+        let random_edges =
+          List.init 2 (fun _ -> (next () mod v, 1 + (next () mod 100)))
+        in
+        ((i + 1) mod v, 1 + (next () mod 50)) :: random_edges)
+  in
+  let b = Dsl.create () in
+  (* edge arrays: offsets(v+1), then targets/weights flattened *)
+  let offsets =
+    let acc = ref 0 in
+    let offs = Array.map (fun l -> let o = !acc in acc := o + List.length l; o) edges in
+    Array.to_list offs @ [ !acc ]
+  in
+  let flat = Array.to_list edges |> List.concat in
+  let off_addr = Dsl.data_words b offsets in
+  let tgt_addr = Dsl.data_words b (List.map fst flat) in
+  let wgt_addr = Dsl.data_words b (List.map snd flat) in
+  let dist = Dsl.alloc b v in
+  let visited = Dsl.alloc b v in
+  Dsl.label b "main";
+  (* init: dist[i] = inf, dist[0] = 0 *)
+  Dsl.li b t0 0;
+  Dsl.li b t1 inf;
+  Dsl.label b "init";
+  Dsl.li b t2 dist;
+  Dsl.alu b Instr.Add t2 t2 t0;
+  Dsl.st b t1 t2 0;
+  Dsl.alui b Instr.Add t0 t0 1;
+  Dsl.li b t3 v;
+  Dsl.br b Instr.Lt t0 t3 "init";
+  Dsl.st b zero zero dist; (* dist[0] = 0 via zero reg store *)
+  (* main loop: v iterations of extract-min + relax *)
+  Dsl.li b s0 0; (* iteration count *)
+  Dsl.label b "iter";
+  (* extract-min: linear scan over unvisited *)
+  Dsl.li b s1 (-1); (* best vertex *)
+  Dsl.li b s2 inf; (* best distance *)
+  Dsl.li b t0 0;
+  Dsl.label b "scan";
+  Dsl.li b t2 visited;
+  Dsl.alu b Instr.Add t2 t2 t0;
+  Dsl.ld b t3 t2 0;
+  Dsl.br b Instr.Ne t3 zero "scan_next";
+  Dsl.li b t2 dist;
+  Dsl.alu b Instr.Add t2 t2 t0;
+  Dsl.ld b t3 t2 0;
+  Dsl.br b Instr.Ge t3 s2 "scan_next";
+  Dsl.mv b s1 t0;
+  Dsl.mv b s2 t3;
+  Dsl.label b "scan_next";
+  Dsl.alui b Instr.Add t0 t0 1;
+  Dsl.li b t3 v;
+  Dsl.br b Instr.Lt t0 t3 "scan";
+  (* nothing reachable left? *)
+  Dsl.li b t3 (-1);
+  Dsl.br b Instr.Eq s1 t3 "done";
+  (* mark visited *)
+  Dsl.li b t2 visited;
+  Dsl.alu b Instr.Add t2 t2 s1;
+  Dsl.li b t3 1;
+  Dsl.st b t3 t2 0;
+  (* relax outgoing edges: for e in [off[s1], off[s1+1]) *)
+  Dsl.li b t2 off_addr;
+  Dsl.alu b Instr.Add t2 t2 s1;
+  Dsl.ld b s3 t2 0; (* e *)
+  Dsl.ld b s4 t2 1; (* limit *)
+  Dsl.label b "relax";
+  Dsl.br b Instr.Ge s3 s4 "iter_next";
+  Dsl.li b t2 tgt_addr;
+  Dsl.alu b Instr.Add t2 t2 s3;
+  Dsl.ld b t4 t2 0; (* target *)
+  Dsl.li b t2 wgt_addr;
+  Dsl.alu b Instr.Add t2 t2 s3;
+  Dsl.ld b t5 t2 0; (* weight *)
+  Dsl.alu b Instr.Add t5 t5 s2; (* candidate = best + w *)
+  Dsl.li b t2 dist;
+  Dsl.alu b Instr.Add t2 t2 t4;
+  Dsl.ld b t6 t2 0;
+  Dsl.br b Instr.Le t6 t5 "relax_next";
+  Dsl.st b t5 t2 0; (* improve *)
+  Dsl.label b "relax_next";
+  Dsl.alui b Instr.Add s3 s3 1;
+  Dsl.jmp b "relax";
+  Dsl.label b "iter_next";
+  Dsl.alui b Instr.Add s0 s0 1;
+  Dsl.li b t3 v;
+  Dsl.br b Instr.Lt s0 t3 "iter";
+  Dsl.label b "done";
+  (* output: sum of distances *)
+  Dsl.li b t0 0;
+  Dsl.li b t1 0;
+  Dsl.label b "sum";
+  Dsl.li b t2 dist;
+  Dsl.alu b Instr.Add t2 t2 t0;
+  Dsl.ld b t3 t2 0;
+  Dsl.alu b Instr.Add t1 t1 t3;
+  Dsl.alui b Instr.Add t0 t0 1;
+  Dsl.li b t4 v;
+  Dsl.br b Instr.Lt t0 t4 "sum";
+  Dsl.out b t1;
+  Dsl.halt b;
+  Dsl.build ~entry:"main" b ()

@@ -1,0 +1,70 @@
+(** FIR filter over a signal (DSP streaming kernel): a nested
+    multiply-accumulate with perfectly regular control — the
+    distillation-friendly extreme alongside vecsum, but with a short
+    inner loop whose trip count (taps) is a constant the master predicts
+    exactly. Includes a saturation check (never fires on this input) and
+    a write-only peak-tracking cell. Outputs a checksum of the filtered
+    signal. *)
+
+module Dsl = Mssp_asm.Dsl
+module Instr = Mssp_isa.Instr
+open Mssp_asm.Regs
+
+let name = "fir"
+
+let taps = 8
+
+let program ~size =
+  let n = max (taps + 1) size in
+  let b = Dsl.create () in
+  let signal = Dsl.data_words b (Wl_util.values ~seed:61 n ~bound:255) in
+  let coeffs = Dsl.data_words b [ 1; 3; -2; 5; -1; 4; 2; -3 ] in
+  let output = Dsl.alloc b n in
+  let peak_cell = Dsl.alloc b 1 in
+  Dsl.label b "main";
+  Dsl.li b s0 (n - taps); (* output samples *)
+  Dsl.li b s1 signal;
+  Dsl.li b s2 output;
+  Dsl.li b s13 1_000_000; (* saturation limit *)
+  Dsl.li b s11 peak_cell;
+  Dsl.label b "sample";
+  (* acc = sum coeffs[j] * signal[i+j] *)
+  Dsl.li b t0 0; (* j *)
+  Dsl.li b t1 0; (* acc *)
+  Dsl.label b "tap";
+  Dsl.alu b Instr.Add t2 s1 t0;
+  Dsl.ld b t3 t2 0;
+  Dsl.li b t4 coeffs;
+  Dsl.alu b Instr.Add t4 t4 t0;
+  Dsl.ld b t5 t4 0;
+  Dsl.alu b Instr.Mul t3 t3 t5;
+  Dsl.alu b Instr.Add t1 t1 t3;
+  Dsl.alui b Instr.Add t0 t0 1;
+  Dsl.li b t6 taps;
+  Dsl.br b Instr.Lt t0 t6 "tap";
+  (* saturation check, never taken *)
+  Dsl.br b Instr.Gt t1 s13 "saturate";
+  Dsl.st b t1 s2 0;
+  (* peak tracking: write-only telemetry *)
+  Dsl.st b t1 s11 0;
+  Dsl.alui b Instr.Add s1 s1 1;
+  Dsl.alui b Instr.Add s2 s2 1;
+  Dsl.alui b Instr.Sub s0 s0 1;
+  Dsl.br b Instr.Gt s0 zero "sample";
+  (* checksum of the output signal *)
+  Dsl.li b t0 output;
+  Dsl.li b t1 (n - taps);
+  Dsl.li b t2 0;
+  Dsl.label b "check";
+  Dsl.ld b t3 t0 0;
+  Dsl.alu b Instr.Xor t2 t2 t3;
+  Dsl.alui b Instr.Add t0 t0 1;
+  Dsl.alui b Instr.Sub t1 t1 1;
+  Dsl.br b Instr.Gt t1 zero "check";
+  Dsl.out b t2;
+  Dsl.halt b;
+  Dsl.label b "saturate";
+  Dsl.li b t2 (-1);
+  Dsl.out b t2;
+  Dsl.halt b;
+  Dsl.build ~entry:"main" b ()

@@ -1,0 +1,113 @@
+(** Hash table construction and probing (stands in for SPEC perlbmk-style
+    association-heavy code): open addressing with linear probing, keys
+    from an in-program LCG. Insert [n] keys, then probe [n] (half
+    present, half absent), outputting the hit count. Collision chains
+    make branch behavior input-dependent. *)
+
+module Dsl = Mssp_asm.Dsl
+module Instr = Mssp_isa.Instr
+open Mssp_asm.Regs
+
+let name = "hashbuild"
+
+let program ~size =
+  let n = size in
+  let capacity =
+    (* next power of two >= 2n *)
+    let rec up c = if c >= 2 * n then c else up (2 * c) in
+    up 16
+  in
+  let mask = capacity - 1 in
+  let b = Dsl.create () in
+  (* table of [capacity] slots; 0 = empty (keys are made odd) *)
+  let table = Dsl.alloc b capacity in
+  let probe_log = Dsl.alloc b 1 in
+  Dsl.label b "main";
+  (* s0: lcg state, s1: loop counter, s2: hit counter *)
+  Dsl.li b s13 capacity; (* slot-index sanity limit *)
+  Dsl.li b s12 (capacity + 1); (* probe-chain sanity limit *)
+  Dsl.li b s11 probe_log;
+  Dsl.li b s0 987654321;
+  Dsl.li b s1 n;
+  Dsl.label b "insert_loop";
+  Dsl.call b "lcg_next";
+  Dsl.mv b s3 t0; (* key (odd) *)
+  Dsl.call b "insert";
+  Dsl.alui b Instr.Sub s1 s1 1;
+  Dsl.br b Instr.Gt s1 zero "insert_loop";
+  (* probe phase: replay the same key stream, plus misses *)
+  Dsl.li b s0 987654321;
+  Dsl.li b s1 n;
+  Dsl.li b s2 0;
+  Dsl.label b "probe_loop";
+  Dsl.call b "lcg_next";
+  Dsl.mv b s3 t0;
+  Dsl.call b "lookup";
+  Dsl.alu b Instr.Add s2 s2 t0;
+  (* also probe a key unlikely to exist (even keys are never stored) *)
+  Dsl.alui b Instr.Add s3 s3 1;
+  Dsl.call b "lookup";
+  Dsl.alu b Instr.Add s2 s2 t0;
+  Dsl.alui b Instr.Sub s1 s1 1;
+  Dsl.br b Instr.Gt s1 zero "probe_loop";
+  Dsl.out b s2;
+  Dsl.halt b;
+
+  (* lcg_next: s0 <- next state; t0 <- odd key derived from it *)
+  Dsl.label b "lcg_next";
+  Dsl.alui b Instr.Mul s0 s0 1103515245;
+  Dsl.alui b Instr.Add s0 s0 12345;
+  Dsl.alui b Instr.And s0 s0 0x7FFFFFFF;
+  Dsl.alui b Instr.Or t0 s0 1;
+  Dsl.ret b;
+
+  (* insert(key=s3): linear probe from hash(key) *)
+  Dsl.label b "insert";
+  Dsl.alui b Instr.And t1 s3 mask; (* slot index *)
+  Dsl.li b t5 0; (* probe length *)
+  Dsl.label b "ins_probe";
+  (* defensive checks: index in range, chain not runaway *)
+  Dsl.br b Instr.Ge t1 s13 "table_error";
+  Dsl.br b Instr.Gt t5 s12 "table_error";
+  Dsl.li b t2 table;
+  Dsl.alu b Instr.Add t2 t2 t1;
+  Dsl.ld b t3 t2 0;
+  Dsl.br b Instr.Eq t3 zero "ins_store";
+  Dsl.br b Instr.Eq t3 s3 "ins_done"; (* already present *)
+  Dsl.alui b Instr.Add t1 t1 1;
+  Dsl.alui b Instr.And t1 t1 mask;
+  Dsl.alui b Instr.Add t5 t5 1;
+  Dsl.jmp b "ins_probe";
+  Dsl.label b "ins_store";
+  Dsl.st b s3 t2 0;
+  Dsl.st b t5 s11 0; (* probe-length telemetry, write-only *)
+  Dsl.label b "ins_done";
+  Dsl.ret b;
+
+  (* lookup(key=s3) -> t0 in {0,1} *)
+  Dsl.label b "lookup";
+  Dsl.alui b Instr.And t1 s3 mask;
+  Dsl.li b t5 0;
+  Dsl.label b "lk_probe";
+  Dsl.br b Instr.Ge t1 s13 "table_error";
+  Dsl.br b Instr.Gt t5 s12 "table_error";
+  Dsl.li b t2 table;
+  Dsl.alu b Instr.Add t2 t2 t1;
+  Dsl.ld b t3 t2 0;
+  Dsl.br b Instr.Eq t3 zero "lk_miss";
+  Dsl.br b Instr.Eq t3 s3 "lk_hit";
+  Dsl.alui b Instr.Add t1 t1 1;
+  Dsl.alui b Instr.And t1 t1 mask;
+  Dsl.alui b Instr.Add t5 t5 1;
+  Dsl.jmp b "lk_probe";
+  Dsl.label b "lk_hit";
+  Dsl.li b t0 1;
+  Dsl.ret b;
+  Dsl.label b "lk_miss";
+  Dsl.li b t0 0;
+  Dsl.ret b;
+  Dsl.label b "table_error";
+  Dsl.li b t0 (-1);
+  Dsl.out b t0;
+  Dsl.halt b;
+  Dsl.build ~entry:"main" b ()

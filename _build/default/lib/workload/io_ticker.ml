@@ -1,0 +1,40 @@
+(** Memory-mapped I/O workload (exercises the paper's §7 extension):
+    compute-heavy inner work punctuated by stores to the non-idempotent
+    I/O region. Speculative tasks must refuse the I/O accesses, forcing
+    the machine to perform them during non-speculative recovery, in
+    program order. Outputs the final accumulator; the I/O region ends up
+    holding the tick values. *)
+
+module Dsl = Mssp_asm.Dsl
+module Instr = Mssp_isa.Instr
+module Layout = Mssp_isa.Layout
+open Mssp_asm.Regs
+
+let name = "io_ticker"
+
+let ticks = 16
+
+let program ~size =
+  let inner = max 1 (size / ticks) in
+  let b = Dsl.create () in
+  Dsl.label b "main";
+  Dsl.li b s0 0; (* tick index *)
+  Dsl.li b s1 0; (* accumulator *)
+  Dsl.label b "tick_loop";
+  (* compute burst *)
+  Dsl.li b t0 inner;
+  Dsl.label b "work";
+  Dsl.alu b Instr.Add s1 s1 t0;
+  Dsl.alui b Instr.Xor s1 s1 0x5A5A;
+  Dsl.alui b Instr.Sub t0 t0 1;
+  Dsl.br b Instr.Gt t0 zero "work";
+  (* non-idempotent tick: write accumulator to the device register *)
+  Dsl.li b t1 Layout.io_base;
+  Dsl.alu b Instr.Add t1 t1 s0;
+  Dsl.st b s1 t1 0;
+  Dsl.alui b Instr.Add s0 s0 1;
+  Dsl.li b t2 ticks;
+  Dsl.br b Instr.Lt s0 t2 "tick_loop";
+  Dsl.out b s1;
+  Dsl.halt b;
+  Dsl.build ~entry:"main" b ()

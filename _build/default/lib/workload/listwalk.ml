@@ -1,0 +1,67 @@
+(** Pointer chasing (stands in for SPEC mcf): walk a linked list laid out
+    in a shuffled order, so every step is a data-dependent load. The
+    master's value predictions are exercised heavily; live-ins per task
+    concentrate in the walk cursor. The walk carries realistic fat — a
+    null/range check on every node, a hop-count check against runaway
+    cycles, and a write-only visit log — all of it distilled away.
+    List nodes are two words: [value, next-address] ([-1] terminates). *)
+
+module Dsl = Mssp_asm.Dsl
+module Instr = Mssp_isa.Instr
+open Mssp_asm.Regs
+
+let name = "listwalk"
+
+let program ~size =
+  let n = size in
+  let order = Wl_util.permutation ~seed:17 n in
+  let vals = Array.of_list (Wl_util.values ~seed:19 n ~bound:10_000) in
+  let base = Mssp_isa.Layout.data_base in
+  (* node for order.(k) lives at base + 2*order.(k); its successor is
+     order.(k+1) *)
+  let node_addr k = base + (2 * order.(k)) in
+  let data = ref [] in
+  for k = 0 to n - 1 do
+    let addr = node_addr k in
+    let next = if k = n - 1 then -1 else node_addr (k + 1) in
+    data := (addr, vals.(k)) :: (addr + 1, next) :: !data
+  done;
+  let b = Dsl.create () in
+  ignore (Dsl.alloc b (2 * n) : int);
+  let head = Dsl.data_words b [ node_addr 0 ] in
+  let log = Dsl.alloc b n in
+  Dsl.label b "main";
+  Dsl.ld_addr b t0 head; (* cursor *)
+  Dsl.li b t1 0; (* sum *)
+  Dsl.li b t2 (-1);
+  Dsl.li b t4 0; (* hop count *)
+  Dsl.li b s13 (base + (2 * n)); (* node-range limit *)
+  Dsl.li b s12 (n + 1); (* max hops *)
+  Dsl.li b s11 log;
+  Dsl.label b "walk";
+  Dsl.br b Instr.Eq t0 t2 "done";
+  (* defensive checks: node pointer in range, hop count sane *)
+  Dsl.br b Instr.Ge t0 s13 "corrupt_error";
+  Dsl.br b Instr.Gt t4 s12 "cycle_error";
+  Dsl.ld b t3 t0 0; (* value *)
+  Dsl.alu b Instr.Add t1 t1 t3;
+  (* visit log: write-only telemetry *)
+  Dsl.alu b Instr.Add s14 s11 t4;
+  Dsl.st b t0 s14 0;
+  Dsl.alui b Instr.Add t4 t4 1;
+  Dsl.ld b t0 t0 1; (* cursor = next *)
+  Dsl.jmp b "walk";
+  Dsl.label b "done";
+  Dsl.out b t1;
+  Dsl.out b t4;
+  Dsl.halt b;
+  Dsl.label b "corrupt_error";
+  Dsl.li b t1 (-1);
+  Dsl.out b t1;
+  Dsl.halt b;
+  Dsl.label b "cycle_error";
+  Dsl.li b t1 (-2);
+  Dsl.out b t1;
+  Dsl.halt b;
+  let p = Dsl.build ~entry:"main" b () in
+  { p with data = p.data @ List.rev !data }

@@ -1,0 +1,72 @@
+(** Dense matrix multiply (a regular triple-nested kernel): long
+    predictable inner loops with strided access — large tasks, few
+    live-ins, high distillability. [size] is the matrix dimension. *)
+
+module Dsl = Mssp_asm.Dsl
+module Instr = Mssp_isa.Instr
+open Mssp_asm.Regs
+
+let name = "matmul"
+
+let program ~size =
+  let n = size in
+  let b = Dsl.create () in
+  let a = Dsl.data_words b (Wl_util.values ~seed:31 (n * n) ~bound:100) in
+  let m = Dsl.data_words b (Wl_util.values ~seed:37 (n * n) ~bound:100) in
+  let c = Dsl.alloc b (n * n) in
+  Dsl.label b "main";
+  Dsl.li b s13 n; (* index sanity limit *)
+  Dsl.li b s12 1_000_000_000; (* accumulator overflow limit *)
+  Dsl.li b s0 0; (* i *)
+  Dsl.label b "i_loop";
+  Dsl.li b s1 0; (* j *)
+  Dsl.label b "j_loop";
+  Dsl.li b s2 0; (* k *)
+  Dsl.li b s3 0; (* acc *)
+  Dsl.label b "k_loop";
+  (* defensive checks: indices in range, accumulator sane *)
+  Dsl.br b Instr.Ge s2 s13 "index_error";
+  Dsl.br b Instr.Gt s3 s12 "index_error";
+  (* t0 = a[i*n+k] *)
+  Dsl.alui b Instr.Mul t0 s0 n;
+  Dsl.alu b Instr.Add t0 t0 s2;
+  Dsl.alui b Instr.Add t0 t0 a;
+  Dsl.ld b t0 t0 0;
+  (* t1 = m[k*n+j] *)
+  Dsl.alui b Instr.Mul t1 s2 n;
+  Dsl.alu b Instr.Add t1 t1 s1;
+  Dsl.alui b Instr.Add t1 t1 m;
+  Dsl.ld b t1 t1 0;
+  Dsl.alu b Instr.Mul t0 t0 t1;
+  Dsl.alu b Instr.Add s3 s3 t0;
+  Dsl.alui b Instr.Add s2 s2 1;
+  Dsl.li b t2 n;
+  Dsl.br b Instr.Lt s2 t2 "k_loop";
+  (* c[i*n+j] = acc *)
+  Dsl.alui b Instr.Mul t0 s0 n;
+  Dsl.alu b Instr.Add t0 t0 s1;
+  Dsl.alui b Instr.Add t0 t0 c;
+  Dsl.st b s3 t0 0;
+  Dsl.alui b Instr.Add s1 s1 1;
+  Dsl.li b t2 n;
+  Dsl.br b Instr.Lt s1 t2 "j_loop";
+  Dsl.alui b Instr.Add s0 s0 1;
+  Dsl.li b t2 n;
+  Dsl.br b Instr.Lt s0 t2 "i_loop";
+  (* checksum of c *)
+  Dsl.li b t0 c;
+  Dsl.li b t1 (n * n);
+  Dsl.li b t3 0;
+  Dsl.label b "check";
+  Dsl.ld b t2 t0 0;
+  Dsl.alu b Instr.Xor t3 t3 t2;
+  Dsl.alui b Instr.Add t0 t0 1;
+  Dsl.alui b Instr.Sub t1 t1 1;
+  Dsl.br b Instr.Gt t1 zero "check";
+  Dsl.out b t3;
+  Dsl.halt b;
+  Dsl.label b "index_error";
+  Dsl.li b t3 (-1);
+  Dsl.out b t3;
+  Dsl.halt b;
+  Dsl.build ~entry:"main" b ()

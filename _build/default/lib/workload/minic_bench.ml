@@ -1,0 +1,99 @@
+(** Benchmarks written in MiniC and compiled to SIR — genuine compiler
+    output, like the paper's SPEC binaries: stack traffic, redundant
+    reloads, function-scoped spills... exactly the fabric the distiller
+    operates on in real life. Sources are templated by the size
+    parameter and compiled on demand. *)
+
+let compile source =
+  match Mssp_minic.Codegen.compile_source source with
+  | Ok p -> p
+  | Error message -> invalid_arg ("minic workload: " ^ message)
+
+(** N-queens (backtracking recursion over global boards). [size] selects
+    the board edge: 4 + size/50, clamped to [4, 9]. *)
+module Nqueens = struct
+  let name = "nqueens"
+
+  let source n =
+    Printf.sprintf
+      {|
+int cols[16];
+int diag1[32];
+int diag2[32];
+int solutions;
+int n;
+
+int solve(int row) {
+  if (row == n) { solutions = solutions + 1; return 0; }
+  int c = 0;
+  while (c < n) {
+    if (!cols[c] && !diag1[row + c] && !diag2[row - c + n]) {
+      cols[c] = 1; diag1[row + c] = 1; diag2[row - c + n] = 1;
+      solve(row + 1);
+      cols[c] = 0; diag1[row + c] = 0; diag2[row - c + n] = 0;
+    }
+    c = c + 1;
+  }
+  return 0;
+}
+
+int main() {
+  n = %d;
+  solutions = 0;
+  solve(0);
+  print(solutions);
+  return solutions;
+}
+|}
+      n
+
+  let program ~size =
+    let n = max 4 (min 9 (4 + (size / 50))) in
+    compile (source n)
+end
+
+(** Integer Mandelbrot over a [size x size] grid in 8.8 fixed point:
+    nested regular loops around a data-dependent escape iteration. *)
+module Mandel = struct
+  let name = "mandel"
+
+  let source n =
+    Printf.sprintf
+      {|
+int main() {
+  int size = %d;
+  int total = 0;
+  int y = 0;
+  while (y < size) {
+    int x = 0;
+    while (x < size) {
+      int cr = x * 640 / size - 480;
+      int ci = y * 512 / size - 256;
+      int zr = 0;
+      int zi = 0;
+      int it = 0;
+      int live = 1;
+      while (live && it < 24) {
+        int zr2 = zr * zr / 256;
+        int zi2 = zi * zi / 256;
+        if (zr2 + zi2 > 1024) { live = 0; }
+        if (live) {
+          int t = zr2 - zi2 + cr;
+          zi = 2 * zr * zi / 256 + ci;
+          zr = t;
+          it = it + 1;
+        }
+      }
+      total = total + it;
+      x = x + 1;
+    }
+    y = y + 1;
+  }
+  print(total);
+  return total;
+}
+|}
+      n
+
+  let program ~size = compile (source (max 4 size))
+end

@@ -1,0 +1,98 @@
+(** Recursive quicksort (stands in for SPEC vortex-style control-heavy
+    code): deep call/return chains, stack traffic, data-dependent
+    branches that resist hardening. Sorts a pseudo-random array in place,
+    then outputs an order-checksum. *)
+
+module Dsl = Mssp_asm.Dsl
+module Instr = Mssp_isa.Instr
+open Mssp_asm.Regs
+
+let name = "qsort"
+
+(* qsort(lo=s0, hi=s1), array base in gp-relative data; iterative partition
+   (Lomuto) with explicit recursion through the stack. *)
+let program ~size =
+  let n = size in
+  let b = Dsl.create () in
+  let a = Dsl.data_words b (Wl_util.values ~seed:29 n ~bound:100_000) in
+  let swap_log = Dsl.alloc b 1 in
+  Dsl.label b "main";
+  Dsl.li b s0 a; (* lo pointer *)
+  Dsl.li b s1 (a + n - 1); (* hi pointer *)
+  Dsl.li b s13 (a + n); (* array limit, for bounds checks *)
+  Dsl.li b s12 (Mssp_isa.Layout.stack_base - 4096); (* stack canary *)
+  Dsl.li b s11 swap_log;
+  Dsl.call b "qsort";
+  (* checksum: sum of a[i] * i mod weights, detects order *)
+  Dsl.li b t0 a;
+  Dsl.li b t1 n;
+  Dsl.li b t2 0;
+  Dsl.li b t3 1;
+  Dsl.label b "check";
+  Dsl.ld b t4 t0 0;
+  Dsl.alu b Instr.Mul t5 t4 t3;
+  Dsl.alu b Instr.Add t2 t2 t5;
+  Dsl.alui b Instr.Add t3 t3 1;
+  Dsl.alui b Instr.Add t0 t0 1;
+  Dsl.alui b Instr.Sub t1 t1 1;
+  Dsl.br b Instr.Gt t1 zero "check";
+  Dsl.out b t2;
+  Dsl.halt b;
+  Dsl.label b "bounds_error";
+  Dsl.li b t2 (-1);
+  Dsl.out b t2;
+  Dsl.halt b;
+  Dsl.label b "stack_error";
+  Dsl.li b t2 (-2);
+  Dsl.out b t2;
+  Dsl.halt b;
+
+  (* void qsort(lo=s0, hi=s1) *)
+  Dsl.label b "qsort";
+  Dsl.br b Instr.Ge s0 s1 "qsort_ret";
+  (* defensive checks: pointers in range, stack not exhausted *)
+  Dsl.br b Instr.Ge s1 s13 "bounds_error";
+  Dsl.br b Instr.Lt sp s12 "stack_error";
+  Dsl.push b ra;
+  Dsl.push b s0;
+  Dsl.push b s1;
+  (* partition: pivot = a[hi] *)
+  Dsl.ld b t0 s1 0; (* pivot *)
+  Dsl.mv b t1 s0; (* store cursor i *)
+  Dsl.mv b t2 s0; (* scan cursor j *)
+  Dsl.label b "part";
+  Dsl.br b Instr.Ge t2 s1 "part_done";
+  (* bounds check on the scan cursor, never taken *)
+  Dsl.br b Instr.Ge t2 s13 "bounds_error";
+  Dsl.ld b t3 t2 0;
+  Dsl.br b Instr.Gt t3 t0 "no_swap";
+  (* swap a[i] a[j], logging the swap count (write-only telemetry) *)
+  Dsl.ld b t4 t1 0;
+  Dsl.st b t3 t1 0;
+  Dsl.st b t4 t2 0;
+  Dsl.st b t1 s11 0;
+  Dsl.alui b Instr.Add t1 t1 1;
+  Dsl.label b "no_swap";
+  Dsl.alui b Instr.Add t2 t2 1;
+  Dsl.jmp b "part";
+  Dsl.label b "part_done";
+  (* swap a[i] a[hi]; pivot now at t1 *)
+  Dsl.ld b t4 t1 0;
+  Dsl.ld b t5 s1 0;
+  Dsl.st b t5 t1 0;
+  Dsl.st b t4 s1 0;
+  (* left: qsort(lo, i-1) *)
+  Dsl.push b t1;
+  Dsl.alui b Instr.Sub s1 t1 1;
+  Dsl.call b "qsort";
+  (* right: qsort(i+1, hi) *)
+  Dsl.pop b t1;
+  Dsl.ld b s1 sp 0; (* saved hi *)
+  Dsl.alui b Instr.Add s0 t1 1;
+  Dsl.call b "qsort";
+  Dsl.pop b s1;
+  Dsl.pop b s0;
+  Dsl.pop b ra;
+  Dsl.label b "qsort_ret";
+  Dsl.ret b;
+  Dsl.build ~entry:"main" b ()

@@ -1,0 +1,81 @@
+(** Run-length encoder (stands in for SPEC compress/gzip-style codes):
+    scan an input buffer with runs of repeated symbols, emit
+    (symbol, count) pairs into an output buffer. The inner
+    run-extension branch is data-dependent but strongly biased on runny
+    input, and the encoder carries the usual defensive fat (output
+    bounds check, run-length cap check) plus a write-only histogram. *)
+
+module Dsl = Mssp_asm.Dsl
+module Instr = Mssp_isa.Instr
+open Mssp_asm.Regs
+
+let name = "rle"
+
+let program ~size =
+  let n = size in
+  (* runny data: symbol changes with probability ~1/6 *)
+  let next = Wl_util.lcg 53 in
+  let symbol = ref 1 in
+  let input =
+    List.init n (fun _ ->
+        if next () mod 6 = 0 then symbol := 1 + (next () mod 7);
+        !symbol)
+  in
+  let b = Dsl.create () in
+  let inp = Dsl.data_words b input in
+  let out_buf = Dsl.alloc b (2 * n) in
+  let histogram = Dsl.alloc b 8 in
+  Dsl.label b "main";
+  Dsl.li b s0 inp; (* input cursor *)
+  Dsl.li b s1 (inp + n); (* input limit *)
+  Dsl.li b s2 out_buf; (* output cursor *)
+  Dsl.li b s3 0; (* pairs emitted *)
+  Dsl.li b s13 (out_buf + (2 * n)); (* output bound *)
+  Dsl.li b s12 (n + 1); (* run-length cap *)
+  Dsl.li b s11 histogram;
+  Dsl.label b "next_run";
+  Dsl.br b Instr.Ge s0 s1 "done";
+  Dsl.ld b t0 s0 0; (* run symbol *)
+  Dsl.li b t1 1; (* run length *)
+  Dsl.alui b Instr.Add s0 s0 1;
+  Dsl.label b "extend";
+  Dsl.br b Instr.Ge s0 s1 "emit";
+  Dsl.ld b t2 s0 0;
+  Dsl.br b Instr.Ne t2 t0 "emit";
+  (* run-length sanity check, never taken *)
+  Dsl.br b Instr.Gt t1 s12 "corrupt";
+  Dsl.alui b Instr.Add t1 t1 1;
+  Dsl.alui b Instr.Add s0 s0 1;
+  Dsl.jmp b "extend";
+  Dsl.label b "emit";
+  (* output bounds check, never taken *)
+  Dsl.br b Instr.Ge s2 s13 "corrupt";
+  Dsl.st b t0 s2 0;
+  Dsl.st b t1 s2 1;
+  Dsl.alui b Instr.Add s2 s2 2;
+  Dsl.alui b Instr.Add s3 s3 1;
+  (* histogram of symbols: write-only telemetry *)
+  Dsl.alu b Instr.Add s14 s11 t0;
+  Dsl.st b t1 s14 0;
+  Dsl.jmp b "next_run";
+  Dsl.label b "done";
+  Dsl.out b s3;
+  (* verification checksum over emitted pairs *)
+  Dsl.li b t0 out_buf;
+  Dsl.li b t3 0;
+  Dsl.label b "check";
+  Dsl.br b Instr.Ge t0 s2 "finish";
+  Dsl.ld b t1 t0 0;
+  Dsl.ld b t2 t0 1;
+  Dsl.alu b Instr.Mul t1 t1 t2;
+  Dsl.alu b Instr.Add t3 t3 t1;
+  Dsl.alui b Instr.Add t0 t0 2;
+  Dsl.jmp b "check";
+  Dsl.label b "finish";
+  Dsl.out b t3;
+  Dsl.halt b;
+  Dsl.label b "corrupt";
+  Dsl.li b t3 (-1);
+  Dsl.out b t3;
+  Dsl.halt b;
+  Dsl.build ~entry:"main" b ()

@@ -1,0 +1,64 @@
+(** Naive substring search over generated text (string scanning in the
+    crafty/parser vein): an outer scan loop whose inner comparison loop
+    usually exits on the first character — a strongly biased inner
+    branch the distiller can harden, with occasional long partial
+    matches providing misprediction pressure. Outputs the match count. *)
+
+module Dsl = Mssp_asm.Dsl
+module Instr = Mssp_isa.Instr
+open Mssp_asm.Regs
+
+let name = "strmatch"
+
+let program ~size =
+  let n = size in
+  (* text over a 4-letter alphabet; fixed pattern of length 5, planted
+     every ~97 characters so matches exist *)
+  let next = Wl_util.lcg 41 in
+  let pattern = [ 1; 2; 1; 3; 2 ] in
+  let plen = List.length pattern in
+  let text =
+    List.init n (fun i ->
+        if i mod 97 < plen then List.nth pattern (i mod 97)
+        else next () mod 4)
+  in
+  let b = Dsl.create () in
+  let text_addr = Dsl.data_words b text in
+  let pat_addr = Dsl.data_words b pattern in
+  let match_log = Dsl.alloc b 1 in
+  Dsl.label b "main";
+  Dsl.li b s0 text_addr; (* scan cursor *)
+  Dsl.li b s1 (text_addr + n - plen); (* last start *)
+  Dsl.li b s2 0; (* match count *)
+  Dsl.li b s13 (text_addr + n); (* text limit *)
+  Dsl.li b s12 4; (* alphabet sanity limit *)
+  Dsl.li b s11 match_log;
+  Dsl.label b "scan";
+  (* bounds check on the scan cursor, never taken *)
+  Dsl.br b Instr.Ge s0 s13 "bounds_error";
+  (* inner compare: j in [0, plen) *)
+  Dsl.li b t0 0;
+  Dsl.label b "cmp";
+  Dsl.alu b Instr.Add t1 s0 t0;
+  Dsl.ld b t1 t1 0;
+  (* character sanity check, never taken *)
+  Dsl.br b Instr.Ge t1 s12 "bounds_error";
+  Dsl.li b t2 pat_addr;
+  Dsl.alu b Instr.Add t2 t2 t0;
+  Dsl.ld b t2 t2 0;
+  Dsl.br b Instr.Ne t1 t2 "no_match";
+  Dsl.alui b Instr.Add t0 t0 1;
+  Dsl.li b t3 plen;
+  Dsl.br b Instr.Lt t0 t3 "cmp";
+  Dsl.alui b Instr.Add s2 s2 1; (* full match *)
+  Dsl.st b s0 s11 0; (* match-position telemetry, write-only *)
+  Dsl.label b "no_match";
+  Dsl.alui b Instr.Add s0 s0 1;
+  Dsl.br b Instr.Le s0 s1 "scan";
+  Dsl.out b s2;
+  Dsl.halt b;
+  Dsl.label b "bounds_error";
+  Dsl.li b s2 (-1);
+  Dsl.out b s2;
+  Dsl.halt b;
+  Dsl.build ~entry:"main" b ()

@@ -1,0 +1,108 @@
+(** Binary search tree build + recursive traversal (allocation-heavy
+    pointer code): inserts LCG keys into a bump-allocated BST, then sums
+    it with a recursive walk. Deep, data-dependent control flow and
+    heap-like access patterns. Nodes are three words:
+    [key, left, right] (0 = null, safe because the heap starts above 0). *)
+
+module Dsl = Mssp_asm.Dsl
+module Instr = Mssp_isa.Instr
+open Mssp_asm.Regs
+
+let name = "treesum"
+
+let program ~size =
+  let n = size in
+  let heap = Mssp_isa.Layout.heap_base in
+  let b = Dsl.create () in
+  let root_cell = Dsl.data_words b [ 0 ] in
+  let bump_cell = Dsl.data_words b [ heap ] in
+  let depth_log = Dsl.data_words b [ 0 ] in
+  Dsl.label b "main";
+  Dsl.li b s13 (heap + (3 * n) + 3); (* heap limit *)
+  Dsl.li b s12 (n + 1); (* descent-depth sanity limit *)
+  Dsl.li b s11 depth_log;
+  Dsl.li b s0 123456789; (* lcg state *)
+  Dsl.li b s1 n;
+  Dsl.label b "build_loop";
+  (* next key *)
+  Dsl.alui b Instr.Mul s0 s0 1103515245;
+  Dsl.alui b Instr.Add s0 s0 12345;
+  Dsl.alui b Instr.And s0 s0 0x7FFFFFFF;
+  Dsl.alui b Instr.Rem s2 s0 100_000;
+  Dsl.call b "insert";
+  Dsl.alui b Instr.Sub s1 s1 1;
+  Dsl.br b Instr.Gt s1 zero "build_loop";
+  Dsl.ld_addr b s3 root_cell;
+  Dsl.call b "sum"; (* arg: s3 = node, result t0 *)
+  Dsl.out b t0;
+  Dsl.halt b;
+
+  (* insert(key=s2): iterative descent from root *)
+  Dsl.label b "insert";
+  (* allocate node now: t5 = new node *)
+  Dsl.ld_addr b t5 bump_cell;
+  (* heap-exhaustion check, never taken *)
+  Dsl.br b Instr.Ge t5 s13 "heap_error";
+  Dsl.alui b Instr.Add t6 t5 3;
+  Dsl.st_addr b t6 bump_cell;
+  Dsl.st b s2 t5 0;
+  Dsl.st b zero t5 1;
+  Dsl.st b zero t5 2;
+  Dsl.ld_addr b t0 root_cell;
+  Dsl.li b t7 0; (* descent depth *)
+  Dsl.br b Instr.Ne t0 zero "descend";
+  Dsl.st_addr b t5 root_cell;
+  Dsl.ret b;
+  Dsl.label b "descend";
+  (* corruption checks: node in heap range, depth sane *)
+  Dsl.br b Instr.Ge t0 s13 "heap_error";
+  Dsl.br b Instr.Gt t7 s12 "heap_error";
+  Dsl.alui b Instr.Add t7 t7 1;
+  Dsl.st b t7 s11 0; (* depth telemetry, write-only *)
+  Dsl.ld b t1 t0 0; (* node key *)
+  Dsl.br b Instr.Lt s2 t1 "go_left";
+  (* right *)
+  Dsl.ld b t2 t0 2;
+  Dsl.br b Instr.Eq t2 zero "attach_right";
+  Dsl.mv b t0 t2;
+  Dsl.jmp b "descend";
+  Dsl.label b "attach_right";
+  Dsl.st b t5 t0 2;
+  Dsl.ret b;
+  Dsl.label b "go_left";
+  Dsl.ld b t2 t0 1;
+  Dsl.br b Instr.Eq t2 zero "attach_left";
+  Dsl.mv b t0 t2;
+  Dsl.jmp b "descend";
+  Dsl.label b "attach_left";
+  Dsl.st b t5 t0 1;
+  Dsl.ret b;
+
+  (* sum(node=s3) -> t0, recursive *)
+  Dsl.label b "sum";
+  Dsl.br b Instr.Ne s3 zero "sum_node";
+  Dsl.li b t0 0;
+  Dsl.ret b;
+  Dsl.label b "sum_node";
+  Dsl.push b ra;
+  Dsl.push b s3;
+  Dsl.ld b t1 s3 0; (* key *)
+  Dsl.push b t1;
+  Dsl.ld b s3 s3 1; (* left *)
+  Dsl.call b "sum";
+  Dsl.pop b t1;
+  Dsl.alu b Instr.Add t1 t1 t0; (* key + left *)
+  Dsl.push b t1;
+  Dsl.ld b s3 sp 1; (* saved node (below pushed t1) *)
+  Dsl.ld b s3 s3 2; (* right *)
+  Dsl.call b "sum";
+  Dsl.pop b t1;
+  Dsl.alu b Instr.Add t0 t0 t1; (* right + (key+left) *)
+  Dsl.pop b s3;
+  Dsl.pop b ra;
+  Dsl.ret b;
+  Dsl.label b "heap_error";
+  Dsl.li b t0 (-1);
+  Dsl.out b t0;
+  Dsl.halt b;
+  Dsl.build ~entry:"main" b ()

@@ -1,0 +1,70 @@
+(** Streaming vector kernel (stands in for SPEC art/streaming FP codes):
+    one hot loop with a single highly biased back edge and regular memory
+    access. Like real compiled code, the loop carries {e distillable
+    fat}: bounds/overflow checks that never fire and an event-trace
+    store that is never read back — the distiller prunes all of it from
+    the master's code, while slaves still execute (and verify) every
+    instruction. Computes [sum a.(i)] and an AXPY into a second array,
+    then outputs the sum and a checksum. *)
+
+module Dsl = Mssp_asm.Dsl
+module Instr = Mssp_isa.Instr
+open Mssp_asm.Regs
+
+let name = "vecsum"
+
+let program ~size =
+  let n = size in
+  let b = Dsl.create () in
+  let a = Dsl.data_words b (Wl_util.values ~seed:11 n ~bound:1000) in
+  let v = Dsl.data_words b (Wl_util.values ~seed:13 n ~bound:1000) in
+  let trace = Dsl.alloc b n in
+  Dsl.label b "main";
+  Dsl.li b t0 a; (* &a *)
+  Dsl.li b t1 v; (* &v *)
+  Dsl.li b t2 n; (* counter *)
+  Dsl.li b t3 0; (* sum *)
+  Dsl.li b t7 (trace - a); (* trace offset from a-cursor *)
+  Dsl.li b s13 (a + n); (* bounds limit *)
+  Dsl.li b s12 1_000_000_000; (* overflow limit *)
+  Dsl.label b "loop";
+  (* defensive checks, never taken *)
+  Dsl.br b Instr.Ge t0 s13 "bounds_error";
+  Dsl.br b Instr.Gt t3 s12 "overflow_error";
+  Dsl.ld b t4 t0 0;
+  Dsl.alu b Instr.Add t3 t3 t4; (* sum += a[i] *)
+  Dsl.ld b t5 t1 0;
+  Dsl.alui b Instr.Mul t4 t4 3;
+  Dsl.alu b Instr.Add t5 t5 t4; (* v[i] += 3*a[i] *)
+  Dsl.st b t5 t1 0;
+  (* event trace: log the updated element (write-only telemetry) *)
+  Dsl.alu b Instr.Add s14 t0 t7;
+  Dsl.st b t5 s14 0;
+  Dsl.alui b Instr.Add t0 t0 1;
+  Dsl.alui b Instr.Add t1 t1 1;
+  Dsl.alui b Instr.Sub t2 t2 1;
+  Dsl.br b Instr.Gt t2 zero "loop";
+  Dsl.out b t3;
+  (* checksum pass over v, with its own bounds check *)
+  Dsl.li b t1 v;
+  Dsl.li b t2 n;
+  Dsl.li b t6 0;
+  Dsl.li b s13 (v + n);
+  Dsl.label b "check";
+  Dsl.br b Instr.Ge t1 s13 "bounds_error";
+  Dsl.ld b t5 t1 0;
+  Dsl.alu b Instr.Xor t6 t6 t5;
+  Dsl.alui b Instr.Add t1 t1 1;
+  Dsl.alui b Instr.Sub t2 t2 1;
+  Dsl.br b Instr.Gt t2 zero "check";
+  Dsl.out b t6;
+  Dsl.halt b;
+  Dsl.label b "bounds_error";
+  Dsl.li b t6 (-1);
+  Dsl.out b t6;
+  Dsl.halt b;
+  Dsl.label b "overflow_error";
+  Dsl.li b t6 (-2);
+  Dsl.out b t6;
+  Dsl.halt b;
+  Dsl.build ~entry:"main" b ()

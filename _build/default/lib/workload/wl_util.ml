@@ -1,0 +1,36 @@
+(** Shared helpers for workload construction: deterministic host-side
+    pseudo-random data (so benchmark images are reproducible without any
+    ambient randomness) and small DSL idioms. *)
+
+(* Deterministic LCG (Java util.Random constants); the weak low bits are
+   discarded. *)
+let lcg seed =
+  let state = ref ((seed lxor 0x5DEECE66D) land max_int) in
+  fun () ->
+    state := ((!state * 25214903917) + 11) land ((1 lsl 48) - 1);
+    (!state lsr 16) land max_int
+
+(** [values ~seed n ~bound] : n pseudo-random ints in [0, bound). *)
+let values ~seed n ~bound =
+  let next = lcg seed in
+  List.init n (fun _ -> next () mod bound)
+
+(** A permutation of [0..n-1] (Fisher-Yates with the LCG). *)
+let permutation ~seed n =
+  let next = lcg seed in
+  let a = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = next () mod (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+(** Skewed values: fraction [skew] of entries are 0, the rest uniform in
+    [1, bound). Drives biased branches in the branchy workloads. *)
+let skewed_values ~seed n ~skew ~bound =
+  let next = lcg seed in
+  List.init n (fun _ ->
+      if next () mod 1000 < int_of_float (skew *. 1000.) then 0
+      else 1 + (next () mod (bound - 1)))

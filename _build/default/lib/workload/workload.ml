@@ -1,0 +1,126 @@
+(** Benchmark registry: the synthetic SPEC-stand-in suite.
+
+    Each benchmark provides a program generator parameterized by size,
+    plus the train/ref sizes used by the evaluation harness. Training
+    runs feed the profile-driven distiller; reference runs are measured —
+    approximateness in the distilled code comes from the two inputs
+    differing, exactly as in the paper's methodology. *)
+
+type benchmark = {
+  name : string;
+  description : string;
+  program : size:int -> Mssp_isa.Program.t;
+  train_size : int;
+  ref_size : int;
+}
+
+let all : benchmark list =
+  [
+    {
+      name = Vecsum.name;
+      description = "streaming vector kernel (art-like): hot biased loop";
+      program = Vecsum.program;
+      train_size = 400;
+      ref_size = 4000;
+    };
+    {
+      name = Listwalk.name;
+      description = "linked-list pointer chasing (mcf-like)";
+      program = Listwalk.program;
+      train_size = 500;
+      ref_size = 5000;
+    };
+    {
+      name = Branchy.name;
+      description = "skewed conditional chains (gcc-like)";
+      program = Branchy.program;
+      train_size = 400;
+      ref_size = 4000;
+    };
+    {
+      name = Qsort.name;
+      description = "recursive quicksort (vortex-like call-heavy code)";
+      program = Qsort.program;
+      train_size = 150;
+      ref_size = 1200;
+    };
+    {
+      name = Hashbuild.name;
+      description = "open-addressing hash insert/probe (perlbmk-like)";
+      program = Hashbuild.program;
+      train_size = 200;
+      ref_size = 1500;
+    };
+    {
+      name = Matmul.name;
+      description = "dense matrix multiply (regular nested loops)";
+      program = Matmul.program;
+      train_size = 8;
+      ref_size = 18;
+    };
+    {
+      name = Strmatch.name;
+      description = "naive substring scan (parser/crafty-like)";
+      program = Strmatch.program;
+      train_size = 600;
+      ref_size = 6000;
+    };
+    {
+      name = Treesum.name;
+      description = "BST build + recursive sum (allocation-heavy)";
+      program = Treesum.program;
+      train_size = 150;
+      ref_size = 1200;
+    };
+    {
+      name = Rle.name;
+      description = "run-length encoder (compress-like runny scanning)";
+      program = Rle.program;
+      train_size = 500;
+      ref_size = 5000;
+    };
+    {
+      name = Dijkstra.name;
+      description = "Dijkstra SSSP, linear-scan extract-min (irregular graph)";
+      program = Dijkstra.program;
+      train_size = 40;
+      ref_size = 120;
+    };
+    {
+      name = Fir.name;
+      description = "8-tap FIR filter (regular DSP streaming)";
+      program = Fir.program;
+      train_size = 400;
+      ref_size = 4000;
+    };
+    {
+      name = Minic_bench.Nqueens.name;
+      description = "N-queens backtracking, compiled from MiniC";
+      program = Minic_bench.Nqueens.program;
+      train_size = 50 (* board 5 *);
+      ref_size = 150 (* board 7 *);
+    };
+    {
+      name = Minic_bench.Mandel.name;
+      description = "integer Mandelbrot grid, compiled from MiniC";
+      program = Minic_bench.Mandel.program;
+      train_size = 10;
+      ref_size = 28;
+    };
+  ]
+
+let io_bench : benchmark =
+  {
+    name = Io_ticker.name;
+    description = "compute bursts with memory-mapped I/O ticks (paper \xc2\xa77)";
+    program = Io_ticker.program;
+    train_size = 800;
+    ref_size = 3200;
+  }
+
+let find name =
+  match List.find_opt (fun b -> b.name = name) (io_bench :: all) with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Workload.find: unknown benchmark %S" name)
+
+let names = List.map (fun b -> b.name) all

@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Array Buffer Format List Mssp_asm Mssp_isa Mssp_seq Mssp_state Mssp_workload Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Mssp_asm Mssp_baseline Mssp_core Mssp_isa Mssp_seq Mssp_state Mssp_workload

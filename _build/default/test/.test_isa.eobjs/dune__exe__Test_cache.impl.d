@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Cache Mssp_cache QCheck QCheck_alcotest

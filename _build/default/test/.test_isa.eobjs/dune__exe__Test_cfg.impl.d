@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array List Mssp_asm Mssp_cfg Mssp_isa Option

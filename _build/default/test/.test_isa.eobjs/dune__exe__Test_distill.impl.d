@@ -1,0 +1,1 @@
+test/test_distill.ml: Alcotest Array Hashtbl List Mssp_asm Mssp_distill Mssp_isa Mssp_profile Mssp_seq Mssp_state Mssp_workload QCheck QCheck_alcotest

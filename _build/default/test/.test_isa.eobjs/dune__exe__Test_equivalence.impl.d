@@ -1,0 +1,1 @@
+test/test_equivalence.ml: Alcotest List Mssp_core Mssp_distill Mssp_profile Mssp_seq Mssp_state Mssp_workload QCheck QCheck_alcotest

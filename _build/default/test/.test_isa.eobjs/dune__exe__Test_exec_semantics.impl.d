@@ -1,0 +1,1 @@
+test/test_exec_semantics.ml: Alcotest List Mssp_asm Mssp_isa Mssp_seq Mssp_state Printf QCheck QCheck_alcotest

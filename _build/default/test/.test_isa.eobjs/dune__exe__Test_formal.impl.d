@@ -1,0 +1,1 @@
+test/test_formal.ml: Alcotest Format Int List Mssp_asm Mssp_formal Mssp_isa Mssp_seq Mssp_state Mssp_workload Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Instr Layout List Mssp_isa Program QCheck QCheck_alcotest Reg

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Hashtbl List Mssp_asm Mssp_core Mssp_distill Mssp_isa Mssp_profile Mssp_seq Mssp_state Mssp_workload Printf

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest List Mssp_metrics QCheck QCheck_alcotest String

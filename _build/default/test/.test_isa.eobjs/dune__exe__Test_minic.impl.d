@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Format List Mssp_asm Mssp_core Mssp_distill Mssp_isa Mssp_minic Mssp_profile Mssp_seq Mssp_state Printf QCheck QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Mssp_asm Mssp_isa Mssp_profile Mssp_seq

@@ -1,0 +1,1 @@
+test/test_seq.ml: Alcotest Cell Format Fragment Full List Mssp_asm Mssp_isa Mssp_seq Mssp_state Mssp_workload QCheck QCheck_alcotest

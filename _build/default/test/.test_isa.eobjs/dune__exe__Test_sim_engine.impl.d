@@ -1,0 +1,1 @@
+test/test_sim_engine.ml: Alcotest Heap Int List Mssp_sim_engine Option QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_state.ml: Alcotest Cell Fragment Full Mssp_isa Mssp_state QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_task.ml: Alcotest Format List Mssp_asm Mssp_formal Mssp_isa Mssp_state Mssp_task Mssp_workload Option QCheck QCheck_alcotest

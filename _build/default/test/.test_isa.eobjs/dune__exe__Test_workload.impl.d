@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Hashtbl List Mssp_distill Mssp_isa Mssp_seq Mssp_state Mssp_workload Printf

@@ -1,0 +1,173 @@
+(* Tests for the baseline machines. *)
+
+module Full = Mssp_state.Full
+module Machine = Mssp_seq.Machine
+module B = Mssp_baseline.Baseline
+module Config = Mssp_core.Mssp_config
+module Dsl = Mssp_asm.Dsl
+module Instr = Mssp_isa.Instr
+open Mssp_asm.Regs
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let loop n =
+  let b = Dsl.create () in
+  Dsl.li b t0 n;
+  Dsl.label b "loop";
+  Dsl.alui b Instr.Sub t0 t0 1;
+  Dsl.br b Instr.Gt t0 zero "loop";
+  Dsl.out b t0;
+  Dsl.halt b;
+  Dsl.build b ()
+
+let test_sequential_counts () =
+  let r = B.sequential (loop 100) in
+  check "halts" true (r.B.stop = Machine.Halted);
+  check_int "instructions" (1 + 200 + 1) r.B.instructions;
+  (* at least base cost per instruction, plus fetch costs *)
+  check "cycles >= 2x instructions" true (r.B.cycles >= 2 * r.B.instructions);
+  check "final state has output" true (Machine.output r.B.state = [ 0 ])
+
+let test_sequential_also_load () =
+  let extra = Mssp_isa.Program.make ~base:Mssp_isa.Layout.distilled_base [| Instr.Nop |] in
+  let r = B.sequential ~also_load:[ extra ] (loop 5) in
+  check "extra image present" true
+    (Mssp_isa.Instr.decode (Full.get_mem r.B.state Mssp_isa.Layout.distilled_base)
+    = Some Instr.Nop)
+
+let test_sequential_fuel () =
+  let b = Dsl.create () in
+  Dsl.label b "spin";
+  Dsl.jmp b "spin";
+  let r = B.sequential ~fuel:50 (Dsl.build b ()) in
+  check "out of fuel" true (r.B.stop = Machine.Out_of_fuel);
+  check_int "counted" 50 r.B.instructions
+
+let test_oracle_faster_with_more_slaves () =
+  let p = loop 2000 in
+  let o1 = B.oracle_parallel ~slaves:1 p in
+  let o4 = B.oracle_parallel ~slaves:4 p in
+  let o8 = B.oracle_parallel ~slaves:8 p in
+  check "halts" true (o4.B.stop = Machine.Halted);
+  check "4 slaves beat 1" true (o4.B.cycles < o1.B.cycles);
+  check "8 slaves beat 4" true (o8.B.cycles < o4.B.cycles);
+  check "same instruction count" true (o1.B.instructions = o8.B.instructions)
+
+let test_oracle_bounded_by_commit_serialization () =
+  (* even with many slaves, per-task commit cost serializes *)
+  let p = loop 2000 in
+  let o = B.oracle_parallel ~slaves:64 ~task_size:100 p in
+  let tasks = (o.B.instructions + 99) / 100 in
+  let t = Config.default_timing in
+  check "cycles >= commit chain" true
+    (o.B.cycles >= tasks * (t.Config.verify_base + t.Config.commit_base))
+
+let test_oracle_validates_slaves () =
+  check "rejects zero slaves" true
+    (try
+       ignore (B.oracle_parallel ~slaves:0 (loop 5) : B.result);
+       false
+     with Invalid_argument _ -> true)
+
+let test_speedup_helper () =
+  let base = B.sequential (loop 100) in
+  check "speedup 2x" true (B.speedup ~baseline:base (base.B.cycles / 2) >= 2.0);
+  check "speedup 1x" true (abs_float (B.speedup ~baseline:base base.B.cycles -. 1.0) < 0.01)
+
+let test_oracle_beats_sequential () =
+  let p = loop 5000 in
+  let base = B.sequential p in
+  let o = B.oracle_parallel ~slaves:8 p in
+  check "oracle faster than sequential" true (o.B.cycles < base.B.cycles)
+
+(* --- ILP limit --- *)
+
+(* independent adds: width should scale almost linearly *)
+let parallel_adds n =
+  let b = Dsl.create () in
+  Dsl.li b t0 n;
+  Dsl.label b "loop";
+  (* four independent accumulators *)
+  Dsl.alui b Instr.Add t1 t1 1;
+  Dsl.alui b Instr.Add t2 t2 1;
+  Dsl.alui b Instr.Add t3 t3 1;
+  Dsl.alui b Instr.Add t4 t4 1;
+  Dsl.alui b Instr.Sub t0 t0 1;
+  Dsl.br b Instr.Gt t0 zero "loop";
+  Dsl.halt b;
+  Dsl.build b ()
+
+(* a serial dependence chain: width cannot help *)
+let serial_chain n =
+  let b = Dsl.create () in
+  Dsl.li b t0 n;
+  Dsl.li b t1 1;
+  Dsl.label b "loop";
+  Dsl.alui b Instr.Mul t1 t1 3;
+  Dsl.alui b Instr.Add t1 t1 1;
+  Dsl.alui b Instr.Sub t0 t0 1;
+  Dsl.br b Instr.Gt t0 zero "loop";
+  Dsl.halt b;
+  Dsl.build b ()
+
+let test_ilp_width_scales_parallel_code () =
+  let p = parallel_adds 2000 in
+  let w1 = B.ilp_limit ~width:1 p in
+  let w4 = B.ilp_limit ~width:4 p in
+  check "halts" true (w4.B.stop = Machine.Halted);
+  check "same instruction count" true (w1.B.instructions = w4.B.instructions);
+  (* 4-wide at least 2.5x the 1-wide on independent work *)
+  check "width scales" true
+    (float_of_int w1.B.cycles /. float_of_int w4.B.cycles > 2.5)
+
+let test_ilp_serial_chain_resists_width () =
+  let p = serial_chain 2000 in
+  let w1 = B.ilp_limit ~width:1 p in
+  let w8 = B.ilp_limit ~width:8 p in
+  (* the mul->add chain is 2 cycles/iteration no matter the width *)
+  check "chain binds" true
+    (float_of_int w1.B.cycles /. float_of_int w8.B.cycles < 2.5)
+
+let test_ilp_loads_pay_cache () =
+  (* pointer chasing pays the memory hierarchy even at infinite width *)
+  let p = (Mssp_workload.Workload.find "listwalk").Mssp_workload.Workload.program ~size:300 in
+  let r = B.ilp_limit ~width:8 p in
+  check "halts" true (r.B.stop = Machine.Halted);
+  check "slower than 1 IPC ideal" true (r.B.cycles > r.B.instructions / 8)
+
+let test_ilp_window_bounds () =
+  let p = parallel_adds 2000 in
+  let small = B.ilp_limit ~width:8 ~window:8 p in
+  let large = B.ilp_limit ~width:8 ~window:512 p in
+  check "bigger window never slower" true (large.B.cycles <= small.B.cycles)
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "sequential",
+        [
+          Alcotest.test_case "counts" `Quick test_sequential_counts;
+          Alcotest.test_case "also_load" `Quick test_sequential_also_load;
+          Alcotest.test_case "fuel" `Quick test_sequential_fuel;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "scales with slaves" `Quick
+            test_oracle_faster_with_more_slaves;
+          Alcotest.test_case "commit serialization" `Quick
+            test_oracle_bounded_by_commit_serialization;
+          Alcotest.test_case "validates" `Quick test_oracle_validates_slaves;
+          Alcotest.test_case "speedup helper" `Quick test_speedup_helper;
+          Alcotest.test_case "beats sequential" `Quick test_oracle_beats_sequential;
+        ] );
+      ( "ilp limit",
+        [
+          Alcotest.test_case "width scales parallel code" `Quick
+            test_ilp_width_scales_parallel_code;
+          Alcotest.test_case "serial chain resists" `Quick
+            test_ilp_serial_chain_resists_width;
+          Alcotest.test_case "loads pay cache" `Quick test_ilp_loads_pay_cache;
+          Alcotest.test_case "window bounds" `Quick test_ilp_window_bounds;
+        ] );
+    ]

@@ -1,0 +1,107 @@
+(* Tests for the set-associative cache model and the two-level
+   hierarchy. *)
+
+open Mssp_cache
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_config_validation () =
+  Alcotest.check_raises "bad sets"
+    (Invalid_argument "Cache.config: sets and line_words must be powers of two")
+    (fun () -> ignore (Cache.config ~sets:3 () : Cache.config))
+
+let test_cold_miss_then_hit () =
+  let c = Cache.make (Cache.config ~sets:4 ~ways:2 ~line_words:4 ()) in
+  check "cold miss" false (Cache.access c 100);
+  check "hit" true (Cache.access c 100);
+  check "same line" true (Cache.access c 101);
+  check "different line" false (Cache.access c 104)
+
+let test_lru_eviction () =
+  (* 1 set, 2 ways: three distinct lines mapping to the same set *)
+  let c = Cache.make (Cache.config ~sets:1 ~ways:2 ~line_words:1 ()) in
+  check "miss a" false (Cache.access c 0);
+  check "miss b" false (Cache.access c 1);
+  check "hit a" true (Cache.access c 0);
+  (* b is now LRU; c evicts it *)
+  check "miss c" false (Cache.access c 2);
+  check "a survives" true (Cache.access c 0);
+  check "b evicted" false (Cache.access c 1)
+
+let test_associativity_conflicts () =
+  (* direct-mapped: two lines in the same set thrash *)
+  let c = Cache.make (Cache.config ~sets:2 ~ways:1 ~line_words:1 ()) in
+  check "miss 0" false (Cache.access c 0);
+  check "miss 2 (same set)" false (Cache.access c 2);
+  check "0 evicted" false (Cache.access c 0);
+  (* 2-way stops the thrash *)
+  let c = Cache.make (Cache.config ~sets:2 ~ways:2 ~line_words:1 ()) in
+  check "miss 0" false (Cache.access c 0);
+  check "miss 2" false (Cache.access c 2);
+  check "both resident" true (Cache.access c 0 && Cache.access c 2)
+
+let test_stats_and_invalidate () =
+  let c = Cache.make (Cache.config ()) in
+  ignore (Cache.access c 0 : bool);
+  ignore (Cache.access c 0 : bool);
+  check_int "accesses" 2 (Cache.stats c).Cache.accesses;
+  check_int "misses" 1 (Cache.stats c).Cache.misses;
+  check "miss rate" true (abs_float (Cache.miss_rate c -. 0.5) < 1e-9);
+  Cache.invalidate_all c;
+  check "invalidated" false (Cache.access c 0);
+  Cache.reset_stats c;
+  check_int "reset" 0 (Cache.stats c).Cache.accesses
+
+let test_hierarchy_latencies () =
+  let lat = Cache.Hierarchy.latencies ~l1_hit:1 ~l2_hit:10 ~memory:100 () in
+  let h = Cache.Hierarchy.make ~lat () in
+  check_int "cold: memory" 100 (Cache.Hierarchy.access h 0);
+  check_int "warm: l1" 1 (Cache.Hierarchy.access h 0);
+  Cache.Hierarchy.invalidate_l1 h;
+  check_int "after l1 invalidate: l2" 10 (Cache.Hierarchy.access h 0)
+
+let test_shared_l2 () =
+  let lat = Cache.Hierarchy.latencies ~l1_hit:1 ~l2_hit:10 ~memory:100 () in
+  let owner = Cache.Hierarchy.make ~lat () in
+  let sharer = Cache.Hierarchy.make_shared ~lat ~l2:owner () in
+  ignore (Cache.Hierarchy.access owner 0 : int);
+  (* the sharer's L1 is cold but the shared L2 already has the line *)
+  check_int "sharer sees l2" 10 (Cache.Hierarchy.access sharer 0)
+
+(* property: hit rate of a repeated scan over a working set that fits is
+   eventually 100% *)
+let prop_fitting_working_set =
+  QCheck.Test.make ~name:"fitting working set has no steady-state misses"
+    ~count:50
+    QCheck.(int_range 1 256)
+    (fun size ->
+      let c = Cache.make (Cache.config ~sets:64 ~ways:4 ~line_words:1 ()) in
+      (* first pass warms, second pass must hit entirely *)
+      for a = 0 to size - 1 do
+        ignore (Cache.access c a : bool)
+      done;
+      let ok = ref true in
+      for a = 0 to size - 1 do
+        if not (Cache.access c a) then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+          Alcotest.test_case "cold miss then hit" `Quick test_cold_miss_then_hit;
+          Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
+          Alcotest.test_case "associativity" `Quick test_associativity_conflicts;
+          Alcotest.test_case "stats/invalidate" `Quick test_stats_and_invalidate;
+          QCheck_alcotest.to_alcotest prop_fitting_working_set;
+        ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "latencies" `Quick test_hierarchy_latencies;
+          Alcotest.test_case "shared L2" `Quick test_shared_l2;
+        ] );
+    ]

@@ -1,0 +1,224 @@
+(* Tests for basic blocks, reachability, dominators, back edges,
+   liveness. *)
+
+module Instr = Mssp_isa.Instr
+module Cfg = Mssp_cfg.Cfg
+module Regset = Mssp_cfg.Regset
+module Dsl = Mssp_asm.Dsl
+open Mssp_asm.Regs
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let build f =
+  let b = Dsl.create () in
+  f b;
+  Cfg.build (Dsl.build b ())
+
+(* diamond: entry -> (then | else) -> join -> halt *)
+let diamond =
+  build (fun b ->
+      Dsl.label b "entry";
+      Dsl.br b Instr.Eq t0 zero "else_";
+      Dsl.label b "then_";
+      Dsl.li b t1 1;
+      Dsl.jmp b "join";
+      Dsl.label b "else_";
+      Dsl.li b t1 2;
+      Dsl.label b "join";
+      Dsl.out b t1;
+      Dsl.halt b)
+
+let test_blocks_diamond () =
+  check_int "4 blocks" 4 (Array.length diamond.Cfg.blocks);
+  let entry = diamond.Cfg.blocks.(diamond.Cfg.entry) in
+  check_int "entry has 2 succs" 2 (List.length entry.Cfg.succs);
+  (* join has two preds *)
+  let join =
+    Array.to_list diamond.Cfg.blocks
+    |> List.find (fun b -> List.length b.Cfg.preds = 2)
+  in
+  check_int "join succs" 0 (List.length join.Cfg.succs)
+
+let test_block_of_pc () =
+  let base = diamond.Cfg.program.Mssp_isa.Program.base in
+  (match Cfg.block_of_pc diamond base with
+  | Some b -> check_int "entry block" diamond.Cfg.entry b.Cfg.id
+  | None -> Alcotest.fail "entry not found");
+  check "outside" true (Cfg.block_of_pc diamond (base - 1) = None);
+  (* every pc maps to the block containing it *)
+  Array.iter
+    (fun (b : Cfg.block) ->
+      for pc = b.Cfg.start to b.Cfg.start + b.Cfg.len - 1 do
+        match Cfg.block_of_pc diamond pc with
+        | Some b' -> check "containing block" true (b'.Cfg.id = b.Cfg.id)
+        | None -> Alcotest.fail "pc unmapped"
+      done)
+    diamond.Cfg.blocks
+
+let loop_cfg =
+  build (fun b ->
+      Dsl.li b t0 5;
+      Dsl.label b "head";
+      Dsl.alui b Instr.Sub t0 t0 1;
+      Dsl.br b Instr.Gt t0 zero "head";
+      Dsl.halt b)
+
+let test_back_edges () =
+  let heads = Cfg.back_edge_targets loop_cfg in
+  check_int "one loop" 1 (List.length heads);
+  let head_block = Option.get (Cfg.block_of_pc loop_cfg (List.hd heads)) in
+  check "head is its own succ target" true
+    (List.exists
+       (fun b -> List.mem head_block.Cfg.id b.Cfg.succs)
+       (Array.to_list loop_cfg.Cfg.blocks))
+
+(* a loop reachable only through a call return (indirect edge) must still
+   be found — the regression that broke qsort's boundaries *)
+let test_back_edges_after_return () =
+  let g =
+    build (fun b ->
+        Dsl.label b "main";
+        Dsl.call b "f";
+        Dsl.li b t0 5;
+        Dsl.label b "post_loop";
+        Dsl.alui b Instr.Sub t0 t0 1;
+        Dsl.br b Instr.Gt t0 zero "post_loop";
+        Dsl.halt b;
+        Dsl.label b "f";
+        Dsl.ret b)
+  in
+  let heads = Cfg.back_edge_targets g in
+  check_int "loop found behind return" 1 (List.length heads)
+
+let test_dominators () =
+  let idom = Cfg.dominators diamond in
+  let entry = diamond.Cfg.entry in
+  check_int "entry self" entry idom.(entry);
+  (* entry dominates everything reachable *)
+  Array.iter
+    (fun (b : Cfg.block) ->
+      if idom.(b.Cfg.id) <> -1 then
+        check "entry dominates" true (Cfg.dominates idom entry b.Cfg.id))
+    diamond.Cfg.blocks;
+  (* neither branch arm dominates the join *)
+  let join =
+    Array.to_list diamond.Cfg.blocks
+    |> List.find (fun b -> List.length b.Cfg.preds = 2)
+  in
+  check_int "join idom is entry" entry idom.(join.Cfg.id)
+
+let test_reachable () =
+  let g =
+    build (fun b ->
+        Dsl.label b "main";
+        Dsl.jmp b "end_";
+        Dsl.label b "orphan";
+        Dsl.li b t0 1;
+        Dsl.label b "end_";
+        Dsl.halt b)
+  in
+  let reach = Cfg.reachable g in
+  let orphan = Option.get (Cfg.block_of_pc g (g.Cfg.program.Mssp_isa.Program.base + 1)) in
+  check "orphan unreachable" false reach.(orphan.Cfg.id);
+  check "entry reachable" true reach.(g.Cfg.entry)
+
+let test_reachable_indirect_roots () =
+  (* code referenced only by a la/jalr is kept reachable *)
+  let g =
+    build (fun b ->
+        Dsl.label b "main";
+        Dsl.la b t0 "fn";
+        Dsl.jalr b ra t0;
+        Dsl.halt b;
+        Dsl.label b "fn";
+        Dsl.li b t1 1;
+        Dsl.ret b)
+  in
+  let reach = Cfg.reachable g in
+  let fn = Option.get (Cfg.block_of_pc g (Mssp_isa.Program.symbol g.Cfg.program "fn")) in
+  check "indirect target reachable" true reach.(fn.Cfg.id)
+
+(* --- liveness --- *)
+
+let test_uses_defs () =
+  check "alu uses" true
+    (Regset.to_list (Cfg.uses (Instr.Alu (Instr.Add, t0, t1, t2)))
+    = [ t1; t2 ]);
+  check "alu defs" true
+    (Regset.to_list (Cfg.defs (Instr.Alu (Instr.Add, t0, t1, t2))) = [ t0 ]);
+  check "store uses both" true
+    (Regset.to_list (Cfg.uses (Instr.St (t0, t1, 0))) = [ t0; t1 ]);
+  check "zero never used" true
+    (Regset.to_list (Cfg.uses (Instr.Alu (Instr.Add, t0, zero, zero))) = [])
+
+let test_liveness_dead_write () =
+  (* t1 written but never read before halt: dead at its definition *)
+  let g =
+    build (fun b ->
+        Dsl.li b t1 42;
+        Dsl.li b t0 1;
+        Dsl.out b t0;
+        Dsl.halt b)
+  in
+  let live = Cfg.liveness g in
+  (* single block; live_in should not contain t1 or t0 (both defined
+     before use) and live_out is empty at halt *)
+  check "live_out empty at halt" true
+    (Regset.equal live.Cfg.live_out.(g.Cfg.entry) Regset.empty);
+  check "live_in empty" true
+    (Regset.equal live.Cfg.live_in.(g.Cfg.entry) Regset.empty)
+
+let test_liveness_loop () =
+  let live = Cfg.liveness loop_cfg in
+  (* at the loop head, t0 is live (used by sub/branch) *)
+  let head_pc = List.hd (Cfg.back_edge_targets loop_cfg) in
+  let head = Option.get (Cfg.block_of_pc loop_cfg head_pc) in
+  check "counter live at head" true (Regset.mem t0 live.Cfg.live_in.(head.Cfg.id))
+
+let test_liveness_indirect_full () =
+  let g =
+    build (fun b ->
+        Dsl.label b "f";
+        Dsl.li b t0 1;
+        Dsl.ret b)
+  in
+  let live = Cfg.liveness g in
+  (* returns are unknown continuations: everything live out *)
+  check "full at return" true
+    (Regset.equal live.Cfg.live_out.(g.Cfg.entry) Regset.full)
+
+let test_regset () =
+  let s = Regset.of_list [ t0; t1 ] in
+  check "mem" true (Regset.mem t0 s);
+  check "not mem" false (Regset.mem t2 s);
+  check_int "cardinal" 2 (Regset.cardinal s);
+  check "union" true
+    (Regset.equal (Regset.union s (Regset.singleton t2)) (Regset.of_list [ t0; t1; t2 ]));
+  check "diff" true (Regset.equal (Regset.diff s (Regset.singleton t0)) (Regset.singleton t1));
+  check "subset" true (Regset.subset (Regset.singleton t0) s);
+  check "full cardinal" true (Regset.cardinal Regset.full = 32)
+
+let () =
+  Alcotest.run "cfg"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "diamond blocks" `Quick test_blocks_diamond;
+          Alcotest.test_case "block_of_pc" `Quick test_block_of_pc;
+          Alcotest.test_case "back edges" `Quick test_back_edges;
+          Alcotest.test_case "back edges after return" `Quick
+            test_back_edges_after_return;
+          Alcotest.test_case "dominators" `Quick test_dominators;
+          Alcotest.test_case "reachable" `Quick test_reachable;
+          Alcotest.test_case "indirect roots" `Quick test_reachable_indirect_roots;
+        ] );
+      ( "liveness",
+        [
+          Alcotest.test_case "uses/defs" `Quick test_uses_defs;
+          Alcotest.test_case "dead write" `Quick test_liveness_dead_write;
+          Alcotest.test_case "loop counter" `Quick test_liveness_loop;
+          Alcotest.test_case "indirect boundary" `Quick test_liveness_indirect_full;
+          Alcotest.test_case "regset ops" `Quick test_regset;
+        ] );
+    ]

@@ -1,0 +1,371 @@
+(* Tests for the distiller: each transformation in isolation, the
+   repair of over-aggressive hardening, layout/retargeting, entry maps,
+   and the fundamental property that distilled code need not be correct
+   (covered end-to-end in test_equivalence). *)
+
+module Instr = Mssp_isa.Instr
+module Program = Mssp_isa.Program
+module Layout = Mssp_isa.Layout
+module Profile = Mssp_profile.Profile
+module Distill = Mssp_distill.Distill
+module Machine = Mssp_seq.Machine
+module Full = Mssp_state.Full
+module Dsl = Mssp_asm.Dsl
+open Mssp_asm.Regs
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let build f =
+  let b = Dsl.create () in
+  f b;
+  Dsl.build b ()
+
+let distill ?options p =
+  let profile = Profile.collect p in
+  Distill.distill ?options p profile
+
+(* a loop with a never-taken error check *)
+let checked_loop =
+  build (fun b ->
+      Dsl.li b t0 100;
+      Dsl.li b s13 1000;
+      Dsl.label b "loop";
+      Dsl.br b Instr.Gt t0 s13 "error"; (* never taken *)
+      Dsl.alui b Instr.Sub t0 t0 1;
+      Dsl.br b Instr.Gt t0 zero "loop";
+      Dsl.halt b;
+      Dsl.label b "error";
+      Dsl.li b t1 (-1);
+      Dsl.out b t1;
+      Dsl.halt b)
+
+let test_hardens_cold_check () =
+  let d = distill checked_loop in
+  check "check hardened" true (d.Distill.stats.Distill.branches_hardened >= 1);
+  check "error block dropped" true (d.Distill.stats.Distill.blocks_dropped >= 1);
+  (* the distilled program is dynamically shorter *)
+  check "dynamic ratio > 1" true (Distill.dynamic_ratio d.Distill.stats > 1.0)
+
+let test_does_not_harden_hot_exit () =
+  (* loop exit leads to hot code: hardening it would lose the second
+     loop; the repair pass must keep the exit *)
+  let p =
+    build (fun b ->
+        Dsl.li b t0 200;
+        Dsl.label b "loop1";
+        Dsl.alui b Instr.Sub t0 t0 1;
+        Dsl.br b Instr.Gt t0 zero "loop1"; (* bias 199/200 > 0.98 *)
+        Dsl.li b t0 200;
+        Dsl.label b "loop2";
+        Dsl.alui b Instr.Sub t0 t0 1;
+        Dsl.br b Instr.Gt t0 zero "loop2";
+        Dsl.halt b)
+  in
+  let d = distill p in
+  (* loop2 must still be reachable in the distilled program *)
+  let reached =
+    Array.exists
+      (fun i ->
+        match i with
+        | Instr.Fork target ->
+          (* a fork for loop2's header survived *)
+          target > p.Program.base + 3
+        | _ -> false)
+      d.Distill.distilled.Program.code
+  in
+  check "loop2 retained (fork exists)" true reached
+
+let test_removes_noncomm_stores () =
+  let p =
+    build (fun b ->
+        let log = Dsl.alloc b 1 in
+        Dsl.li b t0 100;
+        Dsl.label b "loop";
+        Dsl.st_addr b t0 log; (* never read back *)
+        Dsl.alui b Instr.Sub t0 t0 1;
+        Dsl.br b Instr.Gt t0 zero "loop";
+        Dsl.halt b)
+  in
+  let d = distill p in
+  check_int "one store removed" 1 d.Distill.stats.Distill.stores_removed
+
+let test_keeps_communicating_stores () =
+  let p =
+    build (fun b ->
+        let cell = Dsl.alloc b 1 in
+        Dsl.li b t0 100;
+        Dsl.label b "loop";
+        Dsl.st_addr b t0 cell;
+        Dsl.ld_addr b t1 cell;
+        Dsl.alui b Instr.Sub t0 t0 1;
+        Dsl.br b Instr.Gt t0 zero "loop";
+        Dsl.halt b)
+  in
+  let d = distill p in
+  check_int "no store removed" 0 d.Distill.stats.Distill.stores_removed
+
+let test_dead_write_elimination () =
+  (* the value written to t5 feeds only a removed store: after store
+     removal the computation chain dies *)
+  let p =
+    build (fun b ->
+        let log = Dsl.alloc b 1 in
+        Dsl.li b t0 100;
+        Dsl.label b "loop";
+        Dsl.alui b Instr.Mul t5 t0 17;
+        Dsl.alui b Instr.Add t5 t5 3;
+        Dsl.st_addr b t5 log;
+        Dsl.alui b Instr.Sub t0 t0 1;
+        Dsl.br b Instr.Gt t0 zero "loop";
+        Dsl.halt b)
+  in
+  let d = distill p in
+  check "store removed" true (d.Distill.stats.Distill.stores_removed = 1);
+  check "chain removed" true (d.Distill.stats.Distill.dead_writes_removed >= 2);
+  check "big dynamic win" true (Distill.dynamic_ratio d.Distill.stats > 1.5)
+
+let test_load_promotion () =
+  let p =
+    build (fun b ->
+        let stable = Dsl.data_words b [ 7 ] in
+        Dsl.li b t0 100;
+        Dsl.li b t2 0;
+        Dsl.label b "loop";
+        Dsl.ld_addr b t1 stable;
+        Dsl.alu b Instr.Add t2 t2 t1;
+        Dsl.alui b Instr.Sub t0 t0 1;
+        Dsl.br b Instr.Gt t0 zero "loop";
+        Dsl.out b t2;
+        Dsl.halt b)
+  in
+  (* promotion alone (hardening would prune the loop exit and make the
+     master spin, which is fine for MSSP but not for running the
+     distilled code standalone here) *)
+  let options =
+    {
+      Distill.default_options with
+      Distill.promote_stable_loads = true;
+      branch_bias_threshold = 2.0;
+    }
+  in
+  let d = distill ~options p in
+  check_int "one load promoted" 1 d.Distill.stats.Distill.loads_promoted;
+  (* promoted distilled code still computes the same result when run
+     sequentially (the training and reference input coincide here) *)
+  let m = Machine.run_program d.Distill.distilled in
+  check "distilled output" true (Machine.output m.Machine.state = [ 700 ])
+
+let test_identity_options () =
+  let d = distill ~options:Distill.identity_options checked_loop in
+  let s = d.Distill.stats in
+  check_int "nothing hardened" 0 s.Distill.branches_hardened;
+  check_int "nothing promoted" 0 s.Distill.loads_promoted;
+  check_int "no dead writes" 0 s.Distill.dead_writes_removed;
+  check_int "no stores removed" 0 s.Distill.stores_removed;
+  (* identity distillation = original + forks, so running it produces the
+     original's final data state *)
+  let m = Machine.run_program d.Distill.distilled in
+  let m' = Machine.run_program checked_loop in
+  check "same output" true
+    (Machine.output m.Machine.state = Machine.output m'.Machine.state)
+
+let test_entry_map_and_task_entries () =
+  let d = distill checked_loop in
+  check "entry is a task entry" true
+    (List.mem checked_loop.Program.entry d.Distill.task_entries);
+  List.iter
+    (fun e ->
+      match Distill.distilled_entry_for d e with
+      | Some dpc ->
+        (* the distilled PC holds a Fork for e *)
+        check "maps to fork" true
+          (Program.instr_at d.Distill.distilled dpc = Some (Instr.Fork e));
+        check "is_task_entry" true (Distill.is_task_entry d e)
+      | None -> Alcotest.fail "task entry unmapped")
+    d.Distill.task_entries
+
+let test_distilled_base_and_entry () =
+  let d = distill checked_loop in
+  check_int "based at distilled_base" Layout.distilled_base
+    d.Distill.distilled.Program.base;
+  (* master entry corresponds to the program entry's fork *)
+  check "entry mapped" true
+    (Distill.distilled_entry_for d checked_loop.Program.entry
+    = Some d.Distill.distilled.Program.entry)
+
+let test_retargeting_runs () =
+  (* run the distilled program of a branchy original: it must not fault
+     (all control flow retargeted into the distilled region) and must
+     produce the same outputs here (no approximation triggered) *)
+  let p =
+    build (fun b ->
+        Dsl.li b t0 10;
+        Dsl.li b t2 0;
+        Dsl.label b "loop";
+        Dsl.alui b Instr.And t1 t0 1;
+        Dsl.br b Instr.Eq t1 zero "even";
+        Dsl.alui b Instr.Add t2 t2 1;
+        Dsl.jmp b "next";
+        Dsl.label b "even";
+        Dsl.alui b Instr.Add t2 t2 100;
+        Dsl.label b "next";
+        Dsl.alui b Instr.Sub t0 t0 1;
+        Dsl.br b Instr.Gt t0 zero "loop";
+        Dsl.out b t2;
+        Dsl.halt b)
+  in
+  let d = distill p in
+  let m = Machine.run_program d.Distill.distilled in
+  check "no fault" true (m.Machine.stopped = Some Machine.Halted);
+  let m' = Machine.run_program p in
+  check "same result" true
+    (Machine.output m.Machine.state = Machine.output m'.Machine.state)
+
+let test_calls_leave_original_return_addresses () =
+  let p =
+    build (fun b ->
+        Dsl.label b "main";
+        Dsl.li b t0 5;
+        Dsl.call b "double";
+        Dsl.out b t0;
+        Dsl.halt b;
+        Dsl.label b "double";
+        Dsl.alu b Instr.Add t0 t0 t0;
+        Dsl.ret b)
+  in
+  let d = distill ~options:Distill.identity_options p in
+  (* somewhere in the distilled code there is Li ra, <original return> *)
+  let expected_return = p.Program.entry + 2 in
+  let found =
+    Array.exists
+      (fun i -> i = Instr.Li (ra, expected_return))
+      d.Distill.distilled.Program.code
+  in
+  check "Li ra, orig_return emitted" true found;
+  (* and the pc map can bring the master back from that original PC *)
+  check "return point mapped" true
+    (Hashtbl.mem d.Distill.pc_map expected_return)
+
+(* --- structural invariants of distillation, over random programs --- *)
+
+let prop_distill_invariants =
+  QCheck.Test.make ~name:"distillation structural invariants" ~count:40
+    QCheck.(pair small_nat (int_range 5 20))
+    (fun (seed, size) ->
+      let p = Mssp_workload.Synthetic.generate ~seed ~size in
+      let d = distill p in
+      let dp = d.Distill.distilled in
+      (* every task entry maps to a Fork carrying that entry *)
+      List.for_all
+        (fun e ->
+          match Distill.distilled_entry_for d e with
+          | Some dpc -> Program.instr_at dp dpc = Some (Instr.Fork e)
+          | None -> false)
+        d.Distill.task_entries
+      (* the program entry is always a boundary *)
+      && List.mem p.Program.entry d.Distill.task_entries
+      (* pc_map sends original block starts into the distilled image *)
+      && Hashtbl.fold
+           (fun orig dpc ok ->
+             ok && Program.in_code p orig && Program.in_code dp dpc)
+           d.Distill.pc_map true
+      (* direct control flow in distilled code stays inside the image *)
+      && Array.for_all
+           (fun ok -> ok)
+           (Array.mapi
+              (fun i instr ->
+                let pc = dp.Program.base + i in
+                List.for_all (Program.in_code dp)
+                  (Instr.branch_targets ~pc instr))
+              dp.Program.code)
+      (* forks always name original-code addresses *)
+      && Array.for_all
+           (fun instr ->
+             match instr with
+             | Instr.Fork e -> Program.in_code p e
+             | _ -> true)
+           dp.Program.code)
+
+let test_stack_stores_survive () =
+  (* a long-running callee: its saved link is popped thousands of
+     instructions after the push — the distiller must keep the push
+     anyway (the master consumes its own frames) *)
+  let p =
+    build (fun b ->
+        Dsl.label b "main";
+        Dsl.li b s0 10;
+        Dsl.label b "outer";
+        Dsl.call b "work";
+        Dsl.alui b Instr.Sub s0 s0 1;
+        Dsl.br b Instr.Gt s0 zero "outer";
+        Dsl.halt b;
+        Dsl.label b "work";
+        Dsl.push b ra;
+        Dsl.li b t0 500;
+        Dsl.label b "inner";
+        Dsl.alui b Instr.Add t1 t1 1;
+        Dsl.alui b Instr.Sub t0 t0 1;
+        Dsl.br b Instr.Gt t0 zero "inner";
+        Dsl.pop b ra;
+        Dsl.ret b)
+  in
+  let aggressive =
+    {
+      Distill.default_options with
+      Distill.store_comm_distance = 10;
+      min_store_count = 1;
+    }
+  in
+  let profile = Profile.collect p in
+  let d = Distill.distill ~options:aggressive p profile in
+  let has_sp_store code =
+    Array.exists
+      (fun instr ->
+        match instr with
+        | Instr.St (_, base, _) -> Mssp_isa.Reg.equal base Mssp_asm.Regs.sp
+        | _ -> false)
+      code
+  in
+  check "push survives in distilled code" true
+    (has_sp_store d.Distill.distilled.Mssp_isa.Program.code);
+  check_int "nothing removed (only store is sp-based)" 0
+    d.Distill.stats.Distill.stores_removed
+
+let test_stats_ratios () =
+  let d = distill checked_loop in
+  let s = d.Distill.stats in
+  check "static ratio positive" true (Distill.static_ratio s > 0.0);
+  check "estimated dynamic original matches profile" true
+    (s.Distill.estimated_dynamic_original > 0)
+
+let () =
+  Alcotest.run "distill"
+    [
+      ( "transformations",
+        [
+          Alcotest.test_case "hardens cold checks" `Quick test_hardens_cold_check;
+          Alcotest.test_case "repairs hot-exit hardening" `Quick
+            test_does_not_harden_hot_exit;
+          Alcotest.test_case "removes non-comm stores" `Quick
+            test_removes_noncomm_stores;
+          Alcotest.test_case "keeps communicating stores" `Quick
+            test_keeps_communicating_stores;
+          Alcotest.test_case "dead-write chains" `Quick test_dead_write_elimination;
+          Alcotest.test_case "load promotion" `Quick test_load_promotion;
+          Alcotest.test_case "identity options" `Quick test_identity_options;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "entry map" `Quick test_entry_map_and_task_entries;
+          Alcotest.test_case "distilled base/entry" `Quick
+            test_distilled_base_and_entry;
+          Alcotest.test_case "retargeting" `Quick test_retargeting_runs;
+          Alcotest.test_case "original return addresses" `Quick
+            test_calls_leave_original_return_addresses;
+          Alcotest.test_case "stats" `Quick test_stats_ratios;
+          QCheck_alcotest.to_alcotest prop_distill_invariants;
+          Alcotest.test_case "stack stores survive" `Quick
+            test_stack_stores_survive;
+        ] );
+    ]

@@ -1,0 +1,254 @@
+(* Systematic single-instruction semantics: every opcode, operand
+   position and edge case, executed through the real executor on a full
+   state. This is the ISA's conformance suite — the contract every
+   machine in the system (SEQ, master, slaves, fragment executor)
+   inherits, because they all share this executor. *)
+
+module Cell = Mssp_state.Cell
+module Full = Mssp_state.Full
+module Instr = Mssp_isa.Instr
+module Reg = Mssp_isa.Reg
+module Exec = Mssp_seq.Exec
+open Mssp_asm.Regs
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let pc0 = 0x1000
+
+(* run exactly one instruction on a fresh state prepared by [setup] *)
+let exec ?(setup = fun _ -> ()) instr =
+  let s = Full.create () in
+  Full.set_pc s pc0;
+  Full.set_mem s pc0 (Instr.encode instr);
+  setup s;
+  let outcome =
+    Exec.step ~read:(fun c -> Some (Full.get s c)) ~write:(fun c v -> Full.set s c v)
+  in
+  (s, outcome)
+
+let expect_step ?(setup = fun _ -> ()) instr checks =
+  let s, outcome = exec ~setup instr in
+  check "stepped" true (outcome = Exec.Stepped);
+  checks s
+
+let set r v s = Full.set_reg s r v
+
+(* --- ALU register form: every operator --- *)
+
+let alu_cases =
+  [
+    (Instr.Add, 7, 5, 12);
+    (Instr.Sub, 7, 5, 2);
+    (Instr.Mul, 7, 5, 35);
+    (Instr.Div, 7, 5, 1);
+    (Instr.Div, -7, 5, -1);
+    (Instr.Div, 7, 0, 0);
+    (Instr.Rem, 7, 5, 2);
+    (Instr.Rem, -7, 5, -2);
+    (Instr.Rem, 7, 0, 0);
+    (Instr.And, 0b1100, 0b1010, 0b1000);
+    (Instr.Or, 0b1100, 0b1010, 0b1110);
+    (Instr.Xor, 0b1100, 0b1010, 0b0110);
+    (Instr.Shl, 3, 4, 48);
+    (Instr.Shl, 1, 64, 1) (* shift masked to 64 land 63 = 0 *);
+    (Instr.Shr, 48, 4, 3);
+    (Instr.Shr, -16, 2, -4) (* arithmetic *);
+    (Instr.Slt, 3, 4, 1);
+    (Instr.Slt, 4, 4, 0);
+    (Instr.Sle, 4, 4, 1);
+    (Instr.Seq, 4, 4, 1);
+    (Instr.Seq, 4, 5, 0);
+    (Instr.Sne, 4, 5, 1);
+  ]
+
+let test_alu_reg_forms () =
+  List.iter
+    (fun (op, a, b, expected) ->
+      expect_step
+        ~setup:(fun s -> set t1 a s; set t2 b s)
+        (Instr.Alu (op, t0, t1, t2))
+        (fun s ->
+          check_int
+            (Printf.sprintf "%s %d %d" (Instr.alu_op_name op) a b)
+            expected (Full.get_reg s t0);
+          check_int "pc advanced" (pc0 + 1) (Full.pc s)))
+    alu_cases
+
+let test_alu_imm_forms () =
+  List.iter
+    (fun (op, a, b, expected) ->
+      if Instr.imm_fits b then
+        expect_step
+          ~setup:(fun s -> set t1 a s)
+          (Instr.Alui (op, t0, t1, b))
+          (fun s ->
+            check_int
+              (Printf.sprintf "%si %d %d" (Instr.alu_op_name op) a b)
+              expected (Full.get_reg s t0)))
+    alu_cases
+
+let test_alu_same_source_dest () =
+  (* rd = rs1 = rs2: reads happen before the write *)
+  expect_step
+    ~setup:(set t0 6)
+    (Instr.Alu (Instr.Mul, t0, t0, t0))
+    (fun s -> check_int "t0 squared" 36 (Full.get_reg s t0))
+
+(* --- zero register --- *)
+
+let test_zero_register () =
+  expect_step (Instr.Li (zero, 99)) (fun s ->
+      check_int "write discarded" 0 (Full.get_reg s zero));
+  expect_step
+    ~setup:(set t1 5)
+    (Instr.Alu (Instr.Add, t0, t1, zero))
+    (fun s -> check_int "reads as 0" 5 (Full.get_reg s t0));
+  expect_step
+    ~setup:(set t1 123)
+    (Instr.Alu (Instr.Add, zero, t1, t1))
+    (fun s -> check_int "alu to zero discarded" 0 (Full.get_reg s zero))
+
+(* --- memory --- *)
+
+let test_loads_stores () =
+  expect_step
+    ~setup:(fun s -> set t1 1000 s; Full.set_mem s 1005 77)
+    (Instr.Ld (t0, t1, 5))
+    (fun s -> check_int "load +off" 77 (Full.get_reg s t0));
+  expect_step
+    ~setup:(fun s -> set t1 1000 s; Full.set_mem s 995 66)
+    (Instr.Ld (t0, t1, -5))
+    (fun s -> check_int "load -off" 66 (Full.get_reg s t0));
+  expect_step
+    ~setup:(fun s -> set t1 1000 s; set t2 42 s)
+    (Instr.St (t2, t1, 3))
+    (fun s -> check_int "store" 42 (Full.get_mem s 1003));
+  (* store of the zero register stores 0 *)
+  expect_step
+    ~setup:(fun s -> set t1 1000 s; Full.set_mem s 1000 9)
+    (Instr.St (zero, t1, 0))
+    (fun s -> check_int "store zero" 0 (Full.get_mem s 1000))
+
+(* --- control flow --- *)
+
+let branch_cases =
+  [
+    (Instr.Eq, 4, 4, true); (Instr.Eq, 4, 5, false);
+    (Instr.Ne, 4, 5, true); (Instr.Ne, 4, 4, false);
+    (Instr.Lt, -1, 0, true); (Instr.Lt, 0, 0, false);
+    (Instr.Ge, 0, 0, true); (Instr.Ge, -1, 0, false);
+    (Instr.Le, 0, 0, true); (Instr.Le, 1, 0, false);
+    (Instr.Gt, 1, 0, true); (Instr.Gt, 0, 0, false);
+  ]
+
+let test_branches () =
+  List.iter
+    (fun (c, a, b, taken) ->
+      expect_step
+        ~setup:(fun s -> set t1 a s; set t2 b s)
+        (Instr.Br (c, t1, t2, 10))
+        (fun s ->
+          check_int
+            (Printf.sprintf "b%s %d %d" (Instr.cmp_op_name c) a b)
+            (if taken then pc0 + 10 else pc0 + 1)
+            (Full.pc s)))
+    branch_cases;
+  (* backward target *)
+  expect_step
+    ~setup:(set t1 1)
+    (Instr.Br (Instr.Gt, t1, zero, -4))
+    (fun s -> check_int "backward" (pc0 - 4) (Full.pc s))
+
+let test_jumps () =
+  expect_step (Instr.Jmp 7) (fun s -> check_int "jmp" (pc0 + 7) (Full.pc s));
+  expect_step (Instr.Jmp (-7)) (fun s -> check_int "jmp back" (pc0 - 7) (Full.pc s));
+  expect_step (Instr.Jal (ra, 5)) (fun s ->
+      check_int "jal target" (pc0 + 5) (Full.pc s);
+      check_int "jal link" (pc0 + 1) (Full.get_reg s ra));
+  expect_step ~setup:(set t1 0x2000) (Instr.Jr t1) (fun s ->
+      check_int "jr" 0x2000 (Full.pc s));
+  expect_step ~setup:(set t1 0x2000) (Instr.Jalr (ra, t1)) (fun s ->
+      check_int "jalr target" 0x2000 (Full.pc s);
+      check_int "jalr link" (pc0 + 1) (Full.get_reg s ra));
+  (* jalr with rd = rs: the target is read before the link is written *)
+  expect_step ~setup:(set t1 0x2000) (Instr.Jalr (t1, t1)) (fun s ->
+      check_int "jalr rd=rs target" 0x2000 (Full.pc s);
+      check_int "jalr rd=rs link" (pc0 + 1) (Full.get_reg s t1))
+
+(* --- out --- *)
+
+let test_out_appends () =
+  let s = Full.create () in
+  Full.set_pc s pc0;
+  Full.set_mem s pc0 (Instr.encode (Instr.Out t1));
+  Full.set_mem s (pc0 + 1) (Instr.encode (Instr.Out t2));
+  Full.set_reg s t1 10;
+  Full.set_reg s t2 20;
+  let step () =
+    ignore
+      (Exec.step
+         ~read:(fun c -> Some (Full.get s c))
+         ~write:(fun c v -> Full.set s c v)
+        : Exec.outcome)
+  in
+  step ();
+  step ();
+  check_int "count" 2 (Full.get_mem s Mssp_isa.Layout.out_count_addr);
+  check_int "first" 10 (Full.get_mem s Mssp_isa.Layout.out_base);
+  check_int "second" 20 (Full.get_mem s (Mssp_isa.Layout.out_base + 1))
+
+(* --- nop / fork / halt / fault --- *)
+
+let test_trivia () =
+  expect_step Instr.Nop (fun s -> check_int "nop pc" (pc0 + 1) (Full.pc s));
+  expect_step (Instr.Fork 0x9999) (fun s ->
+      check_int "fork = nop here" (pc0 + 1) (Full.pc s));
+  let s, outcome = exec Instr.Halt in
+  check "halted" true (outcome = Exec.Halted);
+  check_int "halt leaves pc" pc0 (Full.pc s);
+  let _, outcome = exec (Instr.Li (t0, 0)) in
+  check "li steps" true (outcome = Exec.Stepped);
+  (* fault: write an undecodable word at the pc *)
+  let s = Full.create () in
+  Full.set_pc s pc0;
+  Full.set_mem s pc0 max_int;
+  let outcome =
+    Exec.step ~read:(fun c -> Some (Full.get s c)) ~write:(fun c v -> Full.set s c v)
+  in
+  (match outcome with
+  | Exec.Fault (Exec.Undecodable { pc; word }) ->
+    check_int "fault pc" pc0 pc;
+    check "fault word" true (word = max_int)
+  | _ -> Alcotest.fail "expected fault");
+  check_int "fault leaves pc" pc0 (Full.pc s)
+
+(* decode_cached must agree with decode everywhere, including junk *)
+let prop_decode_cached_agrees =
+  QCheck.Test.make ~name:"decode_cached = decode" ~count:2000
+    QCheck.(frequency [ (1, int); (3, int_bound ((1 lsl 55) - 1)) ])
+    (fun w -> Instr.decode_cached w = Instr.decode w)
+
+let () =
+  Alcotest.run "exec_semantics"
+    [
+      ( "alu",
+        [
+          Alcotest.test_case "register forms" `Quick test_alu_reg_forms;
+          Alcotest.test_case "immediate forms" `Quick test_alu_imm_forms;
+          Alcotest.test_case "same src/dest" `Quick test_alu_same_source_dest;
+          Alcotest.test_case "zero register" `Quick test_zero_register;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "loads/stores" `Quick test_loads_stores;
+          Alcotest.test_case "out stream" `Quick test_out_appends;
+        ] );
+      ( "control",
+        [
+          Alcotest.test_case "branches" `Quick test_branches;
+          Alcotest.test_case "jumps" `Quick test_jumps;
+          Alcotest.test_case "nop/fork/halt/fault" `Quick test_trivia;
+        ] );
+      ("decode", [ QCheck_alcotest.to_alcotest prop_decode_cached_agrees ]);
+    ]

@@ -1,0 +1,536 @@
+(* MiniC tests: lexer/parser units, interpreter semantics, and the
+   compiler's differential test — every program runs both through the
+   reference interpreter and compiled on the SIR machine, and the two
+   must agree on every printed value and on main's return value. *)
+
+module Lexer = Mssp_minic.Lexer
+module Parser = Mssp_minic.Parser
+module Ast = Mssp_minic.Ast
+module Interp = Mssp_minic.Interp
+module Codegen = Mssp_minic.Codegen
+module Machine = Mssp_seq.Machine
+module Full = Mssp_state.Full
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- lexing / parsing --- *)
+
+let test_lexer_basics () =
+  let toks = List.map fst (Lexer.tokenize "int x = 42; // comment\nx <= 7") in
+  check "tokens" true
+    (toks
+    = [
+        Lexer.INT_KW; Lexer.IDENT "x"; Lexer.EQ; Lexer.NUM 42; Lexer.SEMI;
+        Lexer.IDENT "x"; Lexer.LE; Lexer.NUM 7; Lexer.EOF;
+      ]);
+  let toks = List.map fst (Lexer.tokenize "/* a\nb */ while") in
+  check "block comment" true (toks = [ Lexer.WHILE; Lexer.EOF ]);
+  check "illegal char" true
+    (try
+       ignore (Lexer.tokenize "int $;");
+       false
+     with Lexer.Lex_error { line = 1; _ } -> true)
+
+let test_parser_precedence () =
+  match Parser.parse "int main() { return 1 + 2 * 3 < 7 && 1; }" with
+  | Error e -> Alcotest.failf "parse: %s" (Format.asprintf "%a" Parser.pp_error e)
+  | Ok ast -> (
+    match ast with
+    | [ Ast.Func ("main", [], [ Ast.Return (Some e) ]) ] ->
+      (* (((1 + (2*3)) < 7) && 1) *)
+      check "precedence" true
+        (e
+        = Ast.Binop
+            ( Ast.And,
+              Ast.Binop
+                ( Ast.Lt,
+                  Ast.Binop (Ast.Add, Ast.Int 1, Ast.Binop (Ast.Mul, Ast.Int 2, Ast.Int 3)),
+                  Ast.Int 7 ),
+              Ast.Int 1 ))
+    | _ -> Alcotest.fail "unexpected ast shape")
+
+let test_parser_errors () =
+  List.iter
+    (fun src ->
+      match Parser.parse src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected parse error for %S" src)
+    [
+      "int main( { }";
+      "int main() { return }";
+      "int main() { if 1 {} }";
+      "int x[0];";
+      "main() {}";
+      "int main() { 1 + ; }";
+    ]
+
+(* --- interpreter --- *)
+
+let interp src =
+  match Interp.run (Parser.parse_exn src) with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "interp: %s" (Format.asprintf "%a" Interp.pp_error e)
+
+let test_interp_basics () =
+  let out, ret = interp "int main() { print(1+2); return 41 + 1; }" in
+  check "print" true (out = [ 3 ]);
+  check_int "return" 42 ret;
+  let out, _ = interp
+    "int g; int main() { g = 5; int i = 0; while (i < 3) { print(g + i); i = i + 1; } }"
+  in
+  check "loop output" true (out = [ 5; 6; 7 ]);
+  let _, ret = interp "int main() { return 7 / 0 + 5 % 0; }" in
+  check_int "div/mod by zero are 0" 0 ret
+
+let test_interp_short_circuit () =
+  (* the right operand of && must not run when the left is false *)
+  let out, _ = interp
+    "int boom() { print(99); return 1; }\n\
+     int main() { if (0 && boom()) { print(1); } if (1 || boom()) { print(2); } }"
+  in
+  check "no boom" true (out = [ 2 ])
+
+let test_interp_errors () =
+  let run src =
+    match Interp.run (Parser.parse_exn src) with
+    | Ok _ -> None
+    | Error e -> Some e
+  in
+  check "unbound" true (run "int main() { return x; }" = Some (Interp.Unbound "x"));
+  check "no main" true (run "int f() { return 1; }" = Some Interp.No_main);
+  check "bounds" true
+    (run "int a[3]; int main() { return a[5]; }" = Some (Interp.Out_of_bounds ("a", 5)));
+  check "arity" true
+    (run "int f(int x) { return x; } int main() { return f(1, 2); }"
+    = Some (Interp.Arity ("f", 1, 2)));
+  check "fuel" true
+    (match Interp.run ~fuel:100 (Parser.parse_exn "int main() { while (1) {} }") with
+    | Error Interp.Out_of_fuel -> true
+    | _ -> false)
+
+(* --- differential testing: compiled vs interpreted --- *)
+
+let differential ?(fuel = 5_000_000) name src =
+  let ast = Parser.parse_exn src in
+  let interp_result = Interp.run ~fuel ast in
+  match interp_result with
+  | Error e ->
+    Alcotest.failf "%s: interpreter failed: %s" name
+      (Format.asprintf "%a" Interp.pp_error e)
+  | Ok (expected_out, expected_ret) ->
+    let p = Codegen.compile_exn ast in
+    let m = Machine.run_program ~fuel p in
+    check (name ^ " halts") true (m.Machine.stopped = Some Machine.Halted);
+    let got_out = Machine.output m.Machine.state in
+    if got_out <> expected_out then
+      Alcotest.failf "%s: output mismatch: interp [%s], compiled [%s]" name
+        (String.concat ";" (List.map string_of_int expected_out))
+        (String.concat ";" (List.map string_of_int got_out));
+    (* main's return value lands in t0 just before halt *)
+    check_int (name ^ " return value") expected_ret
+      (Full.get_reg m.Machine.state Mssp_asm.Regs.t0)
+
+let fib_src =
+  {|
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+int main() {
+  int i = 0;
+  while (i <= 12) { print(fib(i)); i = i + 1; }
+  return fib(15);
+}
+|}
+
+let sieve_src =
+  {|
+int sieve[200];
+int main() {
+  int count = 0;
+  int i = 2;
+  while (i < 200) {
+    if (sieve[i] == 0) {
+      count = count + 1;
+      print(i);
+      int j = i * i;
+      while (j < 200) { sieve[j] = 1; j = j + i; }
+    }
+    i = i + 1;
+  }
+  return count;
+}
+|}
+
+let nqueens_src =
+  {|
+int cols[16];
+int diag1[32];
+int diag2[32];
+int solutions;
+int n;
+
+int solve(int row) {
+  if (row == n) { solutions = solutions + 1; return 0; }
+  int c = 0;
+  while (c < n) {
+    if (!cols[c] && !diag1[row + c] && !diag2[row - c + n]) {
+      cols[c] = 1; diag1[row + c] = 1; diag2[row - c + n] = 1;
+      solve(row + 1);
+      cols[c] = 0; diag1[row + c] = 0; diag2[row - c + n] = 0;
+    }
+    c = c + 1;
+  }
+  return 0;
+}
+
+int main() {
+  n = 6;
+  solutions = 0;
+  solve(0);
+  print(solutions);
+  return solutions;
+}
+|}
+
+let gcd_lcm_src =
+  {|
+int gcd(int a, int b) {
+  while (b != 0) { int t = b; b = a % b; a = t; }
+  return a;
+}
+int main() {
+  print(gcd(48, 36));
+  print(gcd(17, 5));
+  print(gcd(0, 9));
+  print(48 * 36 / gcd(48, 36));
+  return gcd(1071, 462);
+}
+|}
+
+let sort_src =
+  {|
+int a[40];
+int main() {
+  int i = 0;
+  int seed = 12345;
+  while (i < 40) {
+    seed = (seed * 1103 + 12345) % 100000;
+    a[i] = seed % 1000;
+    i = i + 1;
+  }
+  // insertion sort
+  i = 1;
+  while (i < 40) {
+    int key = a[i];
+    int j = i - 1;
+    while (j >= 0 && a[j] > key) { a[j + 1] = a[j]; j = j - 1; }
+    a[j + 1] = key;
+    i = i + 1;
+  }
+  // verify and print a digest
+  int ok = 1;
+  int digest = 0;
+  i = 1;
+  while (i < 40) {
+    if (a[i - 1] > a[i]) { ok = 0; }
+    digest = digest + a[i] * i;
+    i = i + 1;
+  }
+  print(ok);
+  print(digest);
+  return ok;
+}
+|}
+
+let edge_cases_src =
+  {|
+int g;
+int shadowing(int g) { g = g + 1; return g; }
+int main() {
+  g = 10;
+  print(shadowing(5));  // 6: parameter shadows the global
+  print(g);             // 10: global untouched
+  print(-7 / 2);        // -3: truncated division
+  print(-7 % 2);        // -1
+  print(!0 + !5);       // 1
+  int x;
+  print(x);             // 0: locals zero-initialized
+  if (1) { int y = 9; print(y); }
+  return 0;
+}
+|}
+
+let for_loop_src =
+  {|
+int a[10];
+int main() {
+  for (int i = 0; i < 10; i = i + 1) { a[i] = i * i; }
+  int total = 0;
+  for (int i = 9; i >= 0; i = i - 1) { total = total + a[i]; }
+  // else-if chains and a condition-less-init for
+  int k = 0;
+  for (; k < 3; k = k + 1) {
+    if (k == 0) { print(100); }
+    else if (k == 1) { print(200); }
+    else { print(300); }
+  }
+  print(total);
+  return total;
+}
+|}
+
+let test_for_and_else_if () =
+  differential "for/else-if" for_loop_src;
+  let out, ret = interp for_loop_src in
+  check "sequence" true (out = [ 100; 200; 300; 285 ]);
+  check_int "sum of squares below 10" 285 ret
+
+let test_differential () =
+  differential "fib" fib_src;
+  differential "sieve" sieve_src;
+  differential "nqueens" nqueens_src;
+  differential "gcd" gcd_lcm_src;
+  differential "sort" sort_src;
+  differential "edge cases" edge_cases_src
+
+(* --- differential fuzzing: random terminating MiniC programs --- *)
+
+(* Random ASTs over a fixed environment: globals g0, g1, array arr[16],
+   locals x/y/z (plus parameter p inside the leaf function f1). Loops
+   are always counted via dedicated counters the body never writes, so
+   every generated program terminates. Array indices are wrapped into
+   range with ((e % 16) + 16) % 16, which both sides implement
+   identically. *)
+module Fuzz = struct
+  open QCheck.Gen
+
+  let wrap_index e =
+    Ast.Binop
+      ( Ast.Mod,
+        Ast.Binop (Ast.Add, Ast.Binop (Ast.Mod, e, Ast.Int 16), Ast.Int 16),
+        Ast.Int 16 )
+
+  let var_names ~in_leaf =
+    if in_leaf then [ "x"; "y"; "p" ] else [ "x"; "y"; "z"; "g0"; "g1" ]
+
+  let rec expr ~in_leaf depth st =
+    if depth = 0 then
+      (match int_bound 5 st with
+      | 0 | 1 -> Ast.Int (int_range (-50) 50 st)
+      | 2 | 3 -> Ast.Var (oneofl (var_names ~in_leaf) st)
+      | _ -> Ast.Index ("arr", wrap_index (Ast.Int (int_bound 15 st))))
+    else
+      match int_bound 9 st with
+      | 0 -> Ast.Int (int_range (-50) 50 st)
+      | 1 -> Ast.Var (oneofl (var_names ~in_leaf) st)
+      | 2 -> Ast.Index ("arr", wrap_index (expr ~in_leaf (depth - 1) st))
+      | 3 -> Ast.Unop (oneofl [ Ast.Neg; Ast.Not ] st, expr ~in_leaf (depth - 1) st)
+      | 4 | 5 | 6 ->
+        let op =
+          oneofl
+            [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Mod; Ast.Eq; Ast.Ne;
+              Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge; Ast.And; Ast.Or ]
+            st
+        in
+        Ast.Binop (op, expr ~in_leaf (depth - 1) st, expr ~in_leaf (depth - 1) st)
+      | 7 when not in_leaf -> Ast.Call ("f1", [ expr ~in_leaf (depth - 1) st ])
+      | _ ->
+        Ast.Binop
+          (Ast.Add, expr ~in_leaf (depth - 1) st, expr ~in_leaf (depth - 1) st)
+
+  let rec stmts ~in_leaf ~loop_depth budget st =
+    if budget <= 0 then []
+    else
+      let s =
+        match int_bound 9 st with
+        | 0 | 1 ->
+          Ast.Assign
+            (oneofl (var_names ~in_leaf) st, expr ~in_leaf 2 st)
+        | 2 ->
+          Ast.Store
+            ("arr", wrap_index (expr ~in_leaf 1 st), expr ~in_leaf 2 st)
+        | 3 | 4 -> Ast.Print (expr ~in_leaf 2 st)
+        | 5 | 6 ->
+          Ast.If
+            ( expr ~in_leaf 2 st,
+              stmts ~in_leaf ~loop_depth (budget / 2) st,
+              stmts ~in_leaf ~loop_depth (budget / 2) st )
+        | 7 when loop_depth < 2 ->
+          (* counted loop with a dedicated counter *)
+          let counter = Printf.sprintf "l%d" loop_depth in
+          let trips = 1 + int_bound 4 st in
+          Ast.If
+            ( Ast.Int 1,
+              [
+                Ast.Local (counter, Some (Ast.Int trips));
+                Ast.While
+                  ( Ast.Binop (Ast.Gt, Ast.Var counter, Ast.Int 0),
+                    stmts ~in_leaf ~loop_depth:(loop_depth + 1) (budget / 2) st
+                    @ [
+                        Ast.Assign
+                          (counter, Ast.Binop (Ast.Sub, Ast.Var counter, Ast.Int 1));
+                      ] );
+              ],
+              [] )
+        | _ -> Ast.Expr (expr ~in_leaf 2 st)
+      in
+      s :: stmts ~in_leaf ~loop_depth (budget - 1) st
+
+  let program st =
+    let leaf_body =
+      [ Ast.Local ("x", Some (Ast.Int 1)); Ast.Local ("y", None) ]
+      @ stmts ~in_leaf:true ~loop_depth:0 4 st
+      @ [ Ast.Return (Some (expr ~in_leaf:true 2 st)) ]
+    in
+    let main_body =
+      [
+        Ast.Local ("x", Some (Ast.Int 3));
+        Ast.Local ("y", Some (Ast.Int (-2)));
+        Ast.Local ("z", None);
+      ]
+      @ stmts ~in_leaf:false ~loop_depth:0 8 st
+      @ [ Ast.Return (Some (expr ~in_leaf:false 2 st)) ]
+    in
+    [
+      Ast.Global ("g0", 1);
+      Ast.Global ("g1", 1);
+      Ast.Global ("arr", 16);
+      Ast.Func ("f1", [ "p" ], leaf_body);
+      Ast.Func ("main", [], main_body);
+    ]
+
+  let arbitrary =
+    QCheck.make
+      ~print:(fun p -> Format.asprintf "@[<v>%a@]" Ast.pp_program p)
+      program
+end
+
+let prop_compiler_matches_interpreter =
+  QCheck.Test.make ~name:"compiled = interpreted on random programs"
+    ~count:60 Fuzz.arbitrary (fun ast ->
+      match Interp.run ~fuel:2_000_000 ast with
+      | Error _ -> QCheck.assume_fail () (* e.g. fuel: out of scope *)
+      | Ok (expected_out, expected_ret) -> (
+        match Codegen.compile ast with
+        | Error _ -> false (* generator only produces compilable programs *)
+        | Ok p ->
+          let m = Machine.run_program ~fuel:5_000_000 p in
+          m.Machine.stopped = Some Machine.Halted
+          && Machine.output m.Machine.state = expected_out
+          && Full.get_reg m.Machine.state Mssp_asm.Regs.t0 = expected_ret))
+
+(* --- optimizer: exactness, folding power --- *)
+
+let test_optimizer_folds () =
+  let module O = Mssp_minic.Optimize in
+  let fold src expect =
+    match Parser.parse_exn ("int main() { return " ^ src ^ "; }") with
+    | [ Ast.Func (_, _, [ Ast.Return (Some e) ]) ] ->
+      check (src ^ " folds") true (O.fold_expr e = expect)
+    | _ -> Alcotest.fail "shape"
+  in
+  fold "1 + 2 * 3" (Ast.Int 7);
+  fold "7 / 0" (Ast.Int 0);
+  fold "-(3 - 5)" (Ast.Int 2);
+  fold "!(2 > 1)" (Ast.Int 0);
+  fold "0 && 1 / 0" (Ast.Int 0);
+  fold "5 || 1 / 0" (Ast.Int 1);
+  fold "x + 0" (Ast.Var "x");
+  fold "1 * x" (Ast.Var "x");
+  (* effectful operands are never dropped *)
+  (match O.fold_expr (Ast.Binop (Ast.Mul, Ast.Call ("f", []), Ast.Int 0)) with
+  | Ast.Binop (Ast.Mul, Ast.Call _, Ast.Int 0) -> ()
+  | _ -> Alcotest.fail "call dropped by folding");
+  (* dead branches disappear *)
+  let stmts =
+    O.fold_stmts
+      [
+        Ast.If (Ast.Int 0, [ Ast.Print (Ast.Int 1) ], [ Ast.Print (Ast.Int 2) ]);
+        Ast.While (Ast.Int 0, [ Ast.Print (Ast.Int 3) ]);
+      ]
+  in
+  check "pruned" true (stmts = [ Ast.Print (Ast.Int 2) ])
+
+let test_optimizer_shrinks_code () =
+  let src =
+    "int main() { int x = 2 * 3 + 4; if (1 < 2) { print(x + 0); } else { print(1/0); } return 0; }"
+  in
+  let plain = Result.get_ok (Codegen.compile_source ~optimize:false src) in
+  let opt = Result.get_ok (Codegen.compile_source src) in
+  check "smaller" true
+    (Mssp_isa.Program.length opt < Mssp_isa.Program.length plain);
+  let m = Machine.run_program opt and m' = Machine.run_program plain in
+  check "same output" true
+    (Machine.output m.Machine.state = Machine.output m'.Machine.state)
+
+let prop_optimizer_preserves_semantics =
+  QCheck.Test.make ~name:"folding preserves semantics on random programs"
+    ~count:60 Fuzz.arbitrary (fun ast ->
+      let folded = Mssp_minic.Optimize.fold_program ast in
+      match (Interp.run ~fuel:2_000_000 ast, Interp.run ~fuel:4_000_000 folded) with
+      | Ok (out, ret), Ok (out', ret') -> out = out' && ret = ret'
+      | Error Interp.Out_of_fuel, _ -> QCheck.assume_fail ()
+      | _, _ -> false)
+
+let test_codegen_errors () =
+  let compile src = Codegen.compile (Parser.parse_exn src) in
+  List.iter
+    (fun (src, what) ->
+      match compile src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected codegen error: %s" what)
+    [
+      ("int f() { return 1; }", "no main");
+      ("int main() { return g(); }", "unknown function");
+      ("int main() { return x; }", "unbound variable");
+      ("int f(int x) { return x; } int main() { return f(); }", "arity");
+      ("int a[3]; int main() { return a; }", "array as scalar");
+      ("int x; int x; int main() { return 0; }", "duplicate global");
+    ]
+
+(* compiled MiniC under MSSP: the full pipeline on compiler output *)
+let test_minic_under_mssp () =
+  let p = Codegen.compile_exn (Parser.parse_exn nqueens_src) in
+  let profile = Mssp_profile.Profile.collect p in
+  let d = Mssp_distill.Distill.distill p profile in
+  let seq = Machine.run_program p in
+  let cfg =
+    { Mssp_core.Mssp_config.default with Mssp_core.Mssp_config.verify_refinement = true }
+  in
+  let r = Mssp_core.Mssp_machine.run ~config:cfg d in
+  check "halted" true (r.Mssp_core.Mssp_machine.stop = Mssp_core.Mssp_machine.Halted);
+  check "same output" true
+    (Machine.output seq.Machine.state = Machine.output r.Mssp_core.Mssp_machine.arch);
+  check_int "no refinement violations" 0
+    r.Mssp_core.Mssp_machine.refinement_violations;
+  check "parallelized" true (r.Mssp_core.Mssp_machine.stats.Mssp_core.Mssp_machine.tasks_committed > 5)
+
+let () =
+  Alcotest.run "minic"
+    [
+      ( "front end",
+        [
+          Alcotest.test_case "lexer" `Quick test_lexer_basics;
+          Alcotest.test_case "precedence" `Quick test_parser_precedence;
+          Alcotest.test_case "parse errors" `Quick test_parser_errors;
+        ] );
+      ( "interpreter",
+        [
+          Alcotest.test_case "basics" `Quick test_interp_basics;
+          Alcotest.test_case "short circuit" `Quick test_interp_short_circuit;
+          Alcotest.test_case "errors" `Quick test_interp_errors;
+        ] );
+      ( "compiler",
+        [
+          Alcotest.test_case "differential suite" `Quick test_differential;
+          Alcotest.test_case "for / else-if" `Quick test_for_and_else_if;
+          QCheck_alcotest.to_alcotest prop_compiler_matches_interpreter;
+          Alcotest.test_case "optimizer folds" `Quick test_optimizer_folds;
+          Alcotest.test_case "optimizer shrinks" `Quick test_optimizer_shrinks_code;
+          QCheck_alcotest.to_alcotest prop_optimizer_preserves_semantics;
+          Alcotest.test_case "codegen errors" `Quick test_codegen_errors;
+          Alcotest.test_case "under MSSP" `Quick test_minic_under_mssp;
+        ] );
+    ]

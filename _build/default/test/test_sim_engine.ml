@@ -1,0 +1,123 @@
+(* Tests for the event-queue heap and the discrete-event kernel. *)
+
+open Mssp_sim_engine
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- heap --- *)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.push h ~key:k k) [ 5; 1; 4; 1; 3 ];
+  let popped = List.init 5 (fun _ -> Option.get (Heap.pop h)) in
+  check "sorted keys" true (List.map fst popped = [ 1; 1; 3; 4; 5 ]);
+  check "empty afterwards" true (Heap.pop h = None)
+
+let test_heap_fifo_among_equal () =
+  let h = Heap.create () in
+  List.iteri (fun i v -> Heap.push h ~key:7 (i, v)) [ "a"; "b"; "c" ];
+  let popped = List.init 3 (fun _ -> snd (Option.get (Heap.pop h))) in
+  check "FIFO among equal keys" true (List.map snd popped = [ "a"; "b"; "c" ])
+
+let test_heap_misc () =
+  let h = Heap.create () in
+  check "empty" true (Heap.is_empty h);
+  Heap.push h ~key:2 ();
+  Heap.push h ~key:1 ();
+  check_int "length" 2 (Heap.length h);
+  check "peek" true (Heap.peek_key h = Some 1);
+  Heap.clear h;
+  check "cleared" true (Heap.is_empty h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops keys in nondecreasing order" ~count:200
+    QCheck.(list int)
+    (fun keys ->
+      let h = Heap.create () in
+      List.iter (fun k -> Heap.push h ~key:k ()) keys;
+      let rec drain acc =
+        match Heap.pop h with
+        | Some (k, ()) -> drain (k :: acc)
+        | None -> List.rev acc
+      in
+      let out = drain [] in
+      out = List.sort Int.compare keys)
+
+(* --- sim --- *)
+
+let test_sim_time_ordering () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.schedule sim ~delay:10 (fun () -> log := (10, Sim.now sim) :: !log);
+  Sim.schedule sim ~delay:5 (fun () -> log := (5, Sim.now sim) :: !log);
+  Sim.schedule sim ~delay:5 (fun () ->
+      (* nested scheduling: relative to now = 5 *)
+      Sim.schedule sim ~delay:2 (fun () -> log := (7, Sim.now sim) :: !log));
+  check "drained" true (Sim.run sim = Sim.Drained);
+  let events = List.rev !log in
+  check "order and clocks" true (events = [ (5, 5); (7, 7); (10, 10) ]);
+  check_int "final time" 10 (Sim.now sim)
+
+let test_sim_limit () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  Sim.schedule sim ~delay:5 (fun () -> incr fired);
+  Sim.schedule sim ~delay:50 (fun () -> incr fired);
+  check "hit limit" true (Sim.run ~limit:10 sim = Sim.Hit_limit);
+  check_int "only early event" 1 !fired;
+  check "resume drains" true (Sim.run sim = Sim.Drained);
+  check_int "both fired" 2 !fired
+
+let test_sim_negative_delay () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Sim.schedule: negative delay")
+    (fun () -> Sim.schedule sim ~delay:(-1) (fun () -> ()))
+
+let test_sim_epoch_cancellation () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  let guard name =
+    let ep = Sim.epoch sim in
+    fun () -> if not (Sim.cancelled sim ep) then fired := name :: !fired
+  in
+  Sim.schedule sim ~delay:1 (guard "early");
+  Sim.schedule sim ~delay:3 (guard "stale");
+  Sim.schedule sim ~delay:2 (fun () -> Sim.bump_epoch sim);
+  (* rescheduled after the bump: new epoch, survives *)
+  Sim.schedule sim ~delay:2 (fun () -> Sim.schedule sim ~delay:5 (guard "fresh"));
+  ignore (Sim.run sim : Sim.outcome);
+  check "early fired, stale dropped, fresh fired" true
+    (List.rev !fired = [ "early"; "fresh" ])
+
+let test_sim_determinism () =
+  let run () =
+    let sim = Sim.create () in
+    let log = ref [] in
+    for i = 0 to 9 do
+      Sim.schedule sim ~delay:(i mod 3) (fun () -> log := i :: !log)
+    done;
+    ignore (Sim.run sim : Sim.outcome);
+    List.rev !log
+  in
+  check "two runs identical" true (run () = run ())
+
+let () =
+  Alcotest.run "sim_engine"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_order;
+          Alcotest.test_case "FIFO ties" `Quick test_heap_fifo_among_equal;
+          Alcotest.test_case "misc" `Quick test_heap_misc;
+          QCheck_alcotest.to_alcotest prop_heap_sorts;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "time ordering" `Quick test_sim_time_ordering;
+          Alcotest.test_case "limit" `Quick test_sim_limit;
+          Alcotest.test_case "negative delay" `Quick test_sim_negative_delay;
+          Alcotest.test_case "epoch cancellation" `Quick test_sim_epoch_cancellation;
+          Alcotest.test_case "determinism" `Quick test_sim_determinism;
+        ] );
+    ]

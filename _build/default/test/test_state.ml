@@ -1,0 +1,206 @@
+(* Tests for cells, fragments and full states — including the paper's
+   Definition 8 axioms (associativity, containment, idempotency of
+   superimposition) as properties over random fragments. *)
+
+open Mssp_state
+module Reg = Mssp_isa.Reg
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Cell --- *)
+
+let test_cell_order () =
+  check "pc < reg" true (Cell.compare Cell.Pc (Cell.Reg (Reg.of_int 1)) < 0);
+  check "reg < mem" true (Cell.compare (Cell.Reg (Reg.of_int 31)) (Cell.mem 0) < 0);
+  check "mem order" true (Cell.compare (Cell.mem 1) (Cell.mem 2) < 0);
+  check "reg zero is not a cell" true (Cell.reg Reg.zero = None);
+  check "other regs are" true (Cell.reg (Reg.of_int 3) <> None);
+  check "io" true (Cell.is_io (Cell.mem Mssp_isa.Layout.io_base));
+  check "not io" false (Cell.is_io (Cell.mem 0))
+
+(* --- Fragment --- *)
+
+let test_fragment_basics () =
+  let f = Fragment.of_list [ (Cell.Pc, 5); (Cell.mem 10, 42) ] in
+  check_int "cardinal" 2 (Fragment.cardinal f);
+  check "find" true (Fragment.find_opt (Cell.mem 10) f = Some 42);
+  check "pc" true (Fragment.pc f = Some 5);
+  check "missing" true (Fragment.find_opt (Cell.mem 11) f = None);
+  let f' = Fragment.add (Cell.mem 10) 0 f in
+  check "overwrite" true (Fragment.find_opt (Cell.mem 10) f' = Some 0);
+  check "remove" true
+    (Fragment.find_opt (Cell.mem 10) (Fragment.remove (Cell.mem 10) f) = None)
+
+let test_superimpose_semantics () =
+  let s0 = Fragment.of_list [ (Cell.mem 1, 10); (Cell.mem 2, 20) ] in
+  let s1 = Fragment.of_list [ (Cell.mem 2, 99); (Cell.mem 3, 30) ] in
+  let r = Fragment.superimpose s0 s1 in
+  (* s1 wins on overlap; uncovered cells of s0 appear unchanged *)
+  check "overlap" true (Fragment.find_opt (Cell.mem 2) r = Some 99);
+  check "from s0" true (Fragment.find_opt (Cell.mem 1) r = Some 10);
+  check "from s1" true (Fragment.find_opt (Cell.mem 3) r = Some 30);
+  check "unit left" true (Fragment.equal (Fragment.superimpose Fragment.empty s1) s1);
+  check "unit right" true (Fragment.equal (Fragment.superimpose s0 Fragment.empty) s0)
+
+let test_consistent () =
+  let s2 = Fragment.of_list [ (Cell.mem 1, 10); (Cell.mem 2, 20) ] in
+  let sub = Fragment.of_list [ (Cell.mem 1, 10) ] in
+  let conflicting = Fragment.of_list [ (Cell.mem 1, 11) ] in
+  let wider = Fragment.of_list [ (Cell.mem 1, 10); (Cell.mem 9, 1) ] in
+  check "subset ⊑" true (Fragment.consistent sub s2);
+  check "reflexive" true (Fragment.consistent s2 s2);
+  check "empty ⊑ s" true (Fragment.consistent Fragment.empty s2);
+  check "value conflict" false (Fragment.consistent conflicting s2);
+  check "missing cell" false (Fragment.consistent wider s2)
+
+(* Random fragments over a small cell universe so overlaps are common. *)
+let arbitrary_fragment : Fragment.t QCheck.arbitrary =
+  let open QCheck.Gen in
+  let cell =
+    frequency
+      [
+        (1, return Cell.Pc);
+        (3, map (fun i -> Cell.Reg (Reg.of_int (1 + (i mod 31)))) nat);
+        (6, map (fun a -> Cell.mem (a mod 12)) nat);
+      ]
+  in
+  let binding = pair cell (int_bound 5) in
+  let gen = map Fragment.of_list (list_size (int_bound 8) binding) in
+  QCheck.make ~print:Fragment.show gen
+
+let prop_superimpose_assoc =
+  QCheck.Test.make ~name:"(s1 <- s2) <- s3 = s1 <- (s2 <- s3)" ~count:1000
+    (QCheck.triple arbitrary_fragment arbitrary_fragment arbitrary_fragment)
+    (fun (s1, s2, s3) ->
+      Fragment.equal
+        (Fragment.superimpose (Fragment.superimpose s1 s2) s3)
+        (Fragment.superimpose s1 (Fragment.superimpose s2 s3)))
+
+let prop_containment =
+  QCheck.Test.make
+    ~name:"s1 ⊑ s2 implies (s1 <- s3) ⊑ (s2 <- s3)" ~count:1000
+    (QCheck.triple arbitrary_fragment arbitrary_fragment arbitrary_fragment)
+    (fun (s1, s2, s3) ->
+      (* generate a consistent pair by widening s1 *)
+      let s2 = Fragment.superimpose s2 s1 in
+      QCheck.assume (Fragment.consistent s1 s2);
+      Fragment.consistent (Fragment.superimpose s1 s3) (Fragment.superimpose s2 s3))
+
+let prop_idempotency =
+  QCheck.Test.make ~name:"s2 ⊑ s1 implies s1 <- s2 = s1" ~count:1000
+    (QCheck.pair arbitrary_fragment arbitrary_fragment)
+    (fun (s1, s2) ->
+      let s1 = Fragment.superimpose s1 s2 in
+      QCheck.assume (Fragment.consistent s2 s1);
+      Fragment.equal (Fragment.superimpose s1 s2) s1)
+
+let prop_consistent_partial_order =
+  QCheck.Test.make ~name:"⊑ is transitive" ~count:1000
+    (QCheck.triple arbitrary_fragment arbitrary_fragment arbitrary_fragment)
+    (fun (a, b, c) ->
+      let b = Fragment.superimpose b a in
+      let c = Fragment.superimpose c b in
+      QCheck.assume (Fragment.consistent a b && Fragment.consistent b c);
+      Fragment.consistent a c)
+
+(* --- Full --- *)
+
+let test_full_defaults () =
+  let s = Full.create () in
+  check_int "mem default" 0 (Full.get_mem s 123456);
+  check_int "reg default" 0 (Full.get_reg s (Reg.of_int 7));
+  check_int "pc default" 0 (Full.pc s)
+
+let test_full_zero_reg () =
+  let s = Full.create () in
+  Full.set_reg s Reg.zero 42;
+  check_int "zero stays zero" 0 (Full.get_reg s Reg.zero);
+  Full.set s (Cell.Reg Reg.zero) 42;
+  check_int "via cell too" 0 (Full.get s (Cell.Reg Reg.zero))
+
+let test_full_copy_isolated () =
+  let s = Full.create () in
+  Full.set_mem s 5 55;
+  let s' = Full.copy s in
+  Full.set_mem s' 5 66;
+  Full.set_reg s' (Reg.of_int 4) 9;
+  check_int "original mem" 55 (Full.get_mem s 5);
+  check_int "copy mem" 66 (Full.get_mem s' 5);
+  check_int "original reg" 0 (Full.get_reg s (Reg.of_int 4))
+
+let test_full_apply_consistent () =
+  let s = Full.create () in
+  let f = Fragment.of_list [ (Cell.Pc, 7); (Cell.mem 3, 33) ] in
+  check "not yet consistent" false (Full.consistent f s);
+  Full.apply s f;
+  check "now consistent" true (Full.consistent f s);
+  check_int "pc applied" 7 (Full.pc s);
+  (* a fragment binding an untouched mem cell to 0 is consistent: memory
+     is total with default 0 *)
+  check "default-0 consistency" true
+    (Full.consistent (Fragment.singleton (Cell.mem 999) 0) s)
+
+let test_full_load () =
+  let p =
+    Mssp_isa.Program.make ~data:[ (Mssp_isa.Layout.data_base, 77) ]
+      [| Mssp_isa.Instr.Nop; Mssp_isa.Instr.Halt |]
+  in
+  let s = Full.create () in
+  Full.load s p;
+  check_int "pc at entry" p.entry (Full.pc s);
+  check_int "sp seeded" Mssp_isa.Layout.stack_base (Full.get_reg s Reg.sp);
+  check_int "data written" 77 (Full.get_mem s Mssp_isa.Layout.data_base);
+  check "code decodes" true
+    (Mssp_isa.Instr.decode (Full.get_mem s p.base) = Some Mssp_isa.Instr.Nop)
+
+let test_observable_equality () =
+  let s1 = Full.create () and s2 = Full.create () in
+  check "fresh equal" true (Full.equal_observable s1 s2);
+  Full.set_mem s1 10 1;
+  check "diverged" false (Full.equal_observable s1 s2);
+  check "diff located" true
+    (Full.diff_observable s1 s2 = [ (Cell.mem 10, 1, 0) ]);
+  Full.set_mem s2 10 1;
+  check "converged" true (Full.equal_observable s1 s2);
+  (* explicit 0 vs untouched: still equal *)
+  Full.set_mem s1 20 0;
+  check "explicit zero" true (Full.equal_observable s1 s2)
+
+let test_snapshot_restrict () =
+  let s = Full.create () in
+  Full.set_pc s 4;
+  Full.set_mem s 8 88;
+  let snap = Full.snapshot s in
+  check "snap pc" true (Fragment.pc snap = Some 4);
+  check "snap mem" true (Fragment.find_opt (Cell.mem 8) snap = Some 88);
+  check "snap has all regs" true (Fragment.cardinal snap >= 32);
+  let r = Full.restrict s (Cell.Set.of_list [ Cell.mem 8; Cell.mem 9 ]) in
+  check "restrict" true
+    (Fragment.to_list r = [ (Cell.mem 8, 88); (Cell.mem 9, 0) ])
+
+let () =
+  Alcotest.run "state"
+    [
+      ("cell", [ Alcotest.test_case "ordering" `Quick test_cell_order ]);
+      ( "fragment",
+        [
+          Alcotest.test_case "basics" `Quick test_fragment_basics;
+          Alcotest.test_case "superimpose" `Quick test_superimpose_semantics;
+          Alcotest.test_case "consistent" `Quick test_consistent;
+          QCheck_alcotest.to_alcotest prop_superimpose_assoc;
+          QCheck_alcotest.to_alcotest prop_containment;
+          QCheck_alcotest.to_alcotest prop_idempotency;
+          QCheck_alcotest.to_alcotest prop_consistent_partial_order;
+        ] );
+      ( "full",
+        [
+          Alcotest.test_case "defaults" `Quick test_full_defaults;
+          Alcotest.test_case "zero register" `Quick test_full_zero_reg;
+          Alcotest.test_case "copy isolation" `Quick test_full_copy_isolated;
+          Alcotest.test_case "apply/consistent" `Quick test_full_apply_consistent;
+          Alcotest.test_case "load" `Quick test_full_load;
+          Alcotest.test_case "observable equality" `Quick test_observable_equality;
+          Alcotest.test_case "snapshot/restrict" `Quick test_snapshot_restrict;
+        ] );
+    ]

@@ -1,0 +1,242 @@
+(* Tests for speculative tasks: view resolution order, live-in recording,
+   boundary/occurrence completion, budgets, failures, I/O refusal. *)
+
+module Cell = Mssp_state.Cell
+module Fragment = Mssp_state.Fragment
+module Full = Mssp_state.Full
+module Layout = Mssp_isa.Layout
+module Instr = Mssp_isa.Instr
+module Task = Mssp_task.Task
+module Dsl = Mssp_asm.Dsl
+open Mssp_asm.Regs
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let build f =
+  let b = Dsl.create () in
+  f b;
+  Dsl.build b ()
+
+(* load a program into a full state to serve as architected state *)
+let arch_of p =
+  let s = Full.create () in
+  Full.load s p;
+  s
+
+let fallback arch = Task.Fallback (fun c -> Full.get arch c)
+
+let simple_loop =
+  build (fun b ->
+      Dsl.label b "head";
+      Dsl.alui b Instr.Add t1 t1 1;
+      Dsl.alui b Instr.Sub t0 t0 1;
+      Dsl.br b Instr.Gt t0 zero "head";
+      Dsl.halt b)
+
+let head = simple_loop.Mssp_isa.Program.entry
+
+let make_task ?(occurrence = 1) ?(budget = 1000) ~live_in ~end_pc () =
+  Task.make ~id:0 ~start_pc:head ~end_pc ~end_occurrence:occurrence ~budget
+    ~live_in
+
+let t0_cell = Cell.Reg t0
+let t1_cell = Cell.Reg t1
+
+let test_runs_to_halt () =
+  let arch = arch_of simple_loop in
+  let live_in = Fragment.of_list [ (t0_cell, 3); (t1_cell, 0) ] in
+  let task = make_task ~live_in ~end_pc:None () in
+  check "halts" true (Task.run task (fallback arch) = Task.Complete Task.Program_halted);
+  check_int "executed 3 iterations" 9 task.Task.executed;
+  check "t1 live-out" true (Fragment.find_opt t1_cell task.Task.writes = Some 3);
+  (* final pc points at halt *)
+  check "final pc" true (Fragment.pc task.Task.writes = Some (head + 3))
+
+let test_boundary_first_occurrence () =
+  let arch = arch_of simple_loop in
+  let live_in = Fragment.of_list [ (t0_cell, 5); (t1_cell, 0) ] in
+  let task = make_task ~live_in ~end_pc:(Some head) () in
+  check "boundary" true
+    (Task.run task (fallback arch) = Task.Complete Task.Reached_boundary);
+  check_int "one iteration" 3 task.Task.executed;
+  check "t1 = 1" true (Fragment.find_opt t1_cell task.Task.writes = Some 1)
+
+let test_boundary_kth_occurrence () =
+  let arch = arch_of simple_loop in
+  let live_in = Fragment.of_list [ (t0_cell, 5); (t1_cell, 0) ] in
+  let task = make_task ~occurrence:3 ~live_in ~end_pc:(Some head) () in
+  check "boundary" true
+    (Task.run task (fallback arch) = Task.Complete Task.Reached_boundary);
+  check_int "three iterations" 9 task.Task.executed;
+  check "t1 = 3" true (Fragment.find_opt t1_cell task.Task.writes = Some 3)
+
+let test_budget_exhaustion () =
+  let arch = arch_of simple_loop in
+  (* boundary occurrence never reached before the loop ends: the task
+     overruns into the halt... set end occurrence beyond iteration count
+     and a small budget *)
+  let live_in = Fragment.of_list [ (t0_cell, 1000); (t1_cell, 0) ] in
+  let task = make_task ~budget:10 ~occurrence:100 ~live_in ~end_pc:(Some head) () in
+  check "budget" true (Task.run task (fallback arch) = Task.Failed Task.Budget_exhausted);
+  check_int "stopped at budget" 10 task.Task.executed
+
+let test_read_resolution_order () =
+  let arch = arch_of simple_loop in
+  Full.set_reg arch t0 77 (* architected value, should be shadowed *);
+  let live_in = Fragment.of_list [ (t0_cell, 2); (t1_cell, 0) ] in
+  let task = make_task ~live_in ~end_pc:None () in
+  ignore (Task.run task (fallback arch) : Task.status);
+  (* live-in shadows architected: 2 iterations, not 77 *)
+  check "live-in wins" true (Fragment.find_opt t1_cell task.Task.writes = Some 2);
+  (* own writes shadow live-in: recorded read of t0 is the live-in value,
+     once, not subsequent own values *)
+  check "recorded t0 is live-in" true
+    (Fragment.find_opt t0_cell task.Task.reads = Some 2)
+
+let test_records_fallback_reads () =
+  let arch = arch_of simple_loop in
+  Full.set_reg arch t1 5;
+  (* t1 missing from live-in: read through to architected state *)
+  let live_in = Fragment.of_list [ (t0_cell, 1) ] in
+  let task = make_task ~live_in ~end_pc:None () in
+  ignore (Task.run task (fallback arch) : Task.status);
+  check "fallback read recorded" true
+    (Fragment.find_opt t1_cell task.Task.reads = Some 5);
+  check "result uses fallback value" true
+    (Fragment.find_opt t1_cell task.Task.writes = Some 6);
+  (* pc is recorded as a live-in too *)
+  check "pc recorded" true (Fragment.find_opt Cell.Pc task.Task.reads = Some head)
+
+let test_isolated_missing_memory_reads_zero () =
+  (* isolated mode: unwritten memory reads as 0 and the 0 is recorded *)
+  let p =
+    build (fun b ->
+        Dsl.ld b t1 zero 12345;
+        Dsl.halt b)
+  in
+  let full = Full.create () in
+  Full.load full p;
+  let live_in = Fragment.add Cell.Pc p.Mssp_isa.Program.entry (Full.snapshot full) in
+  let task =
+    Task.make ~id:1 ~start_pc:p.Mssp_isa.Program.entry ~end_pc:None
+      ~end_occurrence:1 ~budget:10 ~live_in
+  in
+  check "halts" true (Task.run task Task.Isolated = Task.Complete Task.Program_halted);
+  check "zero read recorded" true
+    (Fragment.find_opt (Cell.mem 12345) task.Task.reads = Some 0);
+  check "t1 = 0" true (Fragment.find_opt (Cell.Reg t1) task.Task.writes = Some 0)
+
+let test_io_refusal () =
+  let p =
+    build (fun b ->
+        Dsl.li b t0 9;
+        Dsl.li b t1 Layout.io_base;
+        Dsl.st b t0 t1 0;
+        Dsl.halt b)
+  in
+  let arch = arch_of p in
+  let live_in = Fragment.singleton Cell.Pc p.Mssp_isa.Program.entry in
+  let task =
+    Task.make ~id:2 ~start_pc:p.Mssp_isa.Program.entry ~end_pc:None
+      ~end_occurrence:1 ~budget:10 ~live_in
+  in
+  (match Task.run task (fallback arch) with
+  | Task.Failed (Task.Io_speculative c) ->
+    check "right cell" true (Cell.equal c (Cell.mem Layout.io_base))
+  | other -> Alcotest.failf "expected I/O refusal, got %s"
+      (Format.asprintf "%a" Task.pp_status other));
+  (* the two Li instructions executed; the store did not count *)
+  check_int "stopped at the store" 2 task.Task.executed
+
+let test_fault_reported () =
+  let arch = Full.create () in
+  (* nothing loaded: fetching address 0 yields word 0, undecodable *)
+  let live_in = Fragment.singleton Cell.Pc 0 in
+  let task =
+    Task.make ~id:3 ~start_pc:0 ~end_pc:None ~end_occurrence:1 ~budget:10
+      ~live_in
+  in
+  match Task.run task (fallback arch) with
+  | Task.Failed (Task.Fault _) -> ()
+  | other ->
+    Alcotest.failf "expected fault, got %s"
+      (Format.asprintf "%a" Task.pp_status other)
+
+let test_on_access_hook () =
+  let arch = arch_of simple_loop in
+  let live_in = Fragment.of_list [ (t0_cell, 1); (t1_cell, 0) ] in
+  let task = make_task ~live_in ~end_pc:None () in
+  let touched = ref [] in
+  let on_access c = touched := c :: !touched in
+  ignore (Task.run ~on_access task (fallback arch) : Task.status);
+  (* every instruction fetch is a memory access *)
+  check "fetches observed" true (List.mem (Cell.mem head) !touched)
+
+let test_live_in_size_counts_reads_only () =
+  let arch = arch_of simple_loop in
+  let live_in =
+    Fragment.of_list
+      [ (t0_cell, 1); (t1_cell, 0); (Cell.Reg t5, 99) (* never read *) ]
+  in
+  let task = make_task ~live_in ~end_pc:None () in
+  ignore (Task.run task (fallback arch) : Task.status);
+  check "unread live-in not recorded" false (Fragment.mem (Cell.Reg t5) task.Task.reads);
+  check "live_in_size = recorded" true
+    (Task.live_in_size task = Fragment.cardinal task.Task.reads)
+
+(* --- cross-validation: the simulator task against the formal task
+   tuples — both must compute seq on the live-ins --- *)
+
+let prop_task_matches_abstract_evolution =
+  QCheck.Test.make
+    ~name:"simulator task = abstract task evolution (isolated, full live-in)"
+    ~count:25
+    QCheck.(pair small_nat (int_range 1 25))
+    (fun (seed, n) ->
+      let module Abstract_task = Mssp_formal.Abstract_task in
+      let module Seq_model = Mssp_formal.Seq_model in
+      let p = Mssp_workload.Synthetic.generate ~seed ~size:5 in
+      let live_in = Seq_model.complete_of_program p in
+      (* run the simulator task for exactly n instructions *)
+      let task =
+        Task.make ~id:0
+          ~start_pc:(Option.get (Fragment.pc live_in))
+          ~end_pc:None ~end_occurrence:1 ~budget:n ~live_in
+      in
+      let status = Task.run task Task.Isolated in
+      let sim_result = Fragment.superimpose live_in task.Task.writes in
+      (* the abstract task evolves the same live-in by the same count *)
+      let abstract =
+        Abstract_task.evolve_fully (Abstract_task.make live_in task.Task.executed)
+      in
+      (match status with
+      | Task.Failed Task.Budget_exhausted | Task.Complete Task.Program_halted ->
+        true
+      | _ -> false)
+      && Fragment.equal sim_result abstract.Abstract_task.live_out)
+
+let () =
+  Alcotest.run "task"
+    [
+      ( "completion",
+        [
+          Alcotest.test_case "runs to halt" `Quick test_runs_to_halt;
+          Alcotest.test_case "first occurrence" `Quick test_boundary_first_occurrence;
+          Alcotest.test_case "k-th occurrence" `Quick test_boundary_kth_occurrence;
+          Alcotest.test_case "budget" `Quick test_budget_exhaustion;
+        ] );
+      ( "views",
+        [
+          Alcotest.test_case "resolution order" `Quick test_read_resolution_order;
+          Alcotest.test_case "fallback recording" `Quick test_records_fallback_reads;
+          Alcotest.test_case "isolated zero reads" `Quick
+            test_isolated_missing_memory_reads_zero;
+          Alcotest.test_case "I/O refusal" `Quick test_io_refusal;
+          Alcotest.test_case "fault" `Quick test_fault_reported;
+          Alcotest.test_case "on_access hook" `Quick test_on_access_hook;
+          Alcotest.test_case "live-in accounting" `Quick
+            test_live_in_size_counts_reads_only;
+          QCheck_alcotest.to_alcotest prop_task_matches_abstract_evolution;
+        ] );
+    ]
