@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-csv examples clean loc
+.PHONY: all build test bench bench-csv bench-json perf-smoke examples clean loc
 
 all: build
 
@@ -18,6 +18,14 @@ bench:
 
 bench-csv:
 	dune exec bench/main.exe -- --csv results
+
+# machine-readable baseline: headline experiment + hot-path micros
+bench-json:
+	dune exec bench/main.exe -- E1 micro --json BENCH_mssp.json
+
+# quick perf regression check: reduced-scale E1 under a wall-clock budget
+perf-smoke:
+	timeout 120 dune exec bench/main.exe -- E1s
 
 examples:
 	dune exec examples/quickstart.exe

@@ -701,6 +701,25 @@ let e17 () =
   note "then flattens — but a deeper window also discards more work per";
   note "squash, so there is no benefit past a few times the slave count."
 
+(* --- E1s: reduced-scale E1 for perf smoke runs ----------------------- *)
+
+(* E1 at a quarter of the reference inputs and a single slave count:
+   the same prepare -> checked_run -> speedup pipeline (so a perf
+   regression anywhere in the simulator core shows up in its wall
+   clock), small enough for `make perf-smoke`. Not run by default. *)
+let e1s () =
+  section "E1s  Reduced-scale speedup smoke (fast variant of E1)";
+  let prepared = List.map (fun b -> prepare ~scale:0.25 b) W.all in
+  let results =
+    List.map (fun p -> (p, speedup p (checked_run ~config:(with_slaves 8) p)))
+      prepared
+  in
+  print_table
+    ~header:[ "benchmark"; "8 slaves" ]
+    (List.map (fun (p, s) -> [ p.bench.W.name; f2 s ]) results);
+  note "quarter-size inputs; geomean at 8 slaves: %s"
+    (f2 (Stats.geomean (List.map snd results)))
+
 let all : (string * (unit -> unit)) list =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
@@ -708,3 +727,7 @@ let all : (string * (unit -> unit)) list =
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
     ("E17", e17);
   ]
+
+(* opt-in experiments: run only when named on the command line, never
+   part of the default everything sweep *)
+let extras : (string * (unit -> unit)) list = [ ("E1s", e1s) ]

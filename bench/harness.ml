@@ -49,16 +49,37 @@ let assert_correct prepared (r : M.result) =
       (Printf.sprintf "%s: MSSP final state diverges from SEQ"
          prepared.bench.W.name)
 
-let checked_run ?config prepared =
-  let r = run ?config prepared in
-  assert_correct prepared r;
-  r
-
 (* optional machine-readable output: when [csv_dir] is set (bench --csv
    DIR), every printed table is also written as <Eid>-<n>.csv there *)
 let csv_dir : string option ref = ref None
 let current_section = ref "misc"
 let table_counter = ref 0
+
+(* every verified machine run is sampled for the machine-readable report
+   (bench --json FILE); [current_section] names the enclosing experiment *)
+type sample = {
+  experiment : string;
+  benchmark : string;
+  slaves : int;
+  cycles : int;
+  speedup : float;
+}
+
+let samples : sample list ref = ref []
+
+let checked_run ?(config = Config.default) prepared =
+  let r = run ~config prepared in
+  assert_correct prepared r;
+  samples :=
+    {
+      experiment = !current_section;
+      benchmark = prepared.bench.W.name;
+      slaves = config.Config.slaves;
+      cycles = r.M.stats.M.cycles;
+      speedup = speedup prepared r;
+    }
+    :: !samples;
+  r
 
 let section title =
   (match String.index_opt title ' ' with

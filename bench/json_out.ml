@@ -1,0 +1,84 @@
+(** Minimal JSON emission for the machine-readable bench report
+    (bench --json FILE). Hand-rolled on purpose: the harness has no JSON
+    dependency and the report is write-only. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let float_lit f =
+  match Float.classify_float f with
+  | FP_nan | FP_infinite -> "null"
+  | _ when Float.is_integer f && Float.abs f < 1e15 -> Printf.sprintf "%.1f" f
+  | _ -> Printf.sprintf "%.6g" f
+
+let rec emit b indent v =
+  let pad n = Buffer.add_string b (String.make n ' ') in
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool x -> Buffer.add_string b (string_of_bool x)
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (float_lit f)
+  | String s ->
+    Buffer.add_char b '"';
+    Buffer.add_string b (escape s);
+    Buffer.add_char b '"'
+  | List [] -> Buffer.add_string b "[]"
+  | List items ->
+    Buffer.add_string b "[\n";
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_string b ",\n";
+        pad (indent + 2);
+        emit b (indent + 2) item)
+      items;
+    Buffer.add_char b '\n';
+    pad indent;
+    Buffer.add_char b ']'
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj fields ->
+    Buffer.add_string b "{\n";
+    List.iteri
+      (fun i (k, item) ->
+        if i > 0 then Buffer.add_string b ",\n";
+        pad (indent + 2);
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape k);
+        Buffer.add_string b "\": ";
+        emit b (indent + 2) item)
+      fields;
+    Buffer.add_char b '\n';
+    pad indent;
+    Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 4096 in
+  emit b 0 v;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let write_file path v =
+  let oc = open_out path in
+  output_string oc (to_string v);
+  close_out oc

@@ -1,39 +1,103 @@
 (* The evaluation harness entry point.
 
-   With no arguments: regenerate every experiment (E1..E12, one per
+   With no arguments: regenerate every experiment (E1..E17, one per
    paper table/figure — see DESIGN.md's experiment index) and finish
    with the Bechamel micro-benchmarks of the simulator's hot paths.
 
    With arguments: run only the named experiments, e.g.
      dune exec bench/main.exe -- E3 E5
      dune exec bench/main.exe -- micro
-     dune exec bench/main.exe -- --csv results/   # also write CSVs *)
+     dune exec bench/main.exe -- --csv results/   # also write CSVs
+     dune exec bench/main.exe -- E1 micro --json BENCH_mssp.json
+
+   --json FILE writes a machine-readable report: per-experiment
+   wall-clock, every verified machine run (benchmark, slaves, cycles,
+   speedup), and the micro-benchmark ns/run estimates. *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let rec strip_csv acc = function
+  let json_file = ref None in
+  let rec strip_flags acc = function
     | "--csv" :: dir :: rest ->
       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
       Harness.csv_dir := Some dir;
-      strip_csv acc rest
-    | a :: rest -> strip_csv (a :: acc) rest
+      strip_flags acc rest
+    | "--json" :: file :: rest ->
+      (* fail on an unwritable path now, not after the experiments ran *)
+      (try close_out (open_out file)
+       with Sys_error e ->
+         Printf.eprintf "bench: cannot write %s (%s)\n" file e;
+         exit 2);
+      json_file := Some file;
+      strip_flags acc rest
+    | [ (("--csv" | "--json") as flag) ] ->
+      Printf.eprintf "bench: %s requires an argument\n" flag;
+      exit 2
+    | a :: rest -> strip_flags (a :: acc) rest
     | [] -> List.rev acc
   in
-  let args = strip_csv [] args in
+  let args = strip_flags [] args in
   let want name = args = [] || List.mem name args in
   Printf.printf
     "MSSP evaluation harness — every experiment re-verifies final-state\n\
      equivalence with the sequential machine before reporting numbers.\n";
-  List.iter
-    (fun (name, f) ->
-      if want name then begin
-        let t0 = Unix.gettimeofday () in
-        f ();
-        Printf.printf "  [%s completed in %.1fs]\n%!" name
-          (Unix.gettimeofday () -. t0)
-      end)
+  let wall_clocks = ref [] in
+  let run_experiment (name, f) =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    wall_clocks := (name, dt) :: !wall_clocks;
+    Printf.printf "  [%s completed in %.1fs]\n%!" name dt
+  in
+  List.iter (fun (name, f) -> if want name then run_experiment (name, f))
     Experiments.all;
-  if want "micro" then begin
-    Harness.section "Micro-benchmarks (Bechamel): simulator hot paths";
-    Micro.run ()
-  end
+  (* extras (e.g. the E1s smoke) run only when named explicitly *)
+  List.iter
+    (fun (name, f) -> if List.mem name args then run_experiment (name, f))
+    Experiments.extras;
+  let micro_results =
+    if want "micro" then begin
+      Harness.section "Micro-benchmarks (Bechamel): simulator hot paths";
+      Micro.run ()
+    end
+    else []
+  in
+  match !json_file with
+  | None -> ()
+  | Some file ->
+    let open Json_out in
+    let experiments =
+      List.rev_map
+        (fun (name, dt) ->
+          let runs =
+            List.filter_map
+              (fun (s : Harness.sample) ->
+                if s.experiment <> name then None
+                else
+                  Some
+                    (Obj
+                       [
+                         ("benchmark", String s.benchmark);
+                         ("slaves", Int s.slaves);
+                         ("cycles", Int s.cycles);
+                         ("speedup", Float s.speedup);
+                       ]))
+              (List.rev !Harness.samples)
+          in
+          Obj
+            [
+              ("name", String name);
+              ("wall_clock_s", Float dt);
+              ("runs", List runs);
+            ])
+        !wall_clocks
+    in
+    let micro =
+      List.map
+        (fun (name, ns) ->
+          Obj [ ("name", String name); ("ns_per_run", Float ns) ])
+        micro_results
+    in
+    write_file file
+      (Obj [ ("experiments", List experiments); ("micro", List micro) ]);
+    Printf.printf "\n  [json report written to %s]\n" file

@@ -1,6 +1,12 @@
 (** Bechamel micro-benchmarks of the simulator's hot paths — these bound
     how large a workload the reproduction can simulate, and catch
-    performance regressions in the substrate. *)
+    performance regressions in the substrate.
+
+    The [mem ... (hashtbl ref)] entries are a reference implementation of
+    the pre-paging memory image (one hashtable entry per materialized
+    word, copy = [Hashtbl.copy]) kept here as the before side of the
+    before/after pairs; the [(paged)] entries go through the real
+    {!Mssp_state.Full.t}. *)
 
 open Bechamel
 open Toolkit
@@ -10,6 +16,8 @@ module Cell = Mssp_state.Cell
 module Fragment = Mssp_state.Fragment
 module Full = Mssp_state.Full
 module Cache = Mssp_cache.Cache
+module Task = Mssp_task.Task
+module Machine = Mssp_seq.Machine
 
 let sample_instr = Instr.Alu (Instr.Add, Reg.of_int 1, Reg.of_int 2, Reg.of_int 3)
 let sample_word = Instr.encode sample_instr
@@ -20,14 +28,101 @@ let test_encode =
 let test_decode =
   Test.make ~name:"instr decode" (Staged.stage (fun () -> Instr.decode sample_word))
 
-let exec_state =
-  let b = Mssp_asm.Dsl.create () in
-  Mssp_asm.Dsl.label b "loop";
-  Mssp_asm.Dsl.alui b Instr.Add Mssp_asm.Regs.t0 Mssp_asm.Regs.t0 1;
-  Mssp_asm.Dsl.jmp b "loop";
-  let p = Mssp_asm.Dsl.build b () in
+(* --- memory image: hashtable reference vs the paged/COW Full.t ------- *)
+
+(* the pre-paging layout: one table entry per materialized word *)
+module Ref_mem = struct
+  type t = { mutable pc : int; regs : int array; mem : (int, int) Hashtbl.t }
+
+  let create () =
+    { pc = 0; regs = Array.make Reg.count 0; mem = Hashtbl.create 1024 }
+
+  let get_mem s a = match Hashtbl.find_opt s.mem a with Some v -> v | None -> 0
+  let set_mem s a v = Hashtbl.replace s.mem a v
+  let copy s = { pc = s.pc; regs = Array.copy s.regs; mem = Hashtbl.copy s.mem }
+end
+
+(* both images materialize the same footprint: [mem_words] words spread
+   with a prime stride, the shape of a loaded program + live heap *)
+let mem_words = 16_384
+let addr i = i * 61 land 0xFFFFF
+
+let ref_state =
+  let s = Ref_mem.create () in
+  for i = 0 to mem_words - 1 do
+    Ref_mem.set_mem s (addr i) (i + 1)
+  done;
+  s
+
+let paged_state =
   let s = Full.create () in
-  Full.load s p;
+  for i = 0 to mem_words - 1 do
+    Full.set_mem s (addr i) (i + 1)
+  done;
+  s
+
+let cursor = ref 0
+
+let next_addr () =
+  cursor := (!cursor + 1) land (mem_words - 1);
+  addr !cursor
+
+let test_read_ref =
+  Test.make ~name:"mem read (hashtbl ref)"
+    (Staged.stage (fun () -> Ref_mem.get_mem ref_state (next_addr ())))
+
+let test_read_paged =
+  Test.make ~name:"mem read (paged)"
+    (Staged.stage (fun () -> Full.get_mem paged_state (next_addr ())))
+
+let test_write_ref =
+  Test.make ~name:"mem write (hashtbl ref)"
+    (Staged.stage (fun () -> Ref_mem.set_mem ref_state (next_addr ()) 7))
+
+let test_write_paged =
+  Test.make ~name:"mem write (paged)"
+    (Staged.stage (fun () -> Full.set_mem paged_state (next_addr ()) 7))
+
+let test_copy_ref =
+  Test.make ~name:"state copy (hashtbl ref)"
+    (Staged.stage (fun () -> Ref_mem.copy ref_state))
+
+let test_copy_paged =
+  Test.make ~name:"state copy (paged)"
+    (Staged.stage (fun () -> Full.copy paged_state))
+
+(* checkpointing is copy + a burst of stores on the copy: COW pays its
+   privatization debt here, the hashtable pays a full-table copy *)
+let test_checkpoint_ref =
+  Test.make ~name:"checkpoint+8 stores (hashtbl ref)"
+    (Staged.stage (fun () ->
+         let c = Ref_mem.copy ref_state in
+         for i = 0 to 7 do
+           Ref_mem.set_mem c (addr (i * 97)) i
+         done))
+
+let test_checkpoint_paged =
+  Test.make ~name:"checkpoint+8 stores (paged)"
+    (Staged.stage (fun () ->
+         let c = Full.copy paged_state in
+         for i = 0 to 7 do
+           Full.set_mem c (addr (i * 97)) i
+         done))
+
+(* --- executor and task loops ---------------------------------------- *)
+
+let counting_loop =
+  let b = Mssp_asm.Dsl.create () in
+  Mssp_asm.Dsl.label b "head";
+  Mssp_asm.Dsl.alui b Instr.Add Mssp_asm.Regs.t1 Mssp_asm.Regs.t1 1;
+  Mssp_asm.Dsl.alui b Instr.Sub Mssp_asm.Regs.t0 Mssp_asm.Regs.t0 1;
+  Mssp_asm.Dsl.br b Instr.Gt Mssp_asm.Regs.t0 Mssp_asm.Regs.zero "head";
+  Mssp_asm.Dsl.halt b;
+  Mssp_asm.Dsl.build b ()
+
+let exec_state =
+  let s = Full.create () in
+  Full.load s counting_loop;
   s
 
 let test_exec_step =
@@ -36,6 +131,41 @@ let test_exec_step =
          Mssp_seq.Exec.step
            ~read:(fun c -> Some (Full.get exec_state c))
            ~write:(fun c v -> Full.set exec_state c v)))
+
+(* one whole speculative task: 16 loop iterations (48 instructions)
+   against a fallback view of architected state *)
+let task_arch =
+  let s = Full.create () in
+  Full.load s counting_loop;
+  s
+
+let task_entry = counting_loop.Mssp_isa.Program.entry
+let task_view = Task.Fallback (fun c -> Full.get task_arch c)
+
+let task_live_in =
+  Fragment.of_list
+    [ (Cell.Reg Mssp_asm.Regs.t0, 16); (Cell.Reg Mssp_asm.Regs.t1, 0) ]
+
+let test_task_run =
+  Test.make ~name:"task run (48 instrs)"
+    (Staged.stage (fun () ->
+         let t =
+           Task.make ~id:0 ~start_pc:task_entry ~end_pc:None ~end_occurrence:1
+             ~budget:100 ~live_in:task_live_in
+         in
+         Task.run t task_view))
+
+(* non-speculative recovery replay: advance a COW copy of architected
+   state 48 instructions with the sequential machine *)
+let test_recovery_replay =
+  Test.make ~name:"recovery replay (48 instrs)"
+    (Staged.stage (fun () ->
+         let s = Full.copy task_arch in
+         Full.set_reg s Mssp_asm.Regs.t0 16;
+         Full.set s Cell.Pc task_entry;
+         Machine.seq_in_place s 48))
+
+(* --- fragments and caches (commit-side data structures) -------------- *)
 
 let frag_a =
   Fragment.of_list (List.init 64 (fun i -> (Cell.mem i, i)))
@@ -64,10 +194,29 @@ let test_cache_access =
 let tests =
   Test.make_grouped ~name:"mssp hot paths"
     [
-      test_encode; test_decode; test_exec_step; test_superimpose;
-      test_consistent; test_cache_access;
+      test_encode; test_decode;
+      test_read_ref; test_read_paged;
+      test_write_ref; test_write_paged;
+      test_copy_ref; test_copy_paged;
+      test_checkpoint_ref; test_checkpoint_paged;
+      test_exec_step; test_task_run; test_recovery_replay;
+      test_superimpose; test_consistent; test_cache_access;
     ]
 
+(* the before/after pairs whose ratios the run prints: old hashtable
+   image vs the paged image, per operation *)
+let pairs =
+  [
+    ("mem read", "mem read (hashtbl ref)", "mem read (paged)");
+    ("mem write", "mem write (hashtbl ref)", "mem write (paged)");
+    ("state copy", "state copy (hashtbl ref)", "state copy (paged)");
+    ( "checkpoint+stores",
+      "checkpoint+8 stores (hashtbl ref)",
+      "checkpoint+8 stores (paged)" );
+  ]
+
+(* runs the suite, renders the usual notty table, prints the speedup
+   ratios, and returns [(name, ns_per_run)] for the JSON report *)
 let run () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
@@ -80,7 +229,7 @@ let run () =
   let results =
     List.map (fun instance -> Analyze.all ols instance raw) instances
   in
-  let results = Analyze.merge ols instances results in
+  let merged = Analyze.merge ols instances results in
   List.iter
     (fun v -> Bechamel_notty.Unit.add v (Measure.unit v))
     Instance.[ monotonic_clock ];
@@ -91,6 +240,37 @@ let run () =
   in
   let img =
     Bechamel_notty.Multiple.image_of_ols_results ~rect:window
-      ~predictor:Measure.run results
+      ~predictor:Measure.run merged
   in
-  Notty_unix.output_image (Notty_unix.eol img)
+  Notty_unix.output_image (Notty_unix.eol img);
+  let estimates =
+    match results with
+    | clock :: _ ->
+      Hashtbl.fold
+        (fun name o acc ->
+          match Analyze.OLS.estimates o with
+          | Some (ns :: _) ->
+            (* strip the "mssp hot paths/" group prefix *)
+            let name =
+              match String.index_opt name '/' with
+              | Some i ->
+                String.sub name (i + 1) (String.length name - i - 1)
+              | None -> name
+            in
+            (name, ns) :: acc
+          | _ -> acc)
+        clock []
+      |> List.sort compare
+    | [] -> []
+  in
+  let ns name = List.assoc_opt name estimates in
+  Printf.printf "\n  paged memory image vs hashtable reference:\n";
+  List.iter
+    (fun (what, before, after) ->
+      match (ns before, ns after) with
+      | Some b, Some a when a > 0. ->
+        Printf.printf "    %-18s %8.1f ns -> %8.1f ns   (%.1fx)\n" what b a
+          (b /. a)
+      | _ -> ())
+    pairs;
+  estimates

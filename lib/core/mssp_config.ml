@@ -48,6 +48,7 @@ type t = {
   master_chunk : int;
   max_cycles : int;
   max_squashes : int;
+  recovery_fuel : int;
   timing : timing;
 }
 
@@ -69,7 +70,25 @@ let default =
     master_chunk = 1_000_000;
     max_cycles = 2_000_000_000;
     max_squashes = 1_000_000;
+    recovery_fuel = 200_000_000;
     timing = default_timing;
   }
 
 let with_slaves n t = { t with slaves = n; max_in_flight = 2 * n }
+
+let pp fmt c =
+  Format.fprintf fmt
+    "@[<v>slaves: %d, window: %d@,\
+     task size: %d, budget: %d@,\
+     isolated: %b, control-only: %b, refinement check: %b@,\
+     dual mode: %b (trigger %d, burst %d)@,\
+     fault injection: %s@,\
+     master chunk: %d, max cycles: %d, max squashes: %d@,\
+     recovery fuel: %d@]"
+    c.slaves c.max_in_flight c.task_size c.task_budget c.isolated_slaves
+    c.control_only_master c.verify_refinement c.dual_mode c.dual_trigger
+    c.dual_burst
+    (match c.fault_injection with
+    | None -> "off"
+    | Some (seed, p) -> Printf.sprintf "seed %d, p=%g" seed p)
+    c.master_chunk c.max_cycles c.max_squashes c.recovery_fuel

@@ -76,12 +76,20 @@ type t = {
           recovery) *)
   max_cycles : int;  (** hard stop for the whole simulation *)
   max_squashes : int;  (** hard stop *)
+  recovery_fuel : int;
+      (** instruction bound on a single non-speculative recovery segment;
+          a segment that exhausts it stops the machine with [Cycle_limit]
+          rather than replaying forever (e.g. a recovery that lands in an
+          infinite loop with no task entry in it) *)
   timing : timing;
 }
 
 val default : t
 (** 4 slaves, window 8, task size 50, budget 5000, fallback mode,
-    refinement check off. *)
+    refinement check off, recovery fuel 200M instructions. *)
 
 val with_slaves : int -> t -> t
 (** Convenience: set slave count and scale the window to 2x slaves. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line rendering of the structural knobs (not the timing). *)

@@ -272,6 +272,26 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
       !f
     end
   in
+  (* The master's executor callbacks, hoisted out of the instruction
+     loop: they read the current [m_state] through the mutable [master]
+     record, so one pair of closures serves the whole run (including
+     across post-squash reseeds), and the per-instruction cycle cost
+     accumulates in [master_cost]. *)
+  let master_cost = ref 0 in
+  let master_read c =
+    (match c with
+    | Cell.Mem a -> master_cost := !master_cost + Hierarchy.access master_cache a
+    | Cell.Pc | Cell.Reg _ -> ());
+    Some (Full.get master.m_state c)
+  in
+  let master_write c v =
+    (match c with
+    | Cell.Mem a ->
+      master_cost := !master_cost + Hierarchy.access master_cache a;
+      master.m_dirty <- Fragment.add c v master.m_dirty
+    | Cell.Pc | Cell.Reg _ -> ());
+    Full.set master.m_state c v
+  in
   (* One functional master instruction; returns its cost, a fork, or
      death (halt/fault/trap). The master-side PC map redirects jumps that
      landed in original code (indirect returns) back into distilled
@@ -290,26 +310,12 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
     | None -> `Dead
     | Some Instr.Halt -> `Dead
     | Some (Instr.Fork e) -> `Fork e
-    | Some _ ->
-      let cost = ref t.master_base in
-      let read c =
-        (match c with
-        | Cell.Mem a -> cost := !cost + Hierarchy.access master_cache a
-        | Cell.Pc | Cell.Reg _ -> ());
-        Some (Full.get master.m_state c)
-      in
-      let write c v =
-        (match c with
-        | Cell.Mem a ->
-          cost := !cost + Hierarchy.access master_cache a;
-          master.m_dirty <- Fragment.add c v master.m_dirty
-        | Cell.Pc | Cell.Reg _ -> ());
-        Full.set master.m_state c v
-      in
-      (match Exec.step ~read ~write with
+    | Some _ -> (
+      master_cost := t.master_base;
+      match Exec.step ~read:master_read ~write:master_write with
       | Exec.Stepped ->
         stats.master_instructions <- stats.master_instructions + 1;
-        `Cost !cost
+        `Cost !master_cost
       | Exec.Halted | Exec.Fault _ -> `Dead
       | Exec.Missing _ -> assert false)
   in
@@ -473,11 +479,11 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
           | Task.Complete _ -> true
           | Task.Running | Task.Failed _ -> false
         in
-        if completed && Full.consistent task.Task.reads arch then begin
+        if completed && Task.live_ins_consistent task arch then begin
           (* the memoization hit: superimpose the live-outs *)
           ignore (Queue.pop window : checkpoint);
-          Full.apply arch task.Task.writes;
-          let n_outs = Fragment.cardinal task.Task.writes in
+          Task.commit_into task arch;
+          let n_outs = Task.live_out_size task in
           fruitless_squashes := 0;
           emit
             (Ev_commit
@@ -585,7 +591,7 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
     in
     let m = Seq_machine.of_state arch in
     let steps = ref 0 in
-    let fuel = 200_000_000 in
+    let fuel = cfg.recovery_fuel in
     let rec go () =
       if !steps >= fuel then `Fuel
       else if Seq_machine.step m then begin

@@ -19,9 +19,10 @@ let pp_outcome fmt = function
 
 exception Unavailable of Cell.t
 
-(* Instruction execution proper. All reads are performed before any write
-   (the [writes] list is built up, then flushed), so a [Missing] abort
-   leaves no partial writes behind. *)
+(* Instruction execution proper. In every instruction case all reads are
+   performed before the first write, so a [Missing] abort leaves no
+   partial writes behind — which lets writes go straight to the [write]
+   callback, in retirement order, with no per-instruction write list. *)
 let step_exn ~read ~write =
   let read_cell c = match read c with Some v -> v | None -> raise (Unavailable c) in
   let read_reg r = if Reg.equal r Reg.zero then 0 else read_cell (Cell.Reg r) in
@@ -30,18 +31,12 @@ let step_exn ~read ~write =
   match Instr.decode_cached word with
   | None -> Fault (Undecodable { pc; word })
   | Some instr ->
-    let writes = ref [] in
     let write_reg r v =
-      if not (Reg.equal r Reg.zero) then writes := (Cell.Reg r, v) :: !writes
+      if not (Reg.equal r Reg.zero) then write (Cell.Reg r) v
     in
-    let write_mem a v = writes := (Cell.Mem a, v) :: !writes in
-    let goto target = writes := (Cell.Pc, target) :: !writes in
-    let finish () =
-      (* Oldest write first; later writes to the same cell win, matching
-         in-order retirement of the instruction's effects. *)
-      List.iter (fun (c, v) -> write c v) (List.rev !writes);
-      Stepped
-    in
+    let write_mem a v = write (Cell.Mem a) v in
+    let goto target = write Cell.Pc target in
+    let finish () = Stepped in
     (match instr with
     | Instr.Halt -> Halted
     | Instr.Nop | Instr.Fork _ ->

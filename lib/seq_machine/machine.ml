@@ -8,9 +8,20 @@ type t = {
   state : Full.t;
   mutable stopped : stop option;
   mutable instructions : int;
+  read : Cell.t -> int option;
+  write : Cell.t -> int -> unit;
 }
 
-let of_state state = { state; stopped = None; instructions = 0 }
+(* the executor callbacks are built once per machine, not per step — the
+   sequential interpreter and recovery replay live in this loop *)
+let of_state state =
+  {
+    state;
+    stopped = None;
+    instructions = 0;
+    read = (fun c -> Some (Full.get state c));
+    write = (fun c v -> Full.set state c v);
+  }
 
 let of_program p =
   let state = Full.create () in
@@ -21,9 +32,7 @@ let step m =
   match m.stopped with
   | Some _ -> false
   | None -> (
-    let read c = Some (Full.get m.state c) in
-    let write c v = Full.set m.state c v in
-    match Exec.step ~read ~write with
+    match Exec.step ~read:m.read ~write:m.write with
     | Exec.Stepped ->
       m.instructions <- m.instructions + 1;
       true

@@ -10,6 +10,10 @@ type t = {
   state : Mssp_state.Full.t;
   mutable stopped : stop option;
   mutable instructions : int;  (** dynamic instructions executed *)
+  read : Mssp_state.Cell.t -> int option;
+      (** executor read callback over [state], built once at creation so
+          the step loop allocates no closures *)
+  write : Mssp_state.Cell.t -> int -> unit;  (** executor write callback *)
 }
 
 val of_program : Mssp_isa.Program.t -> t

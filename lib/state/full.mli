@@ -5,6 +5,15 @@
     state maintained in the shared L2"), the master's speculative state
     and the baseline machines all use this representation.
 
+    Memory is a paged image: loads and stores are O(1) array accesses
+    into fixed-size pages of unboxed ints, and {!copy} shares pages
+    copy-on-write — the first store through either state privatizes only
+    the page it touches. Addresses outside the paged span (negative or
+    huge) spill to a per-word table, keeping memory total over all of
+    [int]. Pages remember exactly which words were explicitly written
+    (including writes of 0), so {!snapshot} and {!pp} enumerate the same
+    "materialized" set the representation has always exposed.
+
     Fragments relate to full states through {!apply} (superimposition of
     a fragment onto a full state — the commit operation) and
     {!consistent} (the verification check [live_in ⊑ architected]). *)
@@ -15,7 +24,9 @@ val create : unit -> t
 (** Fresh state: PC 0, all registers 0, all memory 0. *)
 
 val copy : t -> t
-(** Deep copy; the two states share nothing. *)
+(** Observationally deep copy: the two states never see each other's
+    writes. O(pages), not O(memory): pages are shared copy-on-write and
+    privatized lazily on first store. *)
 
 val get : t -> Cell.t -> int
 val set : t -> Cell.t -> int -> unit

@@ -1,0 +1,47 @@
+(** Flat mutable cell→value buffers for the task fast path.
+
+    A journal is the hot-loop counterpart of {!Mssp_state.Fragment.t}: a
+    slave instruction resolves registers and the PC by direct array/flag
+    access and memory by one hashtable probe, instead of paying a
+    balanced-tree lookup per cell. Tasks keep their live-in prediction,
+    recorded reads and buffered writes in journals while running, and
+    convert to fragments only at the commit boundary (or for tests and
+    diagnostics). *)
+
+type t
+
+val create : ?mem_size:int -> unit -> t
+(** Empty journal; [mem_size] pre-sizes the memory table. *)
+
+(* fine-grained accessors — the executor's per-cell fast path *)
+
+val has_pc : t -> bool
+val pc : t -> int option
+
+val pc_value : t -> int
+(** Unchecked PC read; meaningful only when [has_pc j]. *)
+
+val set_pc : t -> int -> unit
+
+val has_reg : t -> int -> bool
+(** [has_reg j i]: register index [i] (as {!Mssp_isa.Reg.to_int}) bound? *)
+
+val reg : t -> int -> int
+(** Unchecked read of a bound register; meaningful only when
+    [has_reg j i]. *)
+
+val set_reg : t -> int -> int -> unit
+val find_mem : t -> int -> int option
+val set_mem : t -> int -> int -> unit
+
+(* generic cell interface *)
+
+val set : t -> Mssp_state.Cell.t -> int -> unit
+val find : t -> Mssp_state.Cell.t -> int option
+val mem : t -> Mssp_state.Cell.t -> bool
+val cardinal : t -> int
+val iter : (Mssp_state.Cell.t -> int -> unit) -> t -> unit
+val for_all : (Mssp_state.Cell.t -> int -> bool) -> t -> bool
+
+val to_fragment : t -> Mssp_state.Fragment.t
+val of_fragment : Mssp_state.Fragment.t -> t

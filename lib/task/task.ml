@@ -1,5 +1,8 @@
 module Cell = Mssp_state.Cell
 module Fragment = Mssp_state.Fragment
+module Full = Mssp_state.Full
+module Reg = Mssp_isa.Reg
+module Layout = Mssp_isa.Layout
 module Exec = Mssp_seq.Exec
 
 type fail_reason =
@@ -31,8 +34,9 @@ type t = {
   mutable end_seen : int;
   budget : int;
   live_in : Fragment.t;
-  mutable reads : Fragment.t;
-  mutable writes : Fragment.t;
+  li : Journal.t;
+  reads : Journal.t;
+  writes : Journal.t;
   mutable executed : int;
   mutable status : status;
 }
@@ -50,8 +54,9 @@ let make ~id ~start_pc ~end_pc ~end_occurrence ~budget ~live_in =
     end_seen = 0;
     budget;
     live_in;
-    reads = Fragment.empty;
-    writes = Fragment.empty;
+    li = Journal.of_fragment live_in;
+    reads = Journal.create ();
+    writes = Journal.create ();
     executed = 0;
     status = Running;
   }
@@ -60,7 +65,86 @@ type view = Isolated | Fallback of (Cell.t -> int)
 
 let no_access (_ : Cell.t) = ()
 
-let step ?(on_access = no_access) t view =
+(* The executor callbacks for one task run, built once (not once per
+   instruction): reads resolve write buffer -> live-in -> view with flat
+   journal probes, writes land in the write journal, and the first I/O
+   touch is latched in [io] (reset before each instruction). *)
+type ctx = {
+  c_read : Cell.t -> int option;
+  c_write : Cell.t -> int -> unit;
+  c_io : Cell.t option ref;
+}
+
+let make_ctx ?(on_access = no_access) t view =
+  let io = ref None in
+  let read c =
+    match c with
+    | Cell.Reg r ->
+      let i = Reg.to_int r in
+      if Journal.has_reg t.writes i then Some (Journal.reg t.writes i)
+      else if Journal.has_reg t.li i then begin
+        let v = Journal.reg t.li i in
+        if not (Journal.has_reg t.reads i) then Journal.set_reg t.reads i v;
+        Some v
+      end
+      else (
+        match view with
+        | Fallback arch ->
+          let v = arch c in
+          if not (Journal.has_reg t.reads i) then Journal.set_reg t.reads i v;
+          Some v
+        | Isolated -> None)
+    | Cell.Pc ->
+      if Journal.has_pc t.writes then Some (Journal.pc_value t.writes)
+      else if Journal.has_pc t.li then begin
+        let v = Journal.pc_value t.li in
+        if not (Journal.has_pc t.reads) then Journal.set_pc t.reads v;
+        Some v
+      end
+      else (
+        match view with
+        | Fallback arch ->
+          let v = arch c in
+          if not (Journal.has_pc t.reads) then Journal.set_pc t.reads v;
+          Some v
+        | Isolated -> None)
+    | Cell.Mem a -> (
+      if Layout.is_io a && !io = None then io := Some c;
+      on_access c;
+      let record v =
+        if Journal.find_mem t.reads a = None then Journal.set_mem t.reads a v
+      in
+      match Journal.find_mem t.writes a with
+      | Some _ as r -> r
+      | None -> (
+        match Journal.find_mem t.li a with
+        | Some v as r ->
+          record v;
+          r
+        | None -> (
+          match view with
+          | Fallback arch ->
+            let v = arch c in
+            record v;
+            Some v
+          | Isolated ->
+            (* memory is total: absent cells read as 0 and that reading
+               is itself a live-in to verify *)
+            record 0;
+            Some 0)))
+  in
+  let write c v =
+    match c with
+    | Cell.Reg r -> Journal.set_reg t.writes (Reg.to_int r) v
+    | Cell.Pc -> Journal.set_pc t.writes v
+    | Cell.Mem a ->
+      if Layout.is_io a && !io = None then io := Some c;
+      on_access c;
+      Journal.set_mem t.writes a v
+  in
+  { c_read = read; c_write = write; c_io = io }
+
+let step_ctx t ctx =
   match t.status with
   | Complete _ | Failed _ -> t.status
   | Running ->
@@ -69,45 +153,9 @@ let step ?(on_access = no_access) t view =
       t.status
     end
     else begin
-      let record c v =
-        if not (Fragment.mem c t.reads) then t.reads <- Fragment.add c v t.reads
-      in
-      let io_abort = ref None in
-      let guard_io c =
-        if Cell.is_io c && !io_abort = None then io_abort := Some c
-      in
-      let read c =
-        guard_io c;
-        (match c with Cell.Mem _ -> on_access c | Cell.Pc | Cell.Reg _ -> ());
-        match Fragment.find_opt c t.writes with
-        | Some v -> Some v
-        | None -> (
-          match Fragment.find_opt c t.live_in with
-          | Some v ->
-            record c v;
-            Some v
-          | None -> (
-            match view with
-            | Fallback arch ->
-              let v = arch c in
-              record c v;
-              Some v
-            | Isolated -> (
-              (* memory is total: absent cells read as 0 and that reading
-                 is itself a live-in to verify *)
-              match c with
-              | Cell.Mem _ ->
-                record c 0;
-                Some 0
-              | Cell.Pc | Cell.Reg _ -> None)))
-      in
-      let write c v =
-        guard_io c;
-        (match c with Cell.Mem _ -> on_access c | Cell.Pc | Cell.Reg _ -> ());
-        t.writes <- Fragment.add c v t.writes
-      in
-      let outcome = Exec.step ~read ~write in
-      (match !io_abort with
+      ctx.c_io := None;
+      let outcome = Exec.step ~read:ctx.c_read ~write:ctx.c_write in
+      (match !(ctx.c_io) with
       | Some c ->
         (* the instruction touched the I/O region: discard it (its buffered
            writes are never committed; the task fails before [executed]
@@ -117,8 +165,10 @@ let step ?(on_access = no_access) t view =
         match outcome with
         | Exec.Stepped -> begin
           t.executed <- t.executed + 1;
-          match (Fragment.pc t.writes, t.end_pc) with
-          | Some pc, Some end_pc when pc = end_pc ->
+          match t.end_pc with
+          | Some end_pc
+            when Journal.has_pc t.writes && Journal.pc_value t.writes = end_pc
+            ->
             t.end_seen <- t.end_seen + 1;
             if t.end_seen >= t.end_occurrence then
               t.status <- Complete Reached_boundary
@@ -130,18 +180,30 @@ let step ?(on_access = no_access) t view =
       t.status
     end
 
+let step ?on_access t view = step_ctx t (make_ctx ?on_access t view)
+
 let run ?on_access t view =
-  let rec go () =
-    match step ?on_access t view with Running -> go () | s -> s
-  in
+  let ctx = make_ctx ?on_access t view in
+  let rec go () = match step_ctx t ctx with Running -> go () | s -> s in
   go ()
 
-let live_in_size t = Fragment.cardinal t.reads
+let live_in_size t = Journal.cardinal t.reads
+let live_out_size t = Journal.cardinal t.writes
+let reads_fragment t = Journal.to_fragment t.reads
+let writes_fragment t = Journal.to_fragment t.writes
+
+(* the verification unit's memoization check: every recorded live-in
+   still agrees with architected state *)
+let live_ins_consistent t arch =
+  Journal.for_all (fun c v -> Full.get arch c = v) t.reads
+
+(* the commit operation [S <- live_out(t)], straight from the journal *)
+let commit_into t arch = Journal.iter (fun c v -> Full.set arch c v) t.writes
 
 let pp fmt t =
   Format.fprintf fmt
     "@[<v>task %d: %#x -> %s, %d/%d instrs, %a@,live-ins recorded: %d, live-outs: %d@]"
     t.id t.start_pc
     (match t.end_pc with Some pc -> Printf.sprintf "%#x" pc | None -> "halt")
-    t.executed t.budget pp_status t.status (Fragment.cardinal t.reads)
-    (Fragment.cardinal t.writes)
+    t.executed t.budget pp_status t.status (Journal.cardinal t.reads)
+    (Journal.cardinal t.writes)

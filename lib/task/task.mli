@@ -14,7 +14,13 @@
 
     The instrumented executor also realizes the paper's task-evolution
     rule (Definition 5): each step advances the live-out fragment by
-    [next]. *)
+    [next].
+
+    While running, the prediction, the recordings and the write buffer
+    live in flat {!Journal.t} buffers (register arrays + one memory
+    hashtable), so an instruction pays no balanced-tree lookups; use
+    {!reads_fragment}/{!writes_fragment} to convert at the commit
+    boundary or in tests. *)
 
 type fail_reason =
   | Budget_exhausted  (** never reached [end_pc]: master mispredicted
@@ -48,10 +54,11 @@ type t = {
   mutable end_seen : int;  (** arrivals at [end_pc] so far *)
   budget : int;
   live_in : Mssp_state.Fragment.t;  (** master's prediction; binds [Pc] *)
-  mutable reads : Mssp_state.Fragment.t;
+  li : Journal.t;  (** [live_in] flattened for the execution fast path *)
+  reads : Journal.t;
       (** recorded live-ins: first-read value of every cell obtained from
           outside the write buffer *)
-  mutable writes : Mssp_state.Fragment.t;  (** live-outs (write buffer) *)
+  writes : Journal.t;  (** live-outs (write buffer) *)
   mutable executed : int;  (** the paper's [k] — instructions so far *)
   mutable status : status;
 }
@@ -81,12 +88,31 @@ type view =
 val step : ?on_access:(Mssp_state.Cell.t -> unit) -> t -> view -> status
 (** Execute one instruction. No-op unless [Running]. [on_access] is
     invoked for every memory cell touched (fetch, loads, stores) — the
-    hook the timing model's caches observe. *)
+    hook the timing model's caches observe. Single-stepping rebuilds the
+    executor callbacks each call; {!run} hoists them out of the loop. *)
 
 val run : ?on_access:(Mssp_state.Cell.t -> unit) -> t -> view -> status
-(** Step until the task leaves [Running]. *)
+(** Step until the task leaves [Running]. The executor callbacks are
+    constructed once for the whole run. *)
 
 val live_in_size : t -> int
 (** Number of recorded live-in bindings (drives verification cost). *)
+
+val live_out_size : t -> int
+(** Number of buffered live-out bindings (drives commit cost). *)
+
+val reads_fragment : t -> Mssp_state.Fragment.t
+(** The recorded live-ins as a fragment (allocates; for tests/tools). *)
+
+val writes_fragment : t -> Mssp_state.Fragment.t
+(** The write buffer as a fragment (allocates; for tests/tools). *)
+
+val live_ins_consistent : t -> Mssp_state.Full.t -> bool
+(** [live_ins_consistent t arch] is the verification unit's memoization
+    check [reads(t) ⊑ arch], straight off the journal. *)
+
+val commit_into : t -> Mssp_state.Full.t -> unit
+(** [commit_into t arch] superimposes the write buffer onto [arch] — the
+    commit operation [S ← live_out(t)]. *)
 
 val pp : Format.formatter -> t -> unit

@@ -179,6 +179,146 @@ let test_snapshot_restrict () =
   check "restrict" true
     (Fragment.to_list r = [ (Cell.mem 8, 88); (Cell.mem 9, 0) ])
 
+(* --- COW aliasing: the paged image must behave exactly like a deep
+   copy, whichever side of a copy is written first --- *)
+
+let test_cow_aliasing () =
+  let s = Full.create () in
+  Full.set_mem s 100 1;
+  Full.set_mem s 5000 2 (* a second page *);
+  let c = Full.copy s in
+  (* write the ORIGINAL after copying: the copy must not see it *)
+  Full.set_mem s 100 11;
+  check_int "copy unaffected by original write" 1 (Full.get_mem c 100);
+  (* write the COPY on the same page: the original must not see it *)
+  Full.set_mem c 101 7;
+  check_int "original unaffected by copy write" 0 (Full.get_mem s 101);
+  check_int "copy sees own write" 7 (Full.get_mem c 101);
+  (* pages never written after the copy stay shared and equal *)
+  check_int "shared page via original" 2 (Full.get_mem s 5000);
+  check_int "shared page via copy" 2 (Full.get_mem c 5000);
+  (* a chain of copies: each layer isolated from the others *)
+  let c2 = Full.copy c in
+  Full.set_mem c2 100 99;
+  check_int "grandchild isolated" 99 (Full.get_mem c2 100);
+  check_int "child intact" 1 (Full.get_mem c 100);
+  check_int "root intact" 11 (Full.get_mem s 100)
+
+let test_cow_overflow_addresses () =
+  (* addresses outside the paged span (negative, huge) live in a side
+     table and must obey the same copy semantics *)
+  let s = Full.create () in
+  Full.set_mem s (-8) 3;
+  Full.set_mem s max_int 4;
+  let c = Full.copy s in
+  Full.set_mem c (-8) 33;
+  check_int "negative addr in copy" 33 (Full.get_mem c (-8));
+  check_int "negative addr in original" 3 (Full.get_mem s (-8));
+  check_int "huge addr survives copy" 4 (Full.get_mem c max_int);
+  check "negative addr observable" true
+    (Full.diff_observable s c = [ (Cell.mem (-8), 3, 33) ])
+
+let test_written_zero_materializes () =
+  (* writing 0 to untouched memory changes no value but must make the
+     cell visible to snapshot (formal tests replay from snapshots), and
+     the materialization must survive a copy *)
+  let s = Full.create () in
+  Full.set_mem s 40 0;
+  let snap = Full.snapshot s in
+  check "written zero in snapshot" true
+    (Fragment.find_opt (Cell.mem 40) snap = Some 0);
+  let c = Full.copy s in
+  check "written zero survives copy" true
+    (Fragment.find_opt (Cell.mem 40) (Full.snapshot c) = Some 0);
+  (* ... while an address never written stays invisible *)
+  check "untouched cell not in snapshot" true
+    (Fragment.find_opt (Cell.mem 41) snap = None)
+
+(* --- differential check: the paged image against a one-entry-per-word
+   hashtable state (the pre-paging layout), driven by the real executor
+   over random programs — the two must be observably identical at every
+   step and at the end --- *)
+
+module Ref_state = struct
+  type t = { mutable pc : int; regs : int array; mem : (int, int) Hashtbl.t }
+
+  let create () =
+    { pc = 0; regs = Array.make Reg.count 0; mem = Hashtbl.create 64 }
+
+  let get s = function
+    | Cell.Pc -> s.pc
+    | Cell.Reg r -> s.regs.(Reg.to_int r)
+    | Cell.Mem a -> ( match Hashtbl.find_opt s.mem a with Some v -> v | None -> 0)
+
+  let set s c v =
+    match c with
+    | Cell.Pc -> s.pc <- v
+    | Cell.Reg r -> if not (Reg.equal r Reg.zero) then s.regs.(Reg.to_int r) <- v
+    | Cell.Mem a -> Hashtbl.replace s.mem a v
+
+  let load s (p : Mssp_isa.Program.t) =
+    (* mirror Full.load: code image, data image, pc, stack pointer *)
+    Array.iteri
+      (fun i instr -> set s (Cell.mem (p.base + i)) (Mssp_isa.Instr.encode instr))
+      p.code;
+    List.iter (fun (a, v) -> set s (Cell.mem a) v) p.data;
+    s.pc <- p.entry;
+    s.regs.(Reg.to_int Reg.sp) <- Mssp_isa.Layout.stack_base;
+    s.regs.(Reg.to_int Reg.gp) <- Mssp_isa.Layout.data_base
+end
+
+let prop_paged_matches_hashtbl_reference =
+  QCheck.Test.make
+    ~name:"paged Full = hashtable reference under random execution" ~count:50
+    QCheck.(pair small_nat (int_range 1 200))
+    (fun (seed, fuel) ->
+      let p = Mssp_workload.Synthetic.generate ~seed ~size:8 in
+      let full = Full.create () in
+      Full.load full p;
+      let r = Ref_state.create () in
+      Ref_state.load r p;
+      let step_full () =
+        Mssp_seq.Exec.step
+          ~read:(fun c -> Some (Full.get full c))
+          ~write:(fun c v -> Full.set full c v)
+      in
+      let step_ref () =
+        Mssp_seq.Exec.step
+          ~read:(fun c -> Some (Ref_state.get r c))
+          ~write:(fun c v -> Ref_state.set r c v)
+      in
+      let rec go n =
+        if n = 0 then true
+        else
+          let of_ = step_full () and or_ = step_ref () in
+          if of_ <> or_ then false
+          else
+            match of_ with
+            | Mssp_seq.Exec.Stepped -> go (n - 1)
+            | _ -> true
+      in
+      let same_trace = go fuel in
+      (* final states observably identical: pc, every register, every
+         address either side ever materialized *)
+      let regs_ok =
+        List.for_all
+          (fun i ->
+            let reg = Reg.of_int i in
+            Full.get_reg full reg = r.Ref_state.regs.(i))
+          (List.init Reg.count Fun.id)
+      in
+      let mem_ok =
+        Hashtbl.fold
+          (fun a v ok -> ok && Full.get_mem full a = v)
+          r.Ref_state.mem true
+        && Fragment.to_list (Full.snapshot full)
+           |> List.for_all (fun (c, v) ->
+                  match c with
+                  | Cell.Mem _ -> Ref_state.get r c = v
+                  | _ -> true)
+      in
+      same_trace && Full.pc full = r.Ref_state.pc && regs_ok && mem_ok)
+
 let () =
   Alcotest.run "state"
     [
@@ -202,5 +342,11 @@ let () =
           Alcotest.test_case "load" `Quick test_full_load;
           Alcotest.test_case "observable equality" `Quick test_observable_equality;
           Alcotest.test_case "snapshot/restrict" `Quick test_snapshot_restrict;
+          Alcotest.test_case "COW aliasing" `Quick test_cow_aliasing;
+          Alcotest.test_case "COW overflow addresses" `Quick
+            test_cow_overflow_addresses;
+          Alcotest.test_case "written zero materializes" `Quick
+            test_written_zero_materializes;
+          QCheck_alcotest.to_alcotest prop_paged_matches_hashtbl_reference;
         ] );
     ]

@@ -7,6 +7,7 @@ module Full = Mssp_state.Full
 module Layout = Mssp_isa.Layout
 module Instr = Mssp_isa.Instr
 module Task = Mssp_task.Task
+module Journal = Mssp_task.Journal
 module Dsl = Mssp_asm.Dsl
 open Mssp_asm.Regs
 
@@ -49,9 +50,9 @@ let test_runs_to_halt () =
   let task = make_task ~live_in ~end_pc:None () in
   check "halts" true (Task.run task (fallback arch) = Task.Complete Task.Program_halted);
   check_int "executed 3 iterations" 9 task.Task.executed;
-  check "t1 live-out" true (Fragment.find_opt t1_cell task.Task.writes = Some 3);
+  check "t1 live-out" true (Journal.find task.Task.writes t1_cell = Some 3);
   (* final pc points at halt *)
-  check "final pc" true (Fragment.pc task.Task.writes = Some (head + 3))
+  check "final pc" true (Journal.pc task.Task.writes = Some (head + 3))
 
 let test_boundary_first_occurrence () =
   let arch = arch_of simple_loop in
@@ -60,7 +61,7 @@ let test_boundary_first_occurrence () =
   check "boundary" true
     (Task.run task (fallback arch) = Task.Complete Task.Reached_boundary);
   check_int "one iteration" 3 task.Task.executed;
-  check "t1 = 1" true (Fragment.find_opt t1_cell task.Task.writes = Some 1)
+  check "t1 = 1" true (Journal.find task.Task.writes t1_cell = Some 1)
 
 let test_boundary_kth_occurrence () =
   let arch = arch_of simple_loop in
@@ -69,7 +70,7 @@ let test_boundary_kth_occurrence () =
   check "boundary" true
     (Task.run task (fallback arch) = Task.Complete Task.Reached_boundary);
   check_int "three iterations" 9 task.Task.executed;
-  check "t1 = 3" true (Fragment.find_opt t1_cell task.Task.writes = Some 3)
+  check "t1 = 3" true (Journal.find task.Task.writes t1_cell = Some 3)
 
 let test_budget_exhaustion () =
   let arch = arch_of simple_loop in
@@ -88,11 +89,11 @@ let test_read_resolution_order () =
   let task = make_task ~live_in ~end_pc:None () in
   ignore (Task.run task (fallback arch) : Task.status);
   (* live-in shadows architected: 2 iterations, not 77 *)
-  check "live-in wins" true (Fragment.find_opt t1_cell task.Task.writes = Some 2);
+  check "live-in wins" true (Journal.find task.Task.writes t1_cell = Some 2);
   (* own writes shadow live-in: recorded read of t0 is the live-in value,
      once, not subsequent own values *)
   check "recorded t0 is live-in" true
-    (Fragment.find_opt t0_cell task.Task.reads = Some 2)
+    (Journal.find task.Task.reads t0_cell = Some 2)
 
 let test_records_fallback_reads () =
   let arch = arch_of simple_loop in
@@ -102,11 +103,11 @@ let test_records_fallback_reads () =
   let task = make_task ~live_in ~end_pc:None () in
   ignore (Task.run task (fallback arch) : Task.status);
   check "fallback read recorded" true
-    (Fragment.find_opt t1_cell task.Task.reads = Some 5);
+    (Journal.find task.Task.reads t1_cell = Some 5);
   check "result uses fallback value" true
-    (Fragment.find_opt t1_cell task.Task.writes = Some 6);
+    (Journal.find task.Task.writes t1_cell = Some 6);
   (* pc is recorded as a live-in too *)
-  check "pc recorded" true (Fragment.find_opt Cell.Pc task.Task.reads = Some head)
+  check "pc recorded" true (Journal.find task.Task.reads Cell.Pc = Some head)
 
 let test_isolated_missing_memory_reads_zero () =
   (* isolated mode: unwritten memory reads as 0 and the 0 is recorded *)
@@ -124,8 +125,8 @@ let test_isolated_missing_memory_reads_zero () =
   in
   check "halts" true (Task.run task Task.Isolated = Task.Complete Task.Program_halted);
   check "zero read recorded" true
-    (Fragment.find_opt (Cell.mem 12345) task.Task.reads = Some 0);
-  check "t1 = 0" true (Fragment.find_opt (Cell.Reg t1) task.Task.writes = Some 0)
+    (Journal.find task.Task.reads (Cell.mem 12345) = Some 0);
+  check "t1 = 0" true (Journal.find task.Task.writes (Cell.Reg t1) = Some 0)
 
 let test_io_refusal () =
   let p =
@@ -181,9 +182,56 @@ let test_live_in_size_counts_reads_only () =
   in
   let task = make_task ~live_in ~end_pc:None () in
   ignore (Task.run task (fallback arch) : Task.status);
-  check "unread live-in not recorded" false (Fragment.mem (Cell.Reg t5) task.Task.reads);
+  check "unread live-in not recorded" false (Journal.mem task.Task.reads (Cell.Reg t5));
   check "live_in_size = recorded" true
-    (Task.live_in_size task = Fragment.cardinal task.Task.reads)
+    (Task.live_in_size task = Journal.cardinal task.Task.reads)
+
+(* --- journal <-> fragment agreement: the flat buffers are a faithful
+   representation of the fragments they replace --- *)
+
+let arbitrary_bindings : (Cell.t * int) list QCheck.arbitrary =
+  let open QCheck.Gen in
+  let cell =
+    frequency
+      [
+        (1, return Cell.Pc);
+        (3, map (fun i -> Cell.Reg (Mssp_isa.Reg.of_int (1 + (i mod 31)))) nat);
+        (6, map (fun a -> Cell.mem (a mod 16)) nat);
+      ]
+  in
+  QCheck.make
+    ~print:(fun bs ->
+      String.concat "; "
+        (List.map
+           (fun (c, v) -> Format.asprintf "%a=%d" Cell.pp c v)
+           bs))
+    (list_size (int_bound 12) (pair cell (int_bound 9)))
+
+let prop_journal_fragment_round_trip =
+  QCheck.Test.make ~name:"journal round-trips fragments" ~count:500
+    arbitrary_bindings
+    (fun bindings ->
+      let f = Fragment.of_list bindings in
+      Fragment.equal (Journal.to_fragment (Journal.of_fragment f)) f)
+
+let prop_journal_set_find_matches_fragment =
+  QCheck.Test.make
+    ~name:"journal set/find = fragment add/find over random writes" ~count:500
+    arbitrary_bindings
+    (fun bindings ->
+      let j = Journal.create () in
+      let f =
+        List.fold_left
+          (fun f (c, v) ->
+            Journal.set j c v;
+            Fragment.add c v f)
+          Fragment.empty bindings
+      in
+      Journal.cardinal j = Fragment.cardinal f
+      && List.for_all
+           (fun (c, v) -> Journal.find j c = Some v)
+           (Fragment.to_list f)
+      && Journal.for_all (fun c v -> Fragment.find_opt c f = Some v) j)
 
 (* --- cross-validation: the simulator task against the formal task
    tuples — both must compute seq on the live-ins --- *)
@@ -205,7 +253,7 @@ let prop_task_matches_abstract_evolution =
           ~end_pc:None ~end_occurrence:1 ~budget:n ~live_in
       in
       let status = Task.run task Task.Isolated in
-      let sim_result = Fragment.superimpose live_in task.Task.writes in
+      let sim_result = Fragment.superimpose live_in (Task.writes_fragment task) in
       (* the abstract task evolves the same live-in by the same count *)
       let abstract =
         Abstract_task.evolve_fully (Abstract_task.make live_in task.Task.executed)
@@ -238,5 +286,10 @@ let () =
           Alcotest.test_case "live-in accounting" `Quick
             test_live_in_size_counts_reads_only;
           QCheck_alcotest.to_alcotest prop_task_matches_abstract_evolution;
+        ] );
+      ( "journal",
+        [
+          QCheck_alcotest.to_alcotest prop_journal_fragment_round_trip;
+          QCheck_alcotest.to_alcotest prop_journal_set_find_matches_fragment;
         ] );
     ]
