@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-csv bench-json perf-smoke examples clean loc
+.PHONY: all build test bench bench-csv bench-json perf-smoke fuzz examples clean loc
 
 all: build
 
@@ -26,6 +26,11 @@ bench-json:
 # quick perf regression check: reduced-scale E1 under a wall-clock budget
 perf-smoke:
 	timeout 120 dune exec bench/main.exe -- E1s
+
+# differential fuzzing: SEQ vs MSSP config grid vs formal models.
+# Failing programs are shrunk and written to fuzz/corpus/ as .s repros.
+fuzz:
+	dune exec -- mssp_sim fuzz --seed $${SEED:-1} --count $${COUNT:-500} --out fuzz/corpus
 
 examples:
 	dune exec examples/quickstart.exe

@@ -8,6 +8,7 @@
      compare            SEQ vs MSSP: verify equivalence, report speedup
      exec               assemble and run a .s file sequentially
      formal             run the formal-model checks (safety, refinement)
+     fuzz               differential fuzzing: SEQ vs MSSP grid vs formal models
 
    Examples:
      mssp_sim list
@@ -343,6 +344,76 @@ let cc_cmd =
     (Cmd.info "cc" ~doc:"Compile and run a MiniC program (optionally under MSSP)")
     Term.(const run $ file_arg $ mssp_arg $ emit_arg)
 
+(* --- fuzz --- *)
+
+let fuzz_cmd =
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N"
+         ~doc:"Campaign seed (the whole campaign is a deterministic function \
+               of it).")
+  in
+  let count_arg =
+    Arg.(value & opt int 100 & info [ "count" ] ~docv:"N"
+         ~doc:"Number of random programs to judge.")
+  in
+  let size_arg =
+    Arg.(value & opt int 0 & info [ "size" ] ~docv:"N"
+         ~doc:"Shapes per generated program (0: vary per program).")
+  in
+  let budget_arg =
+    Arg.(value & opt int 500 & info [ "budget" ] ~docv:"N"
+         ~doc:"Shrinking budget: oracle evaluations per finding.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR"
+         ~doc:"Write shrunken repros as .s files into $(docv) \
+               (e.g. fuzz/corpus).")
+  in
+  let save_arg =
+    Arg.(value & opt int 0 & info [ "save" ] ~docv:"N"
+         ~doc:"Also write the first $(docv) passing programs into --out as \
+               corpus seed regressions.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-finding progress.")
+  in
+  let run seed count size budget out save quiet =
+    let module Driver = Mssp_fuzz.Driver in
+    let module Oracle = Mssp_fuzz.Oracle in
+    let log = if quiet then fun _ -> () else print_endline in
+    let r =
+      Driver.campaign ~seed ~count ~size ~shrink_budget:budget ?out ~save ~log
+        ()
+    in
+    Printf.printf
+      "fuzz: %d programs (%d skipped), %d machine runs compared, %d divergence(s)\n"
+      r.Driver.programs r.Driver.skipped r.Driver.runs
+      (List.length r.Driver.findings);
+    if r.Driver.findings <> [] then begin
+      List.iter
+        (fun (f : Driver.finding) ->
+          Printf.printf "  seed %d: %s%s\n" f.Driver.program_seed
+            (String.concat "; "
+               (List.map
+                  (fun (x : Oracle.failure) ->
+                    Printf.sprintf "[%s] %s" x.Oracle.point x.Oracle.reason)
+                  f.Driver.failures))
+            (match f.Driver.repro_path with
+            | Some p -> Printf.sprintf "  (repro: %s)" p
+            | None -> ""))
+        r.Driver.findings;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random programs through SEQ, an MSSP config \
+          grid and the formal models; failures are shrunk to minimal repros")
+    Term.(
+      const run $ seed_arg $ count_arg $ size_arg $ budget_arg $ out_arg
+      $ save_arg $ quiet_arg)
+
 (* --- maude --- *)
 
 let maude_cmd =
@@ -383,4 +454,4 @@ let () =
   let info = Cmd.info "mssp_sim" ~version:"1.0" ~doc in
   exit (Cmd.eval (Cmd.group info
     [ list_cmd; seq_cmd; distill_cmd; run_cmd; compare_cmd; exec_cmd;
-      cc_cmd; formal_cmd; maude_cmd ]))
+      cc_cmd; formal_cmd; fuzz_cmd; maude_cmd ]))

@@ -1,0 +1,74 @@
+; mssp fuzz corpus seed (campaign seed 7, program seed 668014553)
+; passed 13 machine runs when generated
+.base 4096
+; main:
+; <- entry
+jmp 5
+; leaf:
+muli t0, t0, 17
+addi t0, t0, 3
+andi t0, t0, 65535
+jr ra
+; start:
+li s4, 8
+; .loop_1:
+ori t4, t7, -65
+li s6, 1052670
+st t7, 2(s6)
+st t7, 3(s6)
+ld t5, 1(s6)
+li s6, 1060862
+st t1, 2(s6)
+ld t6, 3(s6)
+subi s4, s4, 1
+bgt s4, zero, -9
+and t5, t0, t1
+li s5, 16777215
+st t7, 1(s5)
+ld t6, 2(s5)
+ld t5, 1048627(zero)
+li s6, 1052670
+st t6, 3(s6)
+ld t1, 0(s6)
+shli t7, t7, -8
+st t0, 1048622(zero)
+ld t0, 1048679(zero)
+andi t0, t0, 1
+bne t0, zero, 3
+andi t5, t4, 75
+shri t2, t4, 40
+; .skip_2:
+out t0
+li s4, 6
+; .loop_3:
+xor t7, t4, t3
+div t3, t5, t6
+ld s3, 1048640(zero)
+muli s3, s3, 6
+st s3, 1048640(zero)
+ld t5, 1048588(zero)
+subi s4, s4, 1
+bgt s4, zero, -7
+ld t5, 1048631(zero)
+mul t0, t4, t4
+li s5, 16777215
+st t0, 1(s5)
+ld t5, 0(s5)
+seqi t7, t3, 11
+st t0, 1048581(zero)
+sle t1, t1, t0
+li s5, 16777215
+st t5, 0(s5)
+ld t2, 0(s5)
+ld t0, 1048645(zero)
+andi t0, t0, 1
+bne t0, zero, 2
+shli t5, t2, -41
+; .skip_4:
+ld s3, 1048640(zero)
+muli s3, s3, 7
+st s3, 1048640(zero)
+halt
+.data
+.org 1048641
+.word 92 38 75 13 69 17 93 13 23 82 3 37 40 43 87 8 69 59 51 67 46 86 51 25 47 61 45 94 20 73 60 8 3 81 20 27 68 55 29 79 12 38 41 7 94 18 66 65 12 46 21 16 64 37 64 83 64 62 54 56 24 37 52 38

@@ -1,0 +1,42 @@
+; mssp fuzz corpus seed (campaign seed 7, program seed 886332084)
+; passed 13 machine runs when generated
+.base 4096
+; main:
+; <- entry
+jmp 5
+; leaf:
+muli t0, t0, 17
+addi t0, t0, 3
+andi t0, t0, 65535
+jr ra
+; start:
+li s6, 1060862
+st t0, 3(s6)
+ld t7, 0(s6)
+li s6, 1052670
+st t0, 0(s6)
+st t7, 1(s6)
+st t7, 3(s6)
+ld t0, 2(s6)
+jal ra, -12
+li s4, 7
+; .loop_1:
+rem t2, t0, t1
+muli t5, t6, 56
+seq t1, t1, t4
+ld s3, 1048640(zero)
+xori s3, s3, 2
+st s3, 1048640(zero)
+xor t5, t1, t2
+li s6, 1060862
+ld t1, 1(s6)
+subi s4, s4, 1
+bgt s4, zero, -10
+mul t7, t6, t6
+li s5, 16777233
+ld t4, 0(s5)
+st t4, 1048581(zero)
+halt
+.data
+.org 1048641
+.word 11 48 82 68 87 44 14 86 71 18 93 96 3 92 33 76 59 47 54 30 49 48 27 78 4 57 5 89 84 22 67 30 94 0 76 66 81 1 36 86 91 87 15 52 12 33 34 83 16 2 43 75 3 46 64 86 43 87 59 85 75 66 70 67

@@ -1,0 +1,29 @@
+; mssp fuzz corpus seed (campaign seed 7, program seed 381976419)
+; passed 13 machine runs when generated
+.base 4096
+; main:
+; <- entry
+jmp 5
+; leaf:
+muli t0, t0, 17
+addi t0, t0, 3
+andi t0, t0, 65535
+jr ra
+; start:
+xor t6, t7, t2
+jal ra, -5
+ld s3, 1048640(zero)
+addi s3, s3, 2
+st s3, 1048640(zero)
+ld t3, 1048688(zero)
+andi t3, t3, 1
+bne t3, zero, 2
+snei t6, t2, -99
+; .skip_1:
+ld t0, 1048577(zero)
+addi t0, t1, 21
+st t2, 1048627(zero)
+halt
+.data
+.org 1048641
+.word 83 71 22 34 10 9 88 56 27 62 50 30 21 59 39 51 43 38 49 31 4 5 39 62 30 82 10 6 7 88 79 42 96 5 72 64 25 57 79 83 9 60 40 7 33 4 72 9 25 84 35 42 26 78 93 75 14 94 8 41 30 82 42 35

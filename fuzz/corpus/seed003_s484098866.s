@@ -1,0 +1,66 @@
+; mssp fuzz corpus seed (campaign seed 7, program seed 484098866)
+; passed 13 machine runs when generated
+.base 4096
+; main:
+; <- entry
+jmp 5
+; leaf:
+muli t0, t0, 17
+addi t0, t0, 3
+andi t0, t0, 65535
+jr ra
+; start:
+ld t7, 1048624(zero)
+ld s3, 1048640(zero)
+muli s3, s3, 6
+st s3, 1048640(zero)
+li s6, 1052670
+st t1, 0(s6)
+ld t2, 0(s6)
+out t0
+ld t1, 1048651(zero)
+andi t1, t1, 1
+bne t1, zero, 2
+or t5, t3, t7
+; .skip_1:
+jal ra, -16
+li s6, 1052670
+st t7, 0(s6)
+st t0, 1(s6)
+st t6, 2(s6)
+st t6, 3(s6)
+ld t5, 1(s6)
+out t0
+shri t3, t3, -94
+seqi t0, t0, 70
+addi t4, t0, -3
+jal ra, -27
+ld t4, 1048610(zero)
+li s4, 7
+; .loop_2:
+ld s3, 1048640(zero)
+addi s3, s3, 2
+st s3, 1048640(zero)
+ld s3, 1048640(zero)
+muli s3, s3, 1
+st s3, 1048640(zero)
+ld t3, 1048599(zero)
+st t4, 1048602(zero)
+and t0, t6, t3
+subi s4, s4, 1
+bgt s4, zero, -10
+jal ra, -41
+li s5, -1
+ld t7, 2(s5)
+li s5, 16777214
+st t4, 0(s5)
+ld t4, 2(s5)
+li s6, 1060862
+st t4, 1(s6)
+st t0, 3(s6)
+ld t2, 3(s6)
+xor t3, t6, t5
+halt
+.data
+.org 1048641
+.word 64 67 39 53 73 27 83 88 34 60 82 82 6 61 0 56 6 40 70 75 87 57 47 67 30 10 26 51 84 36 50 24 43 40 0 58 37 95 87 26 83 86 76 50 54 89 56 33 3 51 47 69 4 82 91 69 40 34 39 66 57 25 85 30

@@ -1,0 +1,111 @@
+; mssp fuzz corpus seed (campaign seed 7, program seed 523538860)
+; passed 13 machine runs when generated
+.base 4096
+; main:
+; <- entry
+jmp 5
+; leaf:
+muli t0, t0, 17
+addi t0, t0, 3
+andi t0, t0, 65535
+jr ra
+; start:
+li s5, 16777214
+st t2, 0(s5)
+ld t2, 2(s5)
+out t3
+ld t5, 1048683(zero)
+andi t5, t5, 1
+bne t5, zero, 2
+seq t2, t5, t5
+; .skip_1:
+rem t2, t0, t0
+shl t4, t0, t0
+ld t0, 1048576(zero)
+li s4, 3
+; .loop_2:
+li s6, 1060862
+st t6, 1(s6)
+ld t0, 2(s6)
+ld s3, 1048640(zero)
+muli s3, s3, 9
+st s3, 1048640(zero)
+subi s4, s4, 1
+bgt s4, zero, -7
+li s4, 3
+; .loop_3:
+muli t6, t0, -72
+ld t5, 1048576(zero)
+addi t1, t2, -82
+remi t6, t5, -86
+subi s4, s4, 1
+bgt s4, zero, -5
+st t3, 1048628(zero)
+li s4, 3
+; .loop_4:
+xor t1, t5, t6
+li s6, 1052670
+st t3, 2(s6)
+ld t7, 2(s6)
+ld t1, 1048626(zero)
+ld s3, 1048640(zero)
+xori s3, s3, 1
+st s3, 1048640(zero)
+ori t2, t7, -94
+subi s4, s4, 1
+bgt s4, zero, -10
+li s5, -57
+st t5, 1(s5)
+ld t2, 1(s5)
+ld t0, 1048651(zero)
+andi t0, t0, 1
+bne t0, zero, 4
+slti t7, t6, -63
+shri t4, t7, -30
+seqi t2, t1, -90
+; .skip_5:
+ld t0, 1048664(zero)
+andi t0, t0, 1
+bne t0, zero, 3
+andi t7, t0, -52
+andi t0, t0, 36
+; .skip_6:
+or t3, t3, t4
+snei t1, t7, 69
+ld t4, 1048665(zero)
+andi t4, t4, 1
+bne t4, zero, 4
+seqi t7, t4, 68
+shri t3, t0, -22
+divi t3, t1, -5
+; .skip_7:
+li s6, 1056766
+st t0, 1(s6)
+st t0, 2(s6)
+st t0, 3(s6)
+ld t7, 1(s6)
+ld t1, 1048657(zero)
+andi t1, t1, 1
+bne t1, zero, 4
+slei t5, t3, 32
+muli t1, t1, -58
+shri t4, t1, -79
+; .skip_8:
+ld t4, 1048654(zero)
+andi t4, t4, 1
+bne t4, zero, 3
+xori t4, t0, 74
+snei t2, t2, 74
+; .skip_9:
+li s5, -57
+st t4, 0(s5)
+ld t5, 0(s5)
+ld s3, 1048640(zero)
+addi s3, s3, 1
+st s3, 1048640(zero)
+li s5, 16777214
+ld t3, 0(s5)
+halt
+.data
+.org 1048641
+.word 43 55 37 63 50 74 39 22 90 84 87 5 34 16 51 2 59 66 87 48 17 54 67 11 11 36 33 44 60 37 54 57 20 72 60 27 57 54 34 23 86 26 34 47 93 42 75 48 59 80 32 36 35 87 44 32 49 96 1 31 77 71 16 28

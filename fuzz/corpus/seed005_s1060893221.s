@@ -1,0 +1,63 @@
+; mssp fuzz corpus seed (campaign seed 7, program seed 1060893221)
+; passed 13 machine runs when generated
+.base 4096
+; main:
+; <- entry
+jmp 5
+; leaf:
+muli t0, t0, 17
+addi t0, t0, 3
+andi t0, t0, 65535
+jr ra
+; start:
+li s4, 1
+; .loop_1:
+ld s3, 1048640(zero)
+muli s3, s3, 6
+st s3, 1048640(zero)
+ld s3, 1048640(zero)
+xori s3, s3, 4
+st s3, 1048640(zero)
+li s6, 1060862
+st t0, 2(s6)
+st t0, 3(s6)
+ld t2, 2(s6)
+li s6, 1052670
+st t5, 0(s6)
+st t0, 2(s6)
+st t3, 3(s6)
+ld t5, 1(s6)
+subi s4, s4, 1
+bgt s4, zero, -16
+jal ra, -22
+li s6, 1060862
+st t7, 2(s6)
+ld t2, 0(s6)
+ld t4, 1048672(zero)
+andi t4, t4, 1
+bne t4, zero, 3
+sne t2, t7, t6
+andi t3, t0, 74
+; .skip_2:
+xor t6, t5, t1
+li s5, 16777216
+st t3, 2(s5)
+ld t0, 2(s5)
+out t4
+ld t0, 1048689(zero)
+andi t0, t0, 1
+bne t0, zero, 4
+ori t0, t7, 22
+shri t6, t1, 76
+sle t7, t5, t6
+; .skip_3:
+li s5, -1
+st t3, 2(s5)
+ld t5, 1(s5)
+add t6, t2, t0
+out t4
+add t2, t6, t4
+halt
+.data
+.org 1048641
+.word 91 29 62 35 19 54 71 24 65 77 2 29 71 42 23 61 19 31 25 19 15 74 12 49 13 45 25 1 10 32 67 88 74 39 47 26 12 14 82 9 82 89 0 86 1 67 57 50 80 30 32 88 48 8 50 38 8 34 4 8 37 85 93 64

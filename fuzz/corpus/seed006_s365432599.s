@@ -1,0 +1,80 @@
+; mssp fuzz corpus seed (campaign seed 7, program seed 365432599)
+; passed 13 machine runs when generated
+.base 4096
+; main:
+; <- entry
+jmp 5
+; leaf:
+muli t0, t0, 17
+addi t0, t0, 3
+andi t0, t0, 65535
+jr ra
+; start:
+ld t6, 1048631(zero)
+li s4, 2
+; .loop_1:
+slei t0, t5, -52
+li s6, 1056766
+st t5, 1(s6)
+st t5, 2(s6)
+ld t6, 3(s6)
+andi t5, t7, 50
+sne t4, t6, t6
+slti t2, t5, 20
+subi s4, s4, 1
+bgt s4, zero, -9
+li s4, 1
+; .loop_2:
+sub t4, t5, t3
+slti t2, t5, 33
+subi t4, t6, 31
+ld t5, 1048632(zero)
+snei t2, t7, -47
+li s6, 1056766
+ld t1, 2(s6)
+subi s4, s4, 1
+bgt s4, zero, -8
+li s4, 7
+; .loop_3:
+ld t4, 1048585(zero)
+add t5, t0, t2
+subi s4, s4, 1
+bgt s4, zero, -3
+remi t2, t6, 81
+ld t4, 1048679(zero)
+andi t4, t4, 1
+bne t4, zero, 2
+sle t0, t5, t7
+; .skip_4:
+ld s3, 1048640(zero)
+xori s3, s3, 6
+st s3, 1048640(zero)
+shl t7, t0, t3
+ld s3, 1048640(zero)
+addi s3, s3, 2
+st s3, 1048640(zero)
+jal ra, -43
+out t2
+jal ra, -45
+li s6, 1056766
+st t0, 0(s6)
+st t5, 1(s6)
+st t2, 2(s6)
+ld t2, 2(s6)
+ld t6, 1048673(zero)
+andi t6, t6, 1
+bne t6, zero, 3
+sle t1, t4, t5
+rem t3, t0, t6
+; .skip_5:
+st t2, 1048621(zero)
+st t1, 1048625(zero)
+xor t4, t6, t5
+ld t5, 1048617(zero)
+li s6, 1056766
+st t5, 3(s6)
+ld t1, 2(s6)
+halt
+.data
+.org 1048641
+.word 15 62 3 83 24 90 21 60 15 89 32 43 41 25 80 95 38 40 68 5 42 8 1 42 55 90 12 56 78 38 83 3 27 56 54 34 8 71 84 62 56 24 40 19 37 2 46 68 25 28 2 41 58 59 93 37 48 2 33 33 32 76 21 87

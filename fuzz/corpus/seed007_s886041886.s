@@ -1,0 +1,70 @@
+; mssp fuzz corpus seed (campaign seed 7, program seed 886041886)
+; passed 13 machine runs when generated
+.base 4096
+; main:
+; <- entry
+jmp 5
+; leaf:
+muli t0, t0, 17
+addi t0, t0, 3
+andi t0, t0, 65535
+jr ra
+; start:
+li s5, 16777216
+st t3, 0(s5)
+ld t0, 2(s5)
+shli t4, t5, 32
+ld s3, 1048640(zero)
+addi s3, s3, 5
+st s3, 1048640(zero)
+ld s3, 1048640(zero)
+xori s3, s3, 4
+st s3, 1048640(zero)
+li s4, 6
+; .loop_1:
+subi t3, t7, -28
+ld t2, 1048631(zero)
+ld s3, 1048640(zero)
+addi s3, s3, 4
+st s3, 1048640(zero)
+li s6, 1056766
+st t0, 1(s6)
+ld t5, 3(s6)
+sle t5, t5, t4
+subi s4, s4, 1
+bgt s4, zero, -10
+ld s3, 1048640(zero)
+xori s3, s3, 7
+st s3, 1048640(zero)
+li s7, 2797
+; .runaway_2:
+addi t1, t2, 1
+subi s7, s7, 1
+bgt s7, zero, -2
+out t3
+ld t3, 1048674(zero)
+andi t3, t3, 1
+bne t3, zero, 3
+addi t7, t7, 21
+div t0, t5, t2
+; .skip_3:
+ld t6, 1048676(zero)
+andi t6, t6, 7
+bne t6, zero, 2
+halt
+; .live_4:
+st t6, 1048619(zero)
+ld s3, 1048640(zero)
+xori s3, s3, 3
+st s3, 1048640(zero)
+ld t0, 1048619(zero)
+li s6, 1052670
+st t0, 2(s6)
+ld t5, 0(s6)
+ld s3, 1048640(zero)
+muli s3, s3, 3
+st s3, 1048640(zero)
+halt
+.data
+.org 1048641
+.word 5 74 26 51 78 43 11 81 95 14 59 41 78 85 18 32 91 39 30 19 81 31 70 3 43 45 37 3 20 32 19 51 9 56 10 28 54 64 16 40 22 16 2 10 88 67 69 64 48 60 27 31 36 59 96 3 87 21 50 70 96 22 18 82

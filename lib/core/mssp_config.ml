@@ -43,6 +43,7 @@ type t = {
   dual_trigger : int;
   dual_burst : int;
   fault_injection : (int * float) option;
+  chaos_commit : (int * float) option;
   record_tasks : bool;
   record_trace : bool;
   master_chunk : int;
@@ -65,6 +66,7 @@ let default =
     dual_trigger = 3;
     dual_burst = 5_000;
     fault_injection = None;
+    chaos_commit = None;
     record_tasks = true;
     record_trace = false;
     master_chunk = 1_000_000;
@@ -82,13 +84,16 @@ let pp fmt c =
      task size: %d, budget: %d@,\
      isolated: %b, control-only: %b, refinement check: %b@,\
      dual mode: %b (trigger %d, burst %d)@,\
-     fault injection: %s@,\
+     fault injection: %s, chaos commit: %s@,\
      master chunk: %d, max cycles: %d, max squashes: %d@,\
      recovery fuel: %d@]"
     c.slaves c.max_in_flight c.task_size c.task_budget c.isolated_slaves
     c.control_only_master c.verify_refinement c.dual_mode c.dual_trigger
     c.dual_burst
     (match c.fault_injection with
+    | None -> "off"
+    | Some (seed, p) -> Printf.sprintf "seed %d, p=%g" seed p)
+    (match c.chaos_commit with
     | None -> "off"
     | Some (seed, p) -> Printf.sprintf "seed %d, p=%g" seed p)
     c.master_chunk c.max_cycles c.max_squashes c.recovery_fuel

@@ -68,6 +68,14 @@ type t = {
           probability [p] — soft-error injection into the speculative
           domain. Verification must absorb every such fault; only
           squash rates may move. *)
+  chaos_commit : (int * float) option;
+      (** [(seed, p)]: {e deliberately corrupt} one committed memory
+          live-out in architected state with probability [p] per commit
+          — a broken verify/commit unit on purpose. Unlike
+          [fault_injection] (which the machine must absorb), this breaks
+          the machine itself; it exists solely so the differential
+          fuzzer's mutation smoke test can prove the oracle detects and
+          shrinks a real commit-rule bug. Never set it outside tests. *)
   record_tasks : bool;  (** keep per-task size/live-in lists in stats *)
   record_trace : bool;  (** keep the timestamped machine event log *)
   master_chunk : int;

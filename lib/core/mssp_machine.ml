@@ -224,6 +224,35 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
       Fragment.add c (v lxor 0x5A5A5A5A) li
     | Some _ | None -> li
   in
+  (* chaos_commit: the DELIBERATELY broken verify/commit unit. After a
+     verified commit, corrupt one committed memory live-out in
+     architected state — the machine bug the differential fuzzer's
+     mutation smoke test must catch (and shrink). *)
+  let chaos_rng =
+    match cfg.chaos_commit with
+    | None -> None
+    | Some (seed, p) ->
+      let state = ref ((seed lxor 0xB5297A4D) land max_int) in
+      Some
+        (fun () ->
+          state := ((!state * 25214903917) + 11) land ((1 lsl 48) - 1);
+          float_of_int (!state lsr 16) /. float_of_int (1 lsl 32) < p)
+  in
+  let maybe_chaos_commit cp_id task =
+    match chaos_rng with
+    | Some flip when flip () -> (
+      let mems =
+        Fragment.fold
+          (fun c v acc -> if Cell.is_mem c then (c, v) :: acc else acc)
+          (Task.writes_fragment task) []
+      in
+      match mems with
+      | [] -> ()
+      | l ->
+        let c, v = List.nth l (cp_id mod List.length l) in
+        Full.set arch c (v lxor 0x2A))
+    | Some _ | None -> ()
+  in
   (* dual-mode: squashes with no commit in between *)
   let fruitless_squashes = ref 0 in
   let trace = ref [] in
@@ -483,6 +512,7 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
           (* the memoization hit: superimpose the live-outs *)
           ignore (Queue.pop window : checkpoint);
           Task.commit_into task arch;
+          maybe_chaos_commit cp.cp_id task;
           let n_outs = Task.live_out_size task in
           fruitless_squashes := 0;
           emit

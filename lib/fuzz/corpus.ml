@@ -1,0 +1,31 @@
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let save ~dir ~name ?(comment = []) p =
+  mkdir_p dir;
+  let path = Filename.concat dir (name ^ ".s") in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun line -> Buffer.add_string buf (Printf.sprintf "; %s\n" line))
+    comment;
+  Buffer.add_string buf (Mssp_asm.Emit.program_to_source p);
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  path
+
+let load path =
+  let source = In_channel.with_open_text path In_channel.input_all in
+  match Mssp_asm.Parser.parse source with
+  | Ok p -> Ok p
+  | Error e -> Error (Format.asprintf "%s: %a" path Mssp_asm.Parser.pp_error e)
+
+let files dir =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".s")
+    |> List.sort String.compare
+    |> List.map (Filename.concat dir)
+  else []

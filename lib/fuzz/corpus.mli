@@ -1,0 +1,25 @@
+(** The shrunken-repro corpus: replayable [.s] files.
+
+    A corpus entry is ordinary SIR assembly as produced by
+    {!Mssp_asm.Emit} with a leading comment block recording provenance
+    (generator seed, the grid points that failed, the divergence). The
+    files parse with {!Mssp_asm.Parser}, run with [mssp_sim exec], and
+    are replayed through the full oracle by [test/test_fuzz.ml] on every
+    [dune runtest] — a failure that was once shrunk and committed stays
+    fixed forever. *)
+
+val save :
+  dir:string ->
+  name:string ->
+  ?comment:string list ->
+  Mssp_isa.Program.t ->
+  string
+(** Write [name].s under [dir] (created if missing), prefixing one [;]
+    comment line per [comment] element. Returns the path written. *)
+
+val load : string -> (Mssp_isa.Program.t, string) result
+(** Parse one corpus file. *)
+
+val files : string -> string list
+(** Sorted [.s] paths under a directory; [] if the directory is
+    missing. *)

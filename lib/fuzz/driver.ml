@@ -1,0 +1,97 @@
+module Wl_util = Mssp_workload.Wl_util
+
+type finding = {
+  program_seed : int;
+  program : Mssp_isa.Program.t;
+  shrunk : Mssp_isa.Program.t;
+  failures : Oracle.failure list;
+  repro_path : string option;
+}
+
+type report = {
+  programs : int;
+  skipped : int;
+  runs : int;
+  findings : finding list;
+}
+
+let campaign ?grid ?fuel ?(size = 0) ?(shrink_budget = 500) ?out ?(save = 0)
+    ?(log = fun _ -> ()) ~seed ~count () =
+  let rng = Wl_util.lcg (seed lxor 0x6C078965) in
+  let skipped = ref 0 in
+  let runs = ref 0 in
+  let findings = ref [] in
+  for i = 0 to count - 1 do
+    let program_seed = (rng () lxor i) land 0x3FFFFFFF in
+    let sz = if size > 0 then size else 6 + (program_seed mod 19) in
+    let p = Gen.generate ~seed:program_seed ~size:sz () in
+    match Oracle.check ?grid ?fuel ~formal_seed:program_seed p with
+    | Oracle.Passed n ->
+      runs := !runs + n;
+      if i < save then
+        Option.iter
+          (fun dir ->
+            let comment =
+              [
+                Printf.sprintf
+                  "mssp fuzz corpus seed (campaign seed %d, program seed %d)"
+                  seed program_seed;
+                Printf.sprintf "passed %d machine runs when generated" n;
+              ]
+            in
+            let name = Printf.sprintf "seed%03d_s%d" i program_seed in
+            let path = Corpus.save ~dir ~name ~comment p in
+            log (Printf.sprintf "program %d (seed %d): saved seed %s" i
+                   program_seed path))
+          out
+    | Oracle.Skipped reason ->
+      incr skipped;
+      log (Printf.sprintf "program %d (seed %d): skipped — %s" i program_seed
+             reason)
+    | Oracle.Failed failures ->
+      log
+        (Printf.sprintf "program %d (seed %d): DIVERGENCE — %s" i program_seed
+           (String.concat "; "
+              (List.map
+                 (fun (f : Oracle.failure) ->
+                   Printf.sprintf "[%s] %s" f.Oracle.point f.Oracle.reason)
+                 failures)));
+      let shrunk =
+        Shrink.minimize ~budget:shrink_budget
+          ~failing:(Oracle.failing ?grid ?fuel)
+          p
+      in
+      log
+        (Printf.sprintf "  shrunk %d -> %d instructions"
+           (Shrink.instructions p) (Shrink.instructions shrunk));
+      let repro_path =
+        Option.map
+          (fun dir ->
+            let comment =
+              [
+                Printf.sprintf "mssp fuzz repro (campaign seed %d, program seed %d)"
+                  seed program_seed;
+                Printf.sprintf "shrunk from %d to %d instructions"
+                  (Shrink.instructions p) (Shrink.instructions shrunk);
+              ]
+              @ List.map
+                  (fun (f : Oracle.failure) ->
+                    Printf.sprintf "diverged at [%s]: %s" f.Oracle.point
+                      f.Oracle.reason)
+                  failures
+            in
+            let name = Printf.sprintf "repro_seed%d" program_seed in
+            Corpus.save ~dir ~name ~comment shrunk)
+          out
+      in
+      Option.iter (fun path -> log (Printf.sprintf "  wrote %s" path)) repro_path;
+      findings :=
+        { program_seed; program = p; shrunk; failures; repro_path }
+        :: !findings
+  done;
+  {
+    programs = count;
+    skipped = !skipped;
+    runs = !runs;
+    findings = List.rev !findings;
+  }

@@ -1,0 +1,43 @@
+(** Fuzzing campaigns: generate, judge, shrink, persist.
+
+    A campaign derives one program seed per iteration from the campaign
+    seed, generates a program ({!Gen}), judges it ({!Oracle.check}) and,
+    on failure, shrinks it against the same grid ({!Shrink.minimize})
+    and writes a provenance-commented repro into the corpus directory
+    ({!Corpus.save}). Campaigns are deterministic: same seed, same
+    programs, same verdicts. *)
+
+type finding = {
+  program_seed : int;
+  program : Mssp_isa.Program.t;  (** as generated *)
+  shrunk : Mssp_isa.Program.t;  (** minimized witness *)
+  failures : Oracle.failure list;  (** of the original program *)
+  repro_path : string option;  (** where the shrunk witness was saved *)
+}
+
+type report = {
+  programs : int;
+  skipped : int;
+  runs : int;  (** machine runs compared across all grid points *)
+  findings : finding list;
+}
+
+val campaign :
+  ?grid:Oracle.point list ->
+  ?fuel:int ->
+  ?size:int ->
+  ?shrink_budget:int ->
+  ?out:string ->
+  ?save:int ->
+  ?log:(string -> unit) ->
+  seed:int ->
+  count:int ->
+  unit ->
+  report
+(** [size] (default 0 = vary per program in [6, 24]) fixes the shape
+    count; [shrink_budget] (default 500) bounds predicate evaluations
+    per finding; [out] enables corpus persistence; [save] (default 0)
+    additionally writes the first [save] {e passing} programs into [out]
+    as corpus seeds, so interesting generated programs are replayed as
+    regressions by later runs; [log] receives one-line progress
+    messages. *)

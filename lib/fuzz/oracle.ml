@@ -1,0 +1,239 @@
+module Full = Mssp_state.Full
+module Fragment = Mssp_state.Fragment
+module Cell = Mssp_state.Cell
+module Machine = Mssp_seq.Machine
+module Profile = Mssp_profile.Profile
+module Distill = Mssp_distill.Distill
+module M = Mssp_core.Mssp_machine
+module Config = Mssp_core.Mssp_config
+module Adversary = Mssp_workload.Adversary
+
+type failure = { point : string; reason : string }
+
+type verdict =
+  | Passed of int
+  | Skipped of string
+  | Failed of failure list
+
+type distiller = Honest | Aggressive | Identity | Adversaries | Amnesiac
+
+type point = { name : string; distiller : distiller; config : Config.t }
+
+let pp_failure fmt f = Format.fprintf fmt "[%s] %s" f.point f.reason
+
+(* Every grid run keeps the shadow SEQ machine on: any commit or
+   recovery that leaves architected state off the sequential trajectory
+   is flagged at the step where it happens, not just at the end. *)
+let base_config =
+  {
+    Config.default with
+    Config.verify_refinement = true;
+    master_chunk = 100_000;
+    max_cycles = 500_000_000;
+  }
+
+let aggressive_options =
+  {
+    Distill.default_options with
+    Distill.branch_bias_threshold = 0.7;
+    min_branch_count = 2;
+    promote_stable_loads = true;
+    load_stability_threshold = 0.6;
+    min_load_count = 2;
+    store_comm_distance = 10;
+    min_store_count = 2;
+  }
+
+let default_grid () =
+  let t = base_config.Config.timing in
+  [
+    { name = "honest"; distiller = Honest; config = base_config };
+    {
+      name = "honest-1-slave-tiny-tasks";
+      distiller = Honest;
+      config =
+        { base_config with Config.slaves = 1; max_in_flight = 2; task_size = 5 };
+    };
+    {
+      name = "honest-8-slaves-slow-spawn";
+      distiller = Honest;
+      config =
+        {
+          (Config.with_slaves 8 base_config) with
+          Config.task_budget = 300;
+          timing =
+            { t with Config.spawn_latency = 60; restart_latency = 120 };
+        };
+    };
+    {
+      name = "honest-fault-injection";
+      distiller = Honest;
+      config = { base_config with Config.fault_injection = Some (99, 0.25) };
+    };
+    {
+      name = "honest-isolated";
+      distiller = Honest;
+      config = { base_config with Config.isolated_slaves = true };
+    };
+    {
+      name = "honest-control-only";
+      distiller = Honest;
+      config = { base_config with Config.control_only_master = true };
+    };
+    { name = "aggressive"; distiller = Aggressive; config = base_config };
+    { name = "identity"; distiller = Identity; config = base_config };
+    { name = "adversaries"; distiller = Adversaries; config = base_config };
+    {
+      name = "amnesiac-dual-mode";
+      distiller = Amnesiac;
+      config = { base_config with Config.dual_mode = true };
+    };
+  ]
+
+let chaos_point ~seed ~p =
+  {
+    name = "chaos-commit";
+    distiller = Honest;
+    config = { base_config with Config.chaos_commit = Some (seed, p) };
+  }
+
+let packages p profile point =
+  match point.distiller with
+  | Honest -> [ ("", Distill.distill p profile) ]
+  | Aggressive -> [ ("", Distill.distill ~options:aggressive_options p profile) ]
+  | Identity ->
+    [ ("", Distill.distill ~options:Distill.identity_options p profile) ]
+  | Adversaries -> List.map (fun (n, d) -> ("/" ^ n, d)) (Adversary.all p)
+  | Amnesiac ->
+    [ ("/amnesiac", Adversary.amnesiac (Distill.distill p profile)) ]
+
+(* The reference run over the same image MSSP starts from: both the
+   original and the (package-specific) distilled program loaded, because
+   final states are compared over ALL of observable memory, distilled
+   image included. *)
+let seq_reference ~fuel (d : Distill.t) =
+  let s = Full.create () in
+  Full.load s d.Distill.original;
+  Full.load ~set_entry:false s d.Distill.distilled;
+  let m = Machine.of_state s in
+  ignore (Machine.run ~fuel m : Machine.stop);
+  m
+
+let check_package ~fuel point subname (d : Distill.t) =
+  let name = point.name ^ subname in
+  let seq = seq_reference ~fuel d in
+  let r = M.run ~config:point.config d in
+  let fails = ref [] in
+  let fail fmt =
+    Printf.ksprintf (fun reason -> fails := { point = name; reason } :: !fails) fmt
+  in
+  (match r.M.stop with
+  | M.Halted -> ()
+  | M.Cycle_limit -> fail "machine stopped on the cycle limit"
+  | M.Squash_limit -> fail "machine stopped on the squash limit"
+  | M.Wedged -> fail "machine wedged (event queue drained early)");
+  if r.M.stop = M.Halted then begin
+    (match Full.diff_observable seq.Machine.state r.M.arch with
+    | [] -> ()
+    | diffs ->
+      let show (c, v1, v2) =
+        Printf.sprintf "%s: seq=%d mssp=%d" (Cell.show c) v1 v2
+      in
+      let first = List.filteri (fun i _ -> i < 3) diffs in
+      fail "final state diverges on %d cell(s): %s"
+        (List.length diffs)
+        (String.concat ", " (List.map show first)));
+    if r.M.refinement_violations > 0 then
+      fail "%d jumping-refinement violation(s) at commit/recovery"
+        r.M.refinement_violations;
+    (* stats cross-checks against the reference retirement *)
+    let retired = M.total_committed r in
+    if retired <> seq.Machine.instructions then
+      fail
+        "retired instructions inconsistent: %d committed + %d recovery <> %d \
+         SEQ"
+        r.M.stats.M.instructions_committed r.M.stats.M.recovery_instructions
+        seq.Machine.instructions;
+    let s = r.M.stats in
+    if
+      s.M.squashes
+      <> s.M.squash_mismatch + s.M.squash_task_failed + s.M.squash_master_dead
+    then
+      fail "squash reasons do not sum: %d <> %d + %d + %d" s.M.squashes
+        s.M.squash_mismatch s.M.squash_task_failed s.M.squash_master_dead;
+    if s.M.sequential_instructions > s.M.recovery_instructions then
+      fail "sequential-burst instructions (%d) exceed recovery total (%d)"
+        s.M.sequential_instructions s.M.recovery_instructions;
+    if s.M.tasks_committed > s.M.tasks_spawned then
+      fail "more tasks committed (%d) than spawned (%d)" s.M.tasks_committed
+        s.M.tasks_spawned
+  end;
+  !fails
+
+(* The abstract-model layer, affordable only on small programs: fragment
+   states replay the whole run per [seq] step. *)
+let formal_failures ~seed p ~seq_instructions =
+  if seq_instructions > 150 then []
+  else begin
+    let module Seq_model = Mssp_formal.Seq_model in
+    let module Abstract_task = Mssp_formal.Abstract_task in
+    let module Safety = Mssp_formal.Safety in
+    let module Mssp_model = Mssp_formal.Mssp_model in
+    let module Refinement = Mssp_formal.Refinement in
+    let fails = ref [] in
+    let fail point reason = fails := { point; reason } :: !fails in
+    let s0 = Seq_model.complete_of_program p in
+    let t = Abstract_task.evolve_fully (Abstract_task.make s0 7) in
+    if not (Fragment.equal t.Abstract_task.live_out (Seq_model.seq s0 7)) then
+      fail "formal/lemma2" "evolved live-out <> seq s0 7";
+    if not (Safety.safe (Abstract_task.make s0 5) s0) then
+      fail "formal/theorem2" "task unsafe for its own creation state";
+    let rec chain state = function
+      | [] -> []
+      | n :: rest ->
+        Abstract_task.make state n :: chain (Seq_model.seq state n) rest
+    in
+    let start = Mssp_model.make ~arch:s0 (chain s0 [ 2; 3 ]) in
+    let trace = Mssp_model.Search.random_run ~seed ~max_steps:40 start in
+    let verdicts = Refinement.check_trace ~bound:10 trace in
+    if
+      List.exists
+        (function Refinement.Violation -> true | _ -> false)
+        verdicts
+    then fail "formal/refinement" "Violation verdict on a sampled run";
+    !fails
+  end
+
+let check ?(grid = default_grid ()) ?(fuel = 5_000_000) ?(formal = true)
+    ?(formal_seed = 1) p =
+  let probe = Machine.run_program ~fuel p in
+  match probe.Machine.stopped with
+  | Some (Machine.Faulted f) ->
+    Skipped (Format.asprintf "reference run faulted (%a)" Mssp_seq.Exec.pp_fault f)
+  | Some Machine.Out_of_fuel | None -> Skipped "reference run out of fuel"
+  | Some Machine.Halted ->
+    let profile = Profile.collect ~fuel p in
+    let runs = ref 0 in
+    let fails =
+      List.concat_map
+        (fun point ->
+          List.concat_map
+            (fun (subname, d) ->
+              incr runs;
+              check_package ~fuel point subname d)
+            (packages p profile point))
+        grid
+    in
+    let fails =
+      if formal then
+        fails
+        @ formal_failures ~seed:formal_seed p
+            ~seq_instructions:probe.Machine.instructions
+      else fails
+    in
+    if fails = [] then Passed !runs else Failed fails
+
+let failing ?grid ?fuel p =
+  match check ?grid ?fuel ~formal:false p with
+  | Failed _ -> true
+  | Passed _ | Skipped _ -> false

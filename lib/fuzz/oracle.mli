@@ -1,0 +1,65 @@
+(** The differential cross-oracle.
+
+    One generated program is judged by three independent layers:
+
+    + the {e SEQ reference}: the sequential machine over the same loaded
+      image (original + distilled), the ground truth;
+    + the {e MSSP machine} across a grid of configurations and
+      distillers — honest, aggressive, identity, the four adversarial
+      masters, the amnesiac master under dual mode, fault injection,
+      isolated and control-only modes — every run with the shadow
+      refinement checker on where it applies;
+    + the {e formal models}: Lemma 2 (task evolution = [seq]), Theorem 2
+      (safety on the complete state) and jumping refinement of a sampled
+      abstract run ({!Mssp_formal.Refinement.check_trace}), on programs
+      small enough for fragment-level replay.
+
+    A divergence is any of: MSSP not halting cleanly, final architected
+    state differing from SEQ on any observable cell, a nonzero shadow
+    refinement-violation count, a stats inconsistency (retired
+    instructions ≠ SEQ retirement, squash reasons not summing, …), or a
+    [Violation] verdict from the formal layer. *)
+
+type failure = {
+  point : string;  (** grid-point (or formal-layer) name *)
+  reason : string;
+}
+
+type verdict =
+  | Passed of int  (** number of machine runs compared *)
+  | Skipped of string
+      (** the reference run did not halt cleanly within its fuel —
+          out of the oracle's scope, like [test_equivalence] *)
+  | Failed of failure list
+
+type distiller = Honest | Aggressive | Identity | Adversaries | Amnesiac
+
+type point = {
+  name : string;
+  distiller : distiller;
+  config : Mssp_core.Mssp_config.t;
+}
+
+val default_grid : unit -> point list
+(** The standard ten-point grid described above. *)
+
+val chaos_point : seed:int -> p:float -> point
+(** A grid point whose verify/commit unit is {e deliberately broken}
+    ([Mssp_config.chaos_commit]): the mutation smoke test proving the
+    oracle catches a buggy machine. Never part of {!default_grid}. *)
+
+val check :
+  ?grid:point list ->
+  ?fuel:int ->
+  ?formal:bool ->
+  ?formal_seed:int ->
+  Mssp_isa.Program.t ->
+  verdict
+(** Judge one program. [fuel] (default 5M) bounds the reference run;
+    [formal] (default true) enables the formal layer on small programs. *)
+
+val failing : ?grid:point list -> ?fuel:int -> Mssp_isa.Program.t -> bool
+(** [check] as a shrinker predicate: [true] iff [Failed]. A candidate
+    whose reference run stops halting is [Skipped], hence not failing. *)
+
+val pp_failure : Format.formatter -> failure -> unit

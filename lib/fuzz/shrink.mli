@@ -1,0 +1,37 @@
+(** Delta-debugging shrinker for SIR programs.
+
+    Shrinking never moves instructions: candidates replace instructions
+    with [Nop] (ranges first, then singletons), cut the program short by
+    substituting [Halt], and drop initial-data bindings. The code layout,
+    base, entry and every branch offset are preserved, so a shrunken
+    candidate is always a well-formed program whose remaining
+    instructions behave exactly as they did in the original — the
+    property that lets a failing candidate be trusted as a smaller
+    witness of the same machine bug.
+
+    {!minimize} greedily applies the first weight-reducing candidate
+    that still satisfies the failure predicate, to a fixpoint (or a
+    predicate-call budget). {!candidates} exposes the same moves as a
+    one-step list for QCheck's [~shrink] iterators. *)
+
+val weight : Mssp_isa.Program.t -> int
+(** Shrinking's size measure: non-[Nop] instructions plus data bindings.
+    Every candidate strictly reduces it, so {!minimize} terminates. *)
+
+val instructions : Mssp_isa.Program.t -> int
+(** Non-[Nop] instruction count (the "≤ N instructions" repro metric). *)
+
+val candidates : Mssp_isa.Program.t -> Mssp_isa.Program.t list
+(** One-step simplifications, coarsest first: nopify halves, quarters,
+    …, single instructions; truncate-at-[Halt]; drop data halves and
+    singletons. Each candidate has strictly smaller {!weight}. *)
+
+val minimize :
+  ?budget:int ->
+  failing:(Mssp_isa.Program.t -> bool) ->
+  Mssp_isa.Program.t ->
+  Mssp_isa.Program.t
+(** Greedy ddmin: repeatedly take the first candidate that still fails,
+    until none does or [budget] predicate evaluations (default 2000)
+    are spent. The argument is assumed failing; the result still fails
+    (or is the argument itself). *)

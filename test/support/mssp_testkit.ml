@@ -1,0 +1,34 @@
+let seed =
+  lazy
+    (let s =
+       match Sys.getenv_opt "QCHECK_SEED" with
+       | Some v when String.trim v <> "" -> (
+         match int_of_string_opt (String.trim v) with
+         | Some n -> n
+         | None ->
+           Printf.ksprintf failwith
+             "QCHECK_SEED=%S is not an integer" v)
+       | _ ->
+         (* A local self-seeded state: don't disturb the global
+            [Random] generator, which tests may seed themselves. *)
+         Random.State.bits (Random.State.make_self_init ()) land 0x3FFFFFFF
+     in
+     Printf.eprintf "[testkit] QCheck seed: %d (QCHECK_SEED=%d to replay)\n%!"
+       s s;
+     s)
+
+let to_alcotest ?colors ?verbose ?long ?speed_level test =
+  let name, speed, run =
+    QCheck_alcotest.to_alcotest ?colors ?verbose ?long ?speed_level
+      ~rand:(Random.State.make [| Lazy.force seed |])
+      test
+  in
+  ( name,
+    speed,
+    fun () ->
+      try run () with
+      | e ->
+        Printf.eprintf
+          "[testkit] property %S failed; replay with QCHECK_SEED=%d\n%!" name
+          (Lazy.force seed);
+        raise e )

@@ -1,0 +1,24 @@
+(** Shared helpers for the test suite.
+
+    The one job of this module is to make every QCheck property in the
+    suite reproducible: all tests draw from a single explicitly seeded
+    [Random.State.t] (rather than each relying on qcheck-alcotest's
+    internal seeding), and when a property fails the seed is printed next
+    to the failure so the exact run can be replayed with
+    [QCHECK_SEED=<n> dune runtest]. *)
+
+val seed : int Lazy.t
+(** The seed for this process: [QCHECK_SEED] from the environment if set
+    (it must parse as an integer), otherwise a fresh random one.
+    Announced on stderr the first time it is forced. *)
+
+val to_alcotest :
+  ?colors:bool ->
+  ?verbose:bool ->
+  ?long:bool ->
+  ?speed_level:Alcotest.speed_level ->
+  QCheck2.Test.t ->
+  unit Alcotest.test_case
+(** Like {!QCheck_alcotest.to_alcotest}, but the random state is always
+    derived from {!seed}, and a failing property prints the
+    [QCHECK_SEED=<n>] incantation that reproduces it. *)

@@ -251,7 +251,7 @@ let () =
       ( "emit",
         [
           Alcotest.test_case "benchmark round-trip" `Quick test_emit_roundtrip_bench;
-          QCheck_alcotest.to_alcotest prop_emit_roundtrip;
+          Mssp_testkit.to_alcotest prop_emit_roundtrip;
           Alcotest.test_case "duplicate data" `Quick test_emit_duplicate_data;
         ] );
     ]

@@ -97,7 +97,7 @@ let () =
           Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
           Alcotest.test_case "associativity" `Quick test_associativity_conflicts;
           Alcotest.test_case "stats/invalidate" `Quick test_stats_and_invalidate;
-          QCheck_alcotest.to_alcotest prop_fitting_working_set;
+          Mssp_testkit.to_alcotest prop_fitting_working_set;
         ] );
       ( "hierarchy",
         [

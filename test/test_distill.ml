@@ -364,7 +364,7 @@ let () =
           Alcotest.test_case "original return addresses" `Quick
             test_calls_leave_original_return_addresses;
           Alcotest.test_case "stats" `Quick test_stats_ratios;
-          QCheck_alcotest.to_alcotest prop_distill_invariants;
+          Mssp_testkit.to_alcotest prop_distill_invariants;
           Alcotest.test_case "stack stores survive" `Quick
             test_stack_stores_survive;
         ] );

@@ -13,8 +13,22 @@ module M = Mssp_core.Mssp_machine
 module Config = Mssp_core.Mssp_config
 module Synthetic = Mssp_workload.Synthetic
 module Adversary = Mssp_workload.Adversary
+module Fshrink = Mssp_fuzz.Shrink
 
 let check = Alcotest.(check bool)
+
+(* Program-valued arbitrary: failures print as assembly source and
+   shrink structurally (nop-out ranges, truncate, drop data) with the
+   fuzz shrinker, instead of just wiggling a (seed, size) pair. *)
+let program_arb ?(gen_program = fun ~seed ~size -> Synthetic.generate ~seed ~size)
+    ~min_size ~max_size () =
+  let gen st =
+    let seed = Random.State.int st 0x3FFFFFFF in
+    let size = min_size + Random.State.int st (max_size - min_size + 1) in
+    gen_program ~seed ~size
+  in
+  let shrink p yield = List.iter yield (Fshrink.candidates p) in
+  QCheck.make ~print:Mssp_asm.Emit.program_to_source ~shrink gen
 
 let seq_reference (d : Distill.t) =
   let s = Full.create () in
@@ -50,16 +64,23 @@ let honest_distill p =
 (* random programs under the honest distiller *)
 let prop_random_programs_honest =
   QCheck.Test.make ~name:"random program, honest distiller" ~count:40
-    QCheck.(pair small_nat (int_range 5 25))
-    (fun (seed, size) ->
-      equivalent (honest_distill (Synthetic.generate ~seed ~size)))
+    (program_arb ~min_size:5 ~max_size:25 ())
+    (fun p -> equivalent (honest_distill p))
+
+(* fuzz-generator programs (paged-span edges, straddles, early halts)
+   under the honest distiller *)
+let prop_fuzz_programs_honest =
+  QCheck.Test.make ~name:"fuzz-generator program, honest distiller" ~count:25
+    (program_arb
+       ~gen_program:(fun ~seed ~size -> Mssp_fuzz.Gen.generate ~seed ~size ())
+       ~min_size:4 ~max_size:16 ())
+    (fun p -> equivalent (honest_distill p))
 
 (* random programs under aggressive distillation options *)
 let prop_random_programs_aggressive =
   QCheck.Test.make ~name:"random program, aggressive distiller" ~count:25
-    QCheck.(pair small_nat (int_range 5 20))
-    (fun (seed, size) ->
-      let p = Synthetic.generate ~seed ~size in
+    (program_arb ~min_size:5 ~max_size:20 ())
+    (fun p ->
       let profile = Profile.collect ~fuel:2_000_000 p in
       let options =
         {
@@ -78,18 +99,14 @@ let prop_random_programs_aggressive =
 (* random programs under every adversarial master *)
 let prop_random_programs_adversarial =
   QCheck.Test.make ~name:"random program, adversarial masters" ~count:15
-    QCheck.(pair small_nat (int_range 5 15))
-    (fun (seed, size) ->
-      let p = Synthetic.generate ~seed ~size in
-      List.for_all (fun (_, d) -> equivalent d) (Adversary.all p))
+    (program_arb ~min_size:5 ~max_size:15 ())
+    (fun p -> List.for_all (fun (_, d) -> equivalent d) (Adversary.all p))
 
 (* random garbage distilled code with random seeds *)
 let prop_garbage_masters =
   QCheck.Test.make ~name:"garbage distilled code" ~count:25
-    QCheck.(pair small_nat small_nat)
-    (fun (pseed, gseed) ->
-      let p = Synthetic.generate ~seed:pseed ~size:12 in
-      equivalent (Adversary.garbage ~seed:gseed p))
+    QCheck.(pair (program_arb ~min_size:8 ~max_size:14 ()) small_nat)
+    (fun (p, gseed) -> equivalent (Adversary.garbage ~seed:gseed p))
 
 (* random machine configurations on a fixed program *)
 let prop_random_configs =
@@ -111,9 +128,8 @@ let prop_random_configs =
 (* isolated-slave (abstract-model) machine mode *)
 let prop_isolated_mode =
   QCheck.Test.make ~name:"isolated slaves" ~count:15
-    QCheck.(pair small_nat (int_range 5 15))
-    (fun (seed, size) ->
-      let p = Synthetic.generate ~seed ~size in
+    (program_arb ~min_size:5 ~max_size:15 ())
+    (fun p ->
       let cfg = { config with Config.isolated_slaves = true } in
       equivalent ~config:cfg (honest_distill p))
 
@@ -131,12 +147,13 @@ let () =
     [
       ( "properties",
         [
-          QCheck_alcotest.to_alcotest prop_random_programs_honest;
-          QCheck_alcotest.to_alcotest prop_random_programs_aggressive;
-          QCheck_alcotest.to_alcotest prop_random_programs_adversarial;
-          QCheck_alcotest.to_alcotest prop_garbage_masters;
-          QCheck_alcotest.to_alcotest prop_random_configs;
-          QCheck_alcotest.to_alcotest prop_isolated_mode;
+          Mssp_testkit.to_alcotest prop_random_programs_honest;
+          Mssp_testkit.to_alcotest prop_fuzz_programs_honest;
+          Mssp_testkit.to_alcotest prop_random_programs_aggressive;
+          Mssp_testkit.to_alcotest prop_random_programs_adversarial;
+          Mssp_testkit.to_alcotest prop_garbage_masters;
+          Mssp_testkit.to_alcotest prop_random_configs;
+          Mssp_testkit.to_alcotest prop_isolated_mode;
         ] );
       ( "suite",
         [

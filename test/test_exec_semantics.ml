@@ -250,5 +250,5 @@ let () =
           Alcotest.test_case "jumps" `Quick test_jumps;
           Alcotest.test_case "nop/fork/halt/fault" `Quick test_trivia;
         ] );
-      ("decode", [ QCheck_alcotest.to_alcotest prop_decode_cached_agrees ]);
+      ("decode", [ Mssp_testkit.to_alcotest prop_decode_cached_agrees ]);
     ]

@@ -498,7 +498,7 @@ let () =
       ( "iteration2",
         [
           Alcotest.test_case "Lemma 2" `Quick test_lemma2_evolution;
-          QCheck_alcotest.to_alcotest prop_lemma2_random_programs;
+          Mssp_testkit.to_alcotest prop_lemma2_random_programs;
           Alcotest.test_case "full-state safety" `Quick test_full_state_task_safe;
           Alcotest.test_case "safety is state-dependent" `Quick
             test_safety_is_state_dependent;
@@ -507,7 +507,7 @@ let () =
         [
           Alcotest.test_case "Theorem 2 minimal live-ins" `Quick
             test_theorem2_minimal_live_ins;
-          QCheck_alcotest.to_alcotest prop_theorem2_random;
+          Mssp_testkit.to_alcotest prop_theorem2_random;
           Alcotest.test_case "inconsistency breaks safety" `Quick
             test_inconsistent_live_in_unsafe;
           Alcotest.test_case "masked corruption stays safe" `Quick
@@ -532,7 +532,7 @@ let () =
           Alcotest.test_case "oracle tasks" `Quick test_iter1_oracle_tasks;
           Alcotest.test_case "stuttering refinement" `Quick
             test_iter2_stuttering_refines_iter1;
-          QCheck_alcotest.to_alcotest prop_iter2_refines_iter1_random;
+          Mssp_testkit.to_alcotest prop_iter2_refines_iter1_random;
         ] );
       ( "maude export",
         [
@@ -548,9 +548,9 @@ let () =
           Alcotest.test_case "reachable-set invariant" `Quick
             test_invariant_arch_always_seq_state;
           Alcotest.test_case "classification" `Quick test_refinement_classification;
-          QCheck_alcotest.to_alcotest prop_refinement_random_runs;
+          Mssp_testkit.to_alcotest prop_refinement_random_runs;
           Alcotest.test_case "violation detection" `Quick
             test_refinement_detects_violation;
-          QCheck_alcotest.to_alcotest prop_seq_determinism;
+          Mssp_testkit.to_alcotest prop_seq_determinism;
         ] );
     ]

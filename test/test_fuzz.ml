@@ -1,0 +1,143 @@
+(* The differential fuzzing subsystem, turned on itself:
+   - the committed corpus replays clean through the full oracle on every
+     [dune runtest];
+   - the generator is deterministic and actually produces the
+     paged-span-edge traffic it advertises;
+   - the shrinker is well-founded (every candidate strictly smaller);
+   - a machine with a DELIBERATELY broken verify/commit unit
+     ([Mssp_config.chaos_commit]) is caught by the oracle and shrunk to
+     a tiny repro — the mutation smoke test that proves the oracle has
+     teeth. *)
+
+module Gen = Mssp_fuzz.Gen
+module Oracle = Mssp_fuzz.Oracle
+module Shrink = Mssp_fuzz.Shrink
+module Corpus = Mssp_fuzz.Corpus
+module Driver = Mssp_fuzz.Driver
+module Program = Mssp_isa.Program
+module Instr = Mssp_isa.Instr
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* under [dune runtest] the cwd is [_build/default/test] and the corpus
+   is a sibling; under [dune exec] from the project root it is below us *)
+let corpus_dir =
+  if Sys.file_exists "../fuzz/corpus" then "../fuzz/corpus" else "fuzz/corpus"
+
+let paged_span = 4096 * 4096
+
+let pp_failures fs =
+  String.concat "; "
+    (List.map
+       (fun (f : Oracle.failure) ->
+         Printf.sprintf "[%s] %s" f.Oracle.point f.Oracle.reason)
+       fs)
+
+let test_corpus_replays () =
+  let files = Corpus.files corpus_dir in
+  check "corpus is not empty" true (files <> []);
+  List.iter
+    (fun path ->
+      match Corpus.load path with
+      | Error e -> Alcotest.failf "%s: parse error: %s" path e
+      | Ok p -> (
+        match Oracle.check p with
+        | Oracle.Passed _ -> ()
+        | Oracle.Skipped reason ->
+          Alcotest.failf "%s: reference run no longer halts: %s" path reason
+        | Oracle.Failed fs ->
+          Alcotest.failf "%s: DIVERGED: %s" path (pp_failures fs)))
+    files
+
+let test_gen_deterministic () =
+  let p1 = Gen.generate ~seed:42 ~size:12 () in
+  let p2 = Gen.generate ~seed:42 ~size:12 () in
+  check "same seed, same code" true (p1.Program.code = p2.Program.code);
+  check "same seed, same data" true (p1.Program.data = p2.Program.data);
+  let p3 = Gen.generate ~seed:43 ~size:12 () in
+  check "different seed, different code" true
+    (p3.Program.code <> p1.Program.code)
+
+let test_gen_hits_overflow_addresses () =
+  (* with far_mem shapes requested, the program must carry addresses at
+     or beyond the paged span (or negative), i.e. overflow-table traffic *)
+  let weights = { Gen.default_weights with Gen.far_mem = 60 } in
+  let p = Gen.generate ~weights ~seed:5 ~size:20 () in
+  let has_far =
+    Array.exists
+      (function
+        | Instr.Li (_, v) -> v < 0 || v >= paged_span
+        | _ -> false)
+      p.Program.code
+  in
+  check "generates overflow-table addresses" true has_far
+
+let test_shrink_well_founded () =
+  let p = Gen.generate ~seed:9 ~size:15 () in
+  let w = Shrink.weight p in
+  let cands = Shrink.candidates p in
+  check "has candidates" true (cands <> []);
+  List.iter
+    (fun q -> check "candidate strictly smaller" true (Shrink.weight q < w))
+    cands
+
+let test_campaign_smoke () =
+  let r = Driver.campaign ~seed:99 ~count:3 () in
+  check_int "no findings on the sound machine" 0 (List.length r.Driver.findings);
+  check "grid actually ran" true (r.Driver.runs > 0)
+
+(* the mutation smoke test: a broken commit unit must be caught, and the
+   witness must shrink to a handful of instructions *)
+let test_chaos_commit_caught_and_shrunk () =
+  let grid = [ Oracle.chaos_point ~seed:3 ~p:1.0 ] in
+  let rec find seed =
+    if seed > 20 then Alcotest.fail "chaos commit was never caught"
+    else
+      let p = Gen.generate ~seed ~size:10 () in
+      match Oracle.check ~formal:false ~grid p with
+      | Oracle.Failed _ -> p
+      | Oracle.Passed _ | Oracle.Skipped _ -> find (seed + 1)
+  in
+  let p = find 1 in
+  let shrunk = Shrink.minimize ~budget:800 ~failing:(Oracle.failing ~grid) p in
+  check "shrunk witness still failing" true (Oracle.failing ~grid shrunk);
+  let n = Shrink.instructions shrunk in
+  check (Printf.sprintf "shrunk to <= 10 instructions (got %d)" n) true
+    (n <= 10);
+  (* the repro pipeline round-trips: save, reload, still failing *)
+  let dir = Filename.temp_file "mssp_fuzz" "" in
+  Sys.remove dir;
+  let path =
+    Corpus.save ~dir ~name:"chaos_repro"
+      ~comment:[ "mutation smoke test witness" ] shrunk
+  in
+  (match Corpus.load path with
+  | Error e -> Alcotest.failf "repro did not re-parse: %s" e
+  | Ok p' -> check "reloaded repro still failing" true (Oracle.failing ~grid p'));
+  Sys.remove path;
+  Sys.rmdir dir
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "corpus",
+        [ Alcotest.test_case "replays clean" `Quick test_corpus_replays ] );
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic" `Quick test_gen_deterministic;
+          Alcotest.test_case "overflow addresses" `Quick
+            test_gen_hits_overflow_addresses;
+        ] );
+      ( "shrinker",
+        [
+          Alcotest.test_case "well-founded" `Quick test_shrink_well_founded;
+        ] );
+      ( "driver",
+        [ Alcotest.test_case "campaign smoke" `Quick test_campaign_smoke ] );
+      ( "mutation",
+        [
+          Alcotest.test_case "broken commit caught and shrunk" `Quick
+            test_chaos_commit_caught_and_shrunk;
+        ] );
+    ]

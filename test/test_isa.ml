@@ -190,7 +190,7 @@ let () =
           Alcotest.test_case "samples round-trip" `Quick test_roundtrip;
           Alcotest.test_case "rejects large imm" `Quick test_encode_rejects_large_imm;
           Alcotest.test_case "decode total" `Quick test_decode_total;
-          QCheck_alcotest.to_alcotest prop_roundtrip;
+          Mssp_testkit.to_alcotest prop_roundtrip;
         ] );
       ( "metadata",
         [

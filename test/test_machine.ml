@@ -145,6 +145,29 @@ let test_cycle_limit_stops () =
   let r = M.run ~config:{ checking_config with Config.max_cycles = 50 } d in
   check "stopped by limit" true (r.M.stop = M.Cycle_limit)
 
+let test_recovery_fuel_exhaustion () =
+  (* recovery lands in an infinite loop with no task entry in it (the
+     dead master forks nothing, so there are no entries at all): the
+     segment must burn exactly [recovery_fuel] instructions and stop the
+     machine cleanly with [Cycle_limit] instead of replaying forever *)
+  let spin =
+    let b = Dsl.create () in
+    Dsl.li b t0 1;
+    Dsl.label b "spin";
+    Dsl.alui b Instr.Add t0 t0 1;
+    Dsl.jmp b "spin";
+    Dsl.build b ()
+  in
+  let fuel = 5_000 in
+  let cfg = { checking_config with Config.recovery_fuel = fuel } in
+  let r = M.run ~config:cfg (Adversary.dead_master spin) in
+  check "stopped cleanly, not hung" true (r.M.stop = M.Cycle_limit);
+  check_int "segment burned exactly its fuel" fuel
+    r.M.stats.M.recovery_instructions;
+  check_int "a single recovery segment" 1 r.M.stats.M.recovery_segments;
+  check_int "nothing committed speculatively" 0 r.M.stats.M.tasks_committed;
+  check_int "one master-dead squash" 1 r.M.stats.M.squash_master_dead
+
 let test_workload_suite_small () =
   (* every benchmark at train size: equivalence + refinement *)
   List.iter
@@ -293,6 +316,8 @@ let () =
         [
           Alcotest.test_case "io recovery" `Quick test_io_forces_recovery;
           Alcotest.test_case "cycle limit" `Quick test_cycle_limit_stops;
+          Alcotest.test_case "recovery fuel exhaustion" `Quick
+            test_recovery_fuel_exhaustion;
           Alcotest.test_case "determinism" `Quick test_determinism;
           Alcotest.test_case "task-size knob" `Quick test_task_size_knob;
           Alcotest.test_case "fault injection harmless" `Quick

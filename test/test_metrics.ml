@@ -90,7 +90,7 @@ let () =
           Alcotest.test_case "median/percentile" `Quick test_median_percentile;
           Alcotest.test_case "histogram" `Quick test_histogram;
           Alcotest.test_case "of_ints" `Quick test_of_ints;
-          QCheck_alcotest.to_alcotest prop_percentile_monotone;
+          Mssp_testkit.to_alcotest prop_percentile_monotone;
         ] );
       ( "table",
         [

@@ -526,10 +526,10 @@ let () =
         [
           Alcotest.test_case "differential suite" `Quick test_differential;
           Alcotest.test_case "for / else-if" `Quick test_for_and_else_if;
-          QCheck_alcotest.to_alcotest prop_compiler_matches_interpreter;
+          Mssp_testkit.to_alcotest prop_compiler_matches_interpreter;
           Alcotest.test_case "optimizer folds" `Quick test_optimizer_folds;
           Alcotest.test_case "optimizer shrinks" `Quick test_optimizer_shrinks_code;
-          QCheck_alcotest.to_alcotest prop_optimizer_preserves_semantics;
+          Mssp_testkit.to_alcotest prop_optimizer_preserves_semantics;
           Alcotest.test_case "codegen errors" `Quick test_codegen_errors;
           Alcotest.test_case "under MSSP" `Quick test_minic_under_mssp;
         ] );

@@ -320,7 +320,7 @@ let () =
             test_lemma3_delta_determined_by_consistent_substate;
           Alcotest.test_case "incomplete detection" `Quick test_incomplete_fragment;
           Alcotest.test_case "observed step" `Quick test_observed_step;
-          QCheck_alcotest.to_alcotest prop_frag_exec_agrees_with_machine;
-          QCheck_alcotest.to_alcotest prop_cumulative_writes_law;
+          Mssp_testkit.to_alcotest prop_frag_exec_agrees_with_machine;
+          Mssp_testkit.to_alcotest prop_cumulative_writes_law;
         ] );
     ]

@@ -110,7 +110,7 @@ let () =
           Alcotest.test_case "ordering" `Quick test_heap_order;
           Alcotest.test_case "FIFO ties" `Quick test_heap_fifo_among_equal;
           Alcotest.test_case "misc" `Quick test_heap_misc;
-          QCheck_alcotest.to_alcotest prop_heap_sorts;
+          Mssp_testkit.to_alcotest prop_heap_sorts;
         ] );
       ( "sim",
         [

@@ -234,6 +234,57 @@ let test_written_zero_materializes () =
   check "untouched cell not in snapshot" true
     (Fragment.find_opt (Cell.mem 41) snap = None)
 
+(* geometry of the paged image: 4096 pages of 4096 words *)
+let page_words = 4096
+let paged_span = 4096 * page_words
+
+let test_page_boundary_cow () =
+  (* adjacent addresses on opposite sides of a page boundary: after a
+     checkpoint copy, a write on one side privatizes only its own page —
+     the word one address away stays on the still-shared neighbour *)
+  let b = 3 * page_words in
+  let s = Full.create () in
+  Full.set_mem s (b - 1) 1;
+  Full.set_mem s b 2;
+  let c = Full.copy s in
+  Full.set_mem c (b - 1) 5;
+  check_int "copy's side of the boundary" 5 (Full.get_mem c (b - 1));
+  check_int "copy still shares the next page" 2 (Full.get_mem c b);
+  Full.set_mem s b 6;
+  check_int "original privatized the other page" 6 (Full.get_mem s b);
+  check_int "copy unaffected" 2 (Full.get_mem c b);
+  check_int "original's first page intact" 1 (Full.get_mem s (b - 1));
+  let diff =
+    List.sort compare (Full.diff_observable s c)
+  in
+  check "exactly the two boundary cells differ" true
+    (diff = [ (Cell.mem (b - 1), 1, 5); (Cell.mem b, 6, 2) ])
+
+let test_span_edge_straddle () =
+  (* a straddle across the END of the paged span: the last paged word
+     and the first overflow-table word sit at adjacent addresses but are
+     copied by different mechanisms (COW page vs. side table), and must
+     still behave identically *)
+  let last = paged_span - 1 in
+  let s = Full.create () in
+  Full.set_mem s last 10;
+  Full.set_mem s paged_span 20;
+  let c = Full.copy s in
+  Full.set_mem c last 11;
+  Full.set_mem c paged_span 21;
+  check_int "last paged word, original" 10 (Full.get_mem s last);
+  check_int "first overflow word, original" 20 (Full.get_mem s paged_span);
+  check_int "last paged word, copy" 11 (Full.get_mem c last);
+  check_int "first overflow word, copy" 21 (Full.get_mem c paged_span);
+  let diff = List.sort compare (Full.diff_observable s c) in
+  check "both straddle cells visible to diff" true
+    (diff = [ (Cell.mem last, 10, 11); (Cell.mem paged_span, 20, 21) ]);
+  (* converging the values restores observable equality through BOTH
+     representations *)
+  Full.set_mem s last 11;
+  Full.set_mem s paged_span 21;
+  check "converged states equal" true (Full.equal_observable s c)
+
 (* --- differential check: the paged image against a one-entry-per-word
    hashtable state (the pre-paging layout), driven by the real executor
    over random programs — the two must be observably identical at every
@@ -328,10 +379,10 @@ let () =
           Alcotest.test_case "basics" `Quick test_fragment_basics;
           Alcotest.test_case "superimpose" `Quick test_superimpose_semantics;
           Alcotest.test_case "consistent" `Quick test_consistent;
-          QCheck_alcotest.to_alcotest prop_superimpose_assoc;
-          QCheck_alcotest.to_alcotest prop_containment;
-          QCheck_alcotest.to_alcotest prop_idempotency;
-          QCheck_alcotest.to_alcotest prop_consistent_partial_order;
+          Mssp_testkit.to_alcotest prop_superimpose_assoc;
+          Mssp_testkit.to_alcotest prop_containment;
+          Mssp_testkit.to_alcotest prop_idempotency;
+          Mssp_testkit.to_alcotest prop_consistent_partial_order;
         ] );
       ( "full",
         [
@@ -347,6 +398,9 @@ let () =
             test_cow_overflow_addresses;
           Alcotest.test_case "written zero materializes" `Quick
             test_written_zero_materializes;
-          QCheck_alcotest.to_alcotest prop_paged_matches_hashtbl_reference;
+          Alcotest.test_case "page-boundary COW" `Quick test_page_boundary_cow;
+          Alcotest.test_case "span-edge straddle" `Quick
+            test_span_edge_straddle;
+          Mssp_testkit.to_alcotest prop_paged_matches_hashtbl_reference;
         ] );
     ]

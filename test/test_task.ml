@@ -285,11 +285,11 @@ let () =
           Alcotest.test_case "on_access hook" `Quick test_on_access_hook;
           Alcotest.test_case "live-in accounting" `Quick
             test_live_in_size_counts_reads_only;
-          QCheck_alcotest.to_alcotest prop_task_matches_abstract_evolution;
+          Mssp_testkit.to_alcotest prop_task_matches_abstract_evolution;
         ] );
       ( "journal",
         [
-          QCheck_alcotest.to_alcotest prop_journal_fragment_round_trip;
-          QCheck_alcotest.to_alcotest prop_journal_set_find_matches_fragment;
+          Mssp_testkit.to_alcotest prop_journal_fragment_round_trip;
+          Mssp_testkit.to_alcotest prop_journal_set_find_matches_fragment;
         ] );
     ]
