@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-csv bench-json perf-smoke fuzz examples clean loc
+.PHONY: all build test bench bench-csv bench-json perf-smoke promote-golden fuzz examples clean loc
 
 all: build
 
@@ -20,12 +20,20 @@ bench-csv:
 	dune exec bench/main.exe -- --csv results
 
 # machine-readable baseline: headline experiment + hot-path micros
+# (including the trace-off/ring-on pair) + the tracing-overhead guard
 bench-json:
-	dune exec bench/main.exe -- E1 micro --json BENCH_mssp.json
+	dune exec bench/main.exe -- E1 micro TRACEG --json BENCH_mssp.json
 
-# quick perf regression check: reduced-scale E1 under a wall-clock budget
+# quick perf regression check: reduced-scale E1 plus the tracing-overhead
+# guard (fails if the event bus costs more than 2% of a run's wall clock)
 perf-smoke:
-	timeout 120 dune exec bench/main.exe -- E1s
+	timeout 120 dune exec bench/main.exe -- E1s TRACEG
+
+# regenerate test/golden/*.trace from the current machine (review the
+# diff before committing: goldens exist to make event-stream changes
+# deliberate)
+promote-golden:
+	PROMOTE_GOLDEN=1 dune exec test/test_trace.exe -- test golden
 
 # differential fuzzing: SEQ vs MSSP config grid vs formal models.
 # Failing programs are shrunk and written to fuzz/corpus/ as .s repros.

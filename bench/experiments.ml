@@ -720,6 +720,63 @@ let e1s () =
   note "quarter-size inputs; geomean at 8 slaves: %s"
     (f2 (Stats.geomean (List.map snd results)))
 
+(* --- TRACEG: tracing-overhead guard ---------------------------------- *)
+
+(* The event bus's cost contract, enforced under `make perf-smoke`: a
+   fixed MSSP run with the tracer disabled must stay within 2% of the
+   same run with a bounded ring sink attached — and since the ring-on
+   wall clock upper-bounds the instrumentation's total cost, the
+   disabled path (which only ever tests one [if tracing]) is covered a
+   fortiori. Min-of-k over interleaved reps so one GC pause or a noisy
+   neighbour cannot fail the build. *)
+let traceg () =
+  section "TRACEG  Tracing-overhead guard: bus off vs ring sink";
+  let module Trace = Mssp_trace.Trace in
+  let p = prepare (W.find "vecsum") in
+  let cfg = with_slaves 4 in
+  let run_off () = run ~config:cfg p in
+  let run_ring () =
+    let tr = Trace.create () in
+    let buf = Trace.Ring.create 4096 in
+    Trace.attach tr (Trace.Ring.sink buf);
+    run ~config:{ cfg with Config.tracer = Some tr } p
+  in
+  (* a major collection before each timed rep, so whatever ran before
+     this guard (E1 leaves a large heap behind) cannot skew one side *)
+  let time f =
+    Gc.major ();
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  ignore (run_off () : M.result);
+  ignore (run_ring () : M.result);
+  let reps = 9 in
+  let best_off = ref infinity and best_ring = ref infinity in
+  let cycles_off = ref 0 and cycles_ring = ref 0 in
+  for _ = 1 to reps do
+    let t, r = time run_off in
+    assert_correct p r;
+    cycles_off := r.M.stats.M.cycles;
+    if t < !best_off then best_off := t;
+    let t, r = time run_ring in
+    assert_correct p r;
+    cycles_ring := r.M.stats.M.cycles;
+    if t < !best_ring then best_ring := t
+  done;
+  if !cycles_off <> !cycles_ring then
+    failwith
+      (Printf.sprintf
+         "TRACEG: tracing changed the simulation (%d cycles off, %d on)"
+         !cycles_off !cycles_ring);
+  let overhead = (!best_ring -. !best_off) /. !best_off in
+  note "trace off: %.4fs   ring sink: %.4fs   overhead: %+.1f%%  (budget 2%%)"
+    !best_off !best_ring (overhead *. 100.);
+  if overhead > 0.02 then
+    failwith
+      (Printf.sprintf "TRACEG: tracing overhead %.1f%% exceeds the 2%% budget"
+         (overhead *. 100.))
+
 let all : (string * (unit -> unit)) list =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
@@ -730,4 +787,5 @@ let all : (string * (unit -> unit)) list =
 
 (* opt-in experiments: run only when named on the command line, never
    part of the default everything sweep *)
-let extras : (string * (unit -> unit)) list = [ ("E1s", e1s) ]
+let extras : (string * (unit -> unit)) list =
+  [ ("E1s", e1s); ("TRACEG", traceg) ]

@@ -191,6 +191,41 @@ let test_cache_access =
          cache_cursor := (!cache_cursor + 17) land 0xFFFF;
          Cache.Hierarchy.access cache !cache_cursor))
 
+(* --- tracing overhead: full MSSP runs, bus off vs ring sink ----------
+
+   The structured event bus claims to be zero-cost when disabled and
+   cheap with a bounded ring attached; both claims are priced here on a
+   complete simulator run (the TRACEG experiment enforces the budget,
+   these estimates land in BENCH_mssp.json). *)
+
+module Mcfg = Mssp_core.Mssp_config
+module Mm = Mssp_core.Mssp_machine
+module Trace = Mssp_trace.Trace
+
+let traced_prepared =
+  let b = Mssp_workload.Workload.find "vecsum" in
+  let program = b.Mssp_workload.Workload.program ~size:200 in
+  let profile =
+    Mssp_profile.Profile.collect (b.Mssp_workload.Workload.program ~size:40)
+  in
+  Mssp_distill.Distill.distill program profile
+
+let trace_cfg = { (Mcfg.with_slaves 2 Mcfg.default) with Mcfg.task_size = 20 }
+
+let test_run_trace_off =
+  Test.make ~name:"mssp run (trace off)"
+    (Staged.stage (fun () -> Mm.run ~config:trace_cfg traced_prepared))
+
+let test_run_trace_ring =
+  Test.make ~name:"mssp run (ring trace)"
+    (Staged.stage (fun () ->
+         let tr = Trace.create () in
+         let buf = Trace.Ring.create 1024 in
+         Trace.attach tr (Trace.Ring.sink buf);
+         Mm.run
+           ~config:{ trace_cfg with Mcfg.tracer = Some tr }
+           traced_prepared))
+
 let tests =
   Test.make_grouped ~name:"mssp hot paths"
     [
@@ -201,6 +236,7 @@ let tests =
       test_checkpoint_ref; test_checkpoint_paged;
       test_exec_step; test_task_run; test_recovery_replay;
       test_superimpose; test_consistent; test_cache_access;
+      test_run_trace_off; test_run_trace_ring;
     ]
 
 (* the before/after pairs whose ratios the run prints: old hashtable
@@ -273,4 +309,10 @@ let run () =
           (b /. a)
       | _ -> ())
     pairs;
+  (match (ns "mssp run (trace off)", ns "mssp run (ring trace)") with
+  | Some off, Some ring when off > 0. ->
+    Printf.printf "\n  tracing: full run %.1f us off, %.1f us ring  (%+.1f%%)\n"
+      (off /. 1e3) (ring /. 1e3)
+      ((ring -. off) /. off *. 100.)
+  | _ -> ());
   estimates

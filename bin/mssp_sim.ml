@@ -5,6 +5,7 @@
      seq                run a benchmark on the sequential baseline
      distill            distill a benchmark and show the stats/listing
      run                run a benchmark under MSSP and show statistics
+     trace              run under MSSP with the event bus on; export the stream
      compare            SEQ vs MSSP: verify equivalence, report speedup
      exec               assemble and run a .s file sequentially
      formal             run the formal-model checks (safety, refinement)
@@ -26,6 +27,8 @@ module M = Mssp_core.Mssp_machine
 module Config = Mssp_core.Mssp_config
 module B = Mssp_baseline.Baseline
 module W = Mssp_workload.Workload
+module Trace = Mssp_trace.Trace
+module Table = Mssp_metrics.Table
 
 (* --- shared arguments --- *)
 
@@ -135,24 +138,28 @@ let distill_cmd =
 let run_cmd =
   let trace_arg =
     Arg.(value & opt (some int) None & info [ "trace" ] ~docv:"N"
-         ~doc:"Record the machine event log and print its first $(docv) events.")
+         ~doc:"Record the structured event stream and print its first \
+               $(docv) events (see `mssp_sim trace` for exports).")
   in
   let run name size slaves task_size isolated verify no_distill trace =
     let _, _, d = prepare name size no_distill in
+    let collector = Option.map (fun _ -> Trace.recording ()) trace in
     let cfg =
       { (config slaves task_size isolated verify) with
-        Config.record_trace = trace <> None }
+        Config.tracer = Option.map fst collector }
     in
     let r = M.run ~config:cfg d in
-    (match trace with
-    | Some n ->
-      Printf.printf "--- first %d machine events ---\n" n;
+    (match (trace, collector) with
+    | Some n, Some (_, events) ->
+      let evs = events () in
+      Printf.printf "--- first %d machine events ---\n"
+        (min n (List.length evs));
       List.iteri
-        (fun i ev -> if i < n then Format.printf "%a@." M.pp_event ev)
-        r.M.trace;
+        (fun i ev -> if i < n then Format.printf "%a@." Trace.pp_event ev)
+        evs;
       Printf.printf "--- end of trace (%d events total) ---\n\n"
-        (List.length r.M.trace)
-    | None -> ());
+        (List.length evs)
+    | _ -> ());
     Format.printf "%a@." M.pp_stats r.M.stats;
     Printf.printf "stop:             %s\n"
       (match r.M.stop with
@@ -172,6 +179,89 @@ let run_cmd =
     Term.(
       const run $ bench_arg $ size_arg $ slaves_arg $ task_size_arg
       $ isolated_arg $ verify_arg $ no_distill_arg $ trace_arg)
+
+(* --- trace --- *)
+
+let trace_cmd =
+  let format_arg =
+    let fmt =
+      Arg.enum
+        [
+          ("text", `Text); ("jsonl", `Jsonl); ("chrome", `Chrome);
+          ("summary", `Summary);
+        ]
+    in
+    Arg.(value & opt fmt `Text & info [ "format" ] ~docv:"FMT"
+         ~doc:"Output format: $(b,text) (one pretty-printed event per \
+               line), $(b,jsonl) (one JSON object per line), $(b,chrome) \
+               (Chrome trace_event JSON for about://tracing / Perfetto) or \
+               $(b,summary) (the attribution fold as a counter table).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Write to $(docv) instead of stdout.")
+  in
+  let ring_arg =
+    Arg.(value & opt (some int) None & info [ "ring" ] ~docv:"N"
+         ~doc:"Keep only the last $(docv) events (bounded ring buffer) \
+               instead of the full stream.")
+  in
+  let run name size slaves task_size isolated verify no_distill format out ring
+      =
+    let _, _, d = prepare name size no_distill in
+    let tracer, events =
+      match ring with
+      | None -> Trace.recording ()
+      | Some n ->
+        let tr = Trace.create () in
+        let buf = Trace.Ring.create n in
+        Trace.attach tr (Trace.Ring.sink buf);
+        (tr, fun () -> Trace.Ring.contents buf)
+    in
+    let cfg =
+      { (config slaves task_size isolated verify) with
+        Config.tracer = Some tracer }
+    in
+    let r = M.run ~config:cfg d in
+    let evs = events () in
+    let rendered =
+      match format with
+      | `Text ->
+        String.concat ""
+          (List.map (Format.asprintf "%a\n" Trace.pp_event) evs)
+      | `Jsonl -> Trace.to_jsonl evs
+      | `Chrome -> Trace.Chrome.to_string evs ^ "\n"
+      | `Summary ->
+        let s = Trace.Summary.of_events evs in
+        let st = r.M.stats in
+        let agrees =
+          s.Trace.Summary.commits = st.M.tasks_committed
+          && s.Trace.Summary.squashes = st.M.squashes
+          && Trace.Summary.squash_mismatch s = st.M.squash_mismatch
+          && Trace.Summary.squash_task_failed s = st.M.squash_task_failed
+          && Trace.Summary.squash_master_dead s = st.M.squash_master_dead
+        in
+        Table.render ~header:[ "counter"; "value" ] (Trace.Summary.rows s)
+        ^ Printf.sprintf "\nfold matches machine stats: %b\n" agrees
+    in
+    match out with
+    | None -> print_string rendered
+    | Some file ->
+      Out_channel.with_open_text file (fun oc ->
+          Out_channel.output_string oc rendered);
+      Printf.printf "wrote %s (%d events, %d bytes)\n" file (List.length evs)
+        (String.length rendered)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a benchmark under MSSP with the structured event bus on and \
+          export the stream (text, JSONL, Chrome trace_event or an \
+          attribution summary)")
+    Term.(
+      const run $ bench_arg $ size_arg $ slaves_arg $ task_size_arg
+      $ isolated_arg $ verify_arg $ no_distill_arg $ format_arg $ out_arg
+      $ ring_arg)
 
 (* --- compare --- *)
 
@@ -377,13 +467,18 @@ let fuzz_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-finding progress.")
   in
-  let run seed count size budget out save quiet =
+  let trace_flag =
+    Arg.(value & flag & info [ "trace" ]
+         ~doc:"Re-run each shrunk witness with the event bus on and write \
+               its JSONL event trail beside the repro (needs --out).")
+  in
+  let run seed count size budget out save quiet trace =
     let module Driver = Mssp_fuzz.Driver in
     let module Oracle = Mssp_fuzz.Oracle in
     let log = if quiet then fun _ -> () else print_endline in
     let r =
-      Driver.campaign ~seed ~count ~size ~shrink_budget:budget ?out ~save ~log
-        ()
+      Driver.campaign ~seed ~count ~size ~shrink_budget:budget ?out ~save
+        ~trace ~log ()
     in
     Printf.printf
       "fuzz: %d programs (%d skipped), %d machine runs compared, %d divergence(s)\n"
@@ -398,8 +493,12 @@ let fuzz_cmd =
                   (fun (x : Oracle.failure) ->
                     Printf.sprintf "[%s] %s" x.Oracle.point x.Oracle.reason)
                   f.Driver.failures))
-            (match f.Driver.repro_path with
-            | Some p -> Printf.sprintf "  (repro: %s)" p
+            ((match f.Driver.repro_path with
+             | Some p -> Printf.sprintf "  (repro: %s)" p
+             | None -> "")
+            ^
+            match f.Driver.trace_path with
+            | Some p -> Printf.sprintf "  (trace: %s)" p
             | None -> ""))
         r.Driver.findings;
       exit 1
@@ -412,7 +511,7 @@ let fuzz_cmd =
           grid and the formal models; failures are shrunk to minimal repros")
     Term.(
       const run $ seed_arg $ count_arg $ size_arg $ budget_arg $ out_arg
-      $ save_arg $ quiet_arg)
+      $ save_arg $ quiet_arg $ trace_flag)
 
 (* --- maude --- *)
 
@@ -453,5 +552,5 @@ let () =
   let doc = "Master/Slave Speculative Parallelization — reproduction driver" in
   let info = Cmd.info "mssp_sim" ~version:"1.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-    [ list_cmd; seq_cmd; distill_cmd; run_cmd; compare_cmd; exec_cmd;
-      cc_cmd; formal_cmd; fuzz_cmd; maude_cmd ]))
+    [ list_cmd; seq_cmd; distill_cmd; run_cmd; trace_cmd; compare_cmd;
+      exec_cmd; cc_cmd; formal_cmd; fuzz_cmd; maude_cmd ]))

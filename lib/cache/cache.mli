@@ -56,4 +56,10 @@ module Hierarchy : sig
       and survives. *)
 
   val l1_miss_rate : t -> float
+
+  val l1_stats : t -> stats
+  (** The private L1's live counters (trace/metrics). *)
+
+  val l2_stats : t -> stats
+  (** The (possibly shared) L2's live counters. *)
 end

@@ -45,7 +45,7 @@ type t = {
   fault_injection : (int * float) option;
   chaos_commit : (int * float) option;
   record_tasks : bool;
-  record_trace : bool;
+  tracer : Mssp_trace.Trace.t option;
   master_chunk : int;
   max_cycles : int;
   max_squashes : int;
@@ -68,7 +68,7 @@ let default =
     fault_injection = None;
     chaos_commit = None;
     record_tasks = true;
-    record_trace = false;
+    tracer = None;
     master_chunk = 1_000_000;
     max_cycles = 2_000_000_000;
     max_squashes = 1_000_000;
@@ -86,7 +86,7 @@ let pp fmt c =
      dual mode: %b (trigger %d, burst %d)@,\
      fault injection: %s, chaos commit: %s@,\
      master chunk: %d, max cycles: %d, max squashes: %d@,\
-     recovery fuel: %d@]"
+     recovery fuel: %d, tracing: %s@]"
     c.slaves c.max_in_flight c.task_size c.task_budget c.isolated_slaves
     c.control_only_master c.verify_refinement c.dual_mode c.dual_trigger
     c.dual_burst
@@ -97,3 +97,4 @@ let pp fmt c =
     | None -> "off"
     | Some (seed, p) -> Printf.sprintf "seed %d, p=%g" seed p)
     c.master_chunk c.max_cycles c.max_squashes c.recovery_fuel
+    (match c.tracer with None -> "off" | Some _ -> "on")

@@ -77,7 +77,12 @@ type t = {
           fuzzer's mutation smoke test can prove the oracle detects and
           shrinks a real commit-rule bug. Never set it outside tests. *)
   record_tasks : bool;  (** keep per-task size/live-in lists in stats *)
-  record_trace : bool;  (** keep the timestamped machine event log *)
+  tracer : Mssp_trace.Trace.t option;
+      (** structured event bus ({!Mssp_trace.Trace}): [Some t] makes the
+          machine emit the full task-lifecycle event stream into [t]'s
+          sinks; [None] (the default) compiles every emission site down
+          to one predictable branch — no event is allocated. Attach a
+          collector, ring buffer, or JSONL sink before the run. *)
   master_chunk : int;
       (** run-away guard: a master producing no fork for this many
           instructions is stopped (execution continues correctly via

@@ -9,6 +9,7 @@ module Task = Mssp_task.Task
 module Distill = Mssp_distill.Distill
 module Sim = Mssp_sim_engine.Sim
 module Hierarchy = Mssp_cache.Cache.Hierarchy
+module Trace = Mssp_trace.Trace
 
 type squash_reason =
   | Live_in_mismatch
@@ -64,58 +65,32 @@ let fresh_stats () =
     live_in_counts = [];
   }
 
-type event =
-  | Ev_spawn of { cycle : int; id : int; entry : int }
-  | Ev_task_done of { cycle : int; id : int; ok : bool }
-  | Ev_commit of { cycle : int; id : int; instructions : int }
-  | Ev_squash of { cycle : int; reason : squash_reason; discarded : int }
-  | Ev_recovery of { cycle : int; instructions : int }
-  | Ev_restart of { cycle : int; distilled_pc : int }
-  | Ev_master_dead of { cycle : int; pc : int }
-  | Ev_halt of { cycle : int }
-
-let event_cycle = function
-  | Ev_spawn { cycle; _ }
-  | Ev_task_done { cycle; _ }
-  | Ev_commit { cycle; _ }
-  | Ev_squash { cycle; _ }
-  | Ev_recovery { cycle; _ }
-  | Ev_restart { cycle; _ }
-  | Ev_master_dead { cycle; _ }
-  | Ev_halt { cycle } ->
-    cycle
-
-let pp_event fmt = function
-  | Ev_spawn { cycle; id; entry } ->
-    Format.fprintf fmt "%8d  spawn    task %d at %#x" cycle id entry
-  | Ev_task_done { cycle; id; ok } ->
-    Format.fprintf fmt "%8d  done     task %d (%s)" cycle id
-      (if ok then "complete" else "failed")
-  | Ev_commit { cycle; id; instructions } ->
-    Format.fprintf fmt "%8d  commit   task %d (+%d instrs)" cycle id instructions
-  | Ev_squash { cycle; reason; discarded } ->
-    Format.fprintf fmt "%8d  squash   %s, %d tasks discarded" cycle
-      (match reason with
-      | Live_in_mismatch -> "live-in mismatch"
-      | Task_failed _ -> "task failed"
-      | Master_dead -> "master dead")
-      discarded
-  | Ev_recovery { cycle; instructions } ->
-    Format.fprintf fmt "%8d  recover  %d instrs non-speculative" cycle instructions
-  | Ev_restart { cycle; distilled_pc } ->
-    Format.fprintf fmt "%8d  restart  master at %#x" cycle distilled_pc
-  | Ev_master_dead { cycle; pc } ->
-    Format.fprintf fmt "%8d  master   dead at %#x" cycle pc
-  | Ev_halt { cycle } -> Format.fprintf fmt "%8d  halt" cycle
+(* Refine the machine's coarse squash taxonomy into the trace layer's
+   six-way one. [Trace.coarse] collapses it back; the round trip is what
+   lets the attribution fold reproduce the three stats counters. *)
+let trace_reason = function
+  | Live_in_mismatch -> Trace.Bad_prediction
+  | Task_failed Task.Budget_exhausted -> Trace.Fuel_exhausted
+  | Task_failed (Task.Fault f) ->
+    Trace.Task_fault (Format.asprintf "%a" Exec.pp_fault f)
+  | Task_failed (Task.Missing_cell c) -> Trace.Missing_cell (Cell.show c)
+  | Task_failed (Task.Io_speculative c) ->
+    Trace.Speculative_io (Cell.show c)
+  | Master_dead -> Trace.Master_dead
 
 type stop_reason = Halted | Cycle_limit | Squash_limit | Wedged
+
+let stop_string = function
+  | Halted -> "halted"
+  | Cycle_limit -> "cycle_limit"
+  | Squash_limit -> "squash_limit"
+  | Wedged -> "wedged"
 
 type result = {
   arch : Full.t;
   stop : stop_reason;
   stats : stats;
   refinement_violations : int;
-  trace : event list;
 }
 
 (* A checkpoint: one task-to-be in the in-flight window. Its end boundary
@@ -255,15 +230,20 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
   in
   (* dual-mode: squashes with no commit in between *)
   let fruitless_squashes = ref 0 in
-  let trace = ref [] in
-  let emit ev = if cfg.record_trace then trace := ev :: !trace in
+  (* The event bus. Every emission site is guarded by [if tracing then],
+     so a disabled run pays exactly one predictable branch per would-be
+     event and never allocates one. *)
+  let tracing, temit =
+    match cfg.tracer with
+    | None -> (false, fun (_ : Trace.event) -> ())
+    | Some tr -> (true, Trace.emit tr)
+  in
   let running = ref true in
   let commit_busy = ref false in
   let stop_reason = ref Halted in
   let halt_machine reason =
     running := false;
     stop_reason := reason;
-    emit (Ev_halt { cycle = Sim.now sim });
     (* later-scheduled events are dead; the machine's time is now *)
     stats.cycles <- Sim.now sim
   in
@@ -356,7 +336,10 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
         if budget = 0 then begin
           (* run-away master: no checkpoint for a whole chunk *)
           master.m_dead <- true;
-          emit (Ev_master_dead { cycle = Sim.now sim; pc = Full.pc master.m_state });
+          if tracing then
+            temit
+              (Trace.Master_stop
+                 { cycle = Sim.now sim; pc = Full.pc master.m_state });
           Sim.schedule sim ~delay:cost_acc (epoch_guarded on_master_dead)
         end
         else
@@ -383,7 +366,10 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
               (epoch_guarded (fun () -> handle_fork e li occurrence))
           | `Dead ->
             master.m_dead <- true;
-            emit (Ev_master_dead { cycle = Sim.now sim; pc = Full.pc master.m_state });
+            if tracing then
+              temit
+                (Trace.Master_stop
+                   { cycle = Sim.now sim; pc = Full.pc master.m_state });
             Sim.schedule sim ~delay:cost_acc (epoch_guarded on_master_dead)
       in
       go cfg.master_chunk 0
@@ -425,7 +411,15 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
     in
     incr next_cp_id;
     stats.tasks_spawned <- stats.tasks_spawned + 1;
-    emit (Ev_spawn { cycle = Sim.now sim; id = cp.cp_id; entry = e });
+    if tracing then begin
+      temit (Trace.Fork { cycle = Sim.now sim; task = cp.cp_id; entry = e });
+      (* the prediction as the slave will see it: post fault injection.
+         The fragment is persistent and shared with the checkpoint, so
+         this emission is O(1) — no per-binding rendering here *)
+      temit
+        (Trace.Predict
+           { cycle = Sim.now sim; task = cp.cp_id; live_in = cp.cp_live_in })
+    end;
     Queue.add cp window;
     last_cp := Some cp;
     try_start_tasks ()
@@ -464,6 +458,10 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
             in
             ignore (Task.run ~on_access task view : Task.status);
             cp.cp_task <- Some task;
+            if tracing then
+              temit
+                (Trace.Slave_start
+                   { cycle = Sim.now sim; task = cp.cp_id; slave = s });
             let total =
               t.spawn_latency + (t.slave_base * task.Task.executed) + !cost
             in
@@ -471,16 +469,19 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
             Sim.schedule sim ~delay:total
               (epoch_guarded (fun () ->
                    cp.cp_finished <- true;
-                   emit
-                     (Ev_task_done
-                        {
-                          cycle = Sim.now sim;
-                          id = cp.cp_id;
-                          ok =
-                            (match task.Task.status with
-                            | Task.Complete _ -> true
-                            | Task.Running | Task.Failed _ -> false);
-                        });
+                   if tracing then
+                     temit
+                       (Trace.Slave_finish
+                          {
+                            cycle = Sim.now sim;
+                            task = cp.cp_id;
+                            slave = s;
+                            executed = task.Task.executed;
+                            ok =
+                              (match task.Task.status with
+                              | Task.Complete _ -> true
+                              | Task.Running | Task.Failed _ -> false);
+                          });
                    slave_free.(s) <- true;
                    try_start_tasks ();
                    commit_kick ())))
@@ -508,20 +509,46 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
           | Task.Complete _ -> true
           | Task.Running | Task.Failed _ -> false
         in
-        if completed && Task.live_ins_consistent task arch then begin
+        let consistent = completed && Task.live_ins_consistent task arch in
+        if tracing then begin
+          let outcome =
+            if consistent then Trace.Pass
+            else if completed then
+              match Task.first_inconsistent task arch with
+              | Some (c, predicted, actual) ->
+                Trace.Mismatch { cell = Cell.show c; predicted; actual }
+              | None -> assert false (* inconsistent => a witness exists *)
+            else
+              Trace.Incomplete
+                (match task.Task.status with
+                | Task.Failed r -> trace_reason (Task_failed r)
+                | Task.Running | Task.Complete _ -> assert false)
+          in
+          temit
+            (Trace.Verify
+               {
+                 cycle = Sim.now sim;
+                 task = cp.cp_id;
+                 live_ins = n_live_ins;
+                 outcome;
+               })
+        end;
+        if consistent then begin
           (* the memoization hit: superimpose the live-outs *)
           ignore (Queue.pop window : checkpoint);
           Task.commit_into task arch;
           maybe_chaos_commit cp.cp_id task;
           let n_outs = Task.live_out_size task in
           fruitless_squashes := 0;
-          emit
-            (Ev_commit
-               {
-                 cycle = Sim.now sim;
-                 id = cp.cp_id;
-                 instructions = task.Task.executed;
-               });
+          if tracing then
+            temit
+              (Trace.Commit
+                 {
+                   cycle = Sim.now sim;
+                   task = cp.cp_id;
+                   instructions = task.Task.executed;
+                   live_outs = n_outs;
+                 });
           stats.tasks_committed <- stats.tasks_committed + 1;
           stats.instructions_committed <-
             stats.instructions_committed + task.Task.executed;
@@ -556,7 +583,7 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
             | Task.Failed r -> Task_failed r
             | Task.Running -> assert false
           in
-          start_squash reason
+          start_squash ~task:cp.cp_id reason
         end
       end
   and wake_master () =
@@ -576,24 +603,29 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
       | None -> master_run ()
     end
   (* --- squash and recovery ----------------------------------------- *)
-  and start_squash reason =
+  and start_squash ?task reason =
     stats.squashes <- stats.squashes + 1;
     (match reason with
     | Live_in_mismatch -> stats.squash_mismatch <- stats.squash_mismatch + 1
     | Task_failed _ ->
       stats.squash_task_failed <- stats.squash_task_failed + 1
     | Master_dead -> stats.squash_master_dead <- stats.squash_master_dead + 1);
+    (* the Squash event rides with the stats bump, not with the
+       recovery: even a squash that trips [max_squashes] (and therefore
+       never recovers) is attributed in the stream *)
+    if tracing then
+      temit
+        (Trace.Squash
+           {
+             cycle = Sim.now sim;
+             task;
+             reason = trace_reason reason;
+             discarded = Queue.length window;
+           });
     if stats.squashes > cfg.max_squashes then halt_machine Squash_limit
-    else start_recovery reason
-  and start_recovery reason =
+    else start_recovery ()
+  and start_recovery () =
     (* discard all speculative work *)
-    emit
-      (Ev_squash
-         {
-           cycle = Sim.now sim;
-           reason;
-           discarded = Queue.length window;
-         });
     stats.tasks_discarded <- stats.tasks_discarded + Queue.length window;
     Sim.bump_epoch sim;
     Queue.clear window;
@@ -619,6 +651,7 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
       end
       else 0
     in
+    let from_pc = Full.pc arch in
     let m = Seq_machine.of_state arch in
     let steps = ref 0 in
     let fuel = cfg.recovery_fuel in
@@ -637,7 +670,18 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
     stats.recovery_instructions <- stats.recovery_instructions + !steps;
     stats.sequential_instructions <-
       stats.sequential_instructions + min !steps min_steps;
-    emit (Ev_recovery { cycle = Sim.now sim; instructions = !steps });
+    if tracing then
+      temit
+        (Trace.Recovery
+           {
+             cycle = Sim.now sim;
+             instructions = !steps;
+             from_pc;
+             to_pc = Full.pc arch;
+             loads = m.Seq_machine.loads;
+             stores = m.Seq_machine.stores;
+             burst = min_steps > 0;
+           });
     advance_shadow !steps;
     let recovery_cycles =
       !steps * (t.slave_base + t.recovery_per_instr)
@@ -655,14 +699,15 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
         (* no distilled entry here (shouldn't happen: entries are
            filtered to mapped ones) — keep recovering *)
         Sim.schedule sim ~delay:recovery_cycles
-          (epoch_guarded (fun () -> start_recovery Master_dead))
+          (epoch_guarded (fun () -> start_recovery ()))
       | Some dpc ->
         master.m_state <- Full.copy arch;
         master.m_dirty <- Fragment.empty;
         master.m_since_cp <- cfg.task_size;
         Hashtbl.reset master.m_passes;
         Full.set_pc master.m_state dpc;
-        emit (Ev_restart { cycle = Sim.now sim; distilled_pc = dpc });
+        if tracing then
+          temit (Trace.Restart { cycle = Sim.now sim; pc = dpc });
         Sim.schedule sim
           ~delay:(recovery_cycles + t.restart_latency)
           (epoch_guarded master_run))
@@ -683,12 +728,41 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
       stop_reason := Cycle_limit;
       stats.cycles <- Sim.now sim
     end);
+  if tracing then begin
+    (* end-of-run counter samples, then exactly one Halt — every run,
+       whatever the stop reason, closes its stream the same way *)
+    let cycle = stats.cycles in
+    let slave_l1 =
+      Array.fold_left
+        (fun (a, m) h ->
+          let s = Hierarchy.l1_stats h in
+          (a + s.Mssp_cache.Cache.accesses, m + s.Mssp_cache.Cache.misses))
+        (0, 0) slave_caches
+    in
+    let master_l1 = Hierarchy.l1_stats master_cache in
+    let l2 = Hierarchy.l2_stats master_cache in
+    List.iter
+      (fun (name, value) -> temit (Trace.Counter { cycle; name; value }))
+      [
+        ("cache.master_l1_accesses", master_l1.Mssp_cache.Cache.accesses);
+        ("cache.master_l1_misses", master_l1.Mssp_cache.Cache.misses);
+        ("cache.slaves_l1_accesses", fst slave_l1);
+        ("cache.slaves_l1_misses", snd slave_l1);
+        ("cache.shared_l2_accesses", l2.Mssp_cache.Cache.accesses);
+        ("cache.shared_l2_misses", l2.Mssp_cache.Cache.misses);
+        ("mem.arch_live_pages", Full.live_pages arch);
+        ("mem.arch_overflow_words", Full.overflow_words arch);
+        ("sim.events_scheduled", Sim.scheduled sim);
+        ("sim.events_executed", Sim.executed sim);
+        ("sim.epochs", Sim.epoch sim);
+      ];
+    temit (Trace.Halt { cycle; stop = stop_string !stop_reason })
+  end;
   {
     arch;
     stop = !stop_reason;
     stats;
     refinement_violations = !violations;
-    trace = List.rev !trace;
   }
 
 let total_committed r =

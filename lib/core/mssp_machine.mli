@@ -54,21 +54,12 @@ type stats = {
   mutable live_in_counts : int list;  (** recorded live-ins per committed task *)
 }
 
-(** Timestamped machine events, recorded when
-    [Mssp_config.record_trace] is set — the observability layer for
-    debugging schedules and for the trace well-formedness tests. *)
-type event =
-  | Ev_spawn of { cycle : int; id : int; entry : int }
-  | Ev_task_done of { cycle : int; id : int; ok : bool }
-  | Ev_commit of { cycle : int; id : int; instructions : int }
-  | Ev_squash of { cycle : int; reason : squash_reason; discarded : int }
-  | Ev_recovery of { cycle : int; instructions : int }
-  | Ev_restart of { cycle : int; distilled_pc : int }
-  | Ev_master_dead of { cycle : int; pc : int }
-  | Ev_halt of { cycle : int }
-
-val pp_event : Format.formatter -> event -> unit
-val event_cycle : event -> int
+val trace_reason : squash_reason -> Mssp_trace.Trace.squash_reason
+(** Refine the machine's three-way squash taxonomy into the trace
+    layer's six-way one (cells and faults pre-rendered to strings).
+    [Mssp_trace.Trace.coarse] is its left inverse, which is what lets a
+    fold over the event stream reproduce the [squash_mismatch] /
+    [squash_task_failed] / [squash_master_dead] stats exactly. *)
 
 type stop_reason =
   | Halted
@@ -85,15 +76,26 @@ type result = {
   refinement_violations : int;
       (** commits/recoveries where architected state diverged from the
           shadow SEQ machine; 0 unless the machine is broken *)
-  trace : event list;
-      (** chronological event log (empty unless [record_trace]) *)
 }
+
+val stop_string : stop_reason -> string
+(** ["halted"], ["cycle_limit"], ["squash_limit"], ["wedged"] — the
+    rendering carried by the trace stream's [Halt] event. *)
 
 val run :
   ?config:Mssp_config.t -> Mssp_distill.Distill.t -> result
 (** Simulate the distilled package's original program under MSSP until
     the program halts (or a safety limit trips). Architected state starts
-    as the freshly loaded program image. *)
+    as the freshly loaded program image.
+
+    With [config.tracer = Some t], the run emits the structured event
+    stream of {!Mssp_trace.Trace} into [t]: [Fork]/[Predict] per
+    checkpoint, [Slave_start]/[Slave_finish] per task execution,
+    [Verify] (with pass/mismatch-witness/incomplete outcome) and
+    [Commit] or [Squash] per head task, [Recovery]/[Restart] per squash,
+    end-of-run [Counter] samples (cache, memory image, sim kernel), and
+    exactly one final [Halt]. With [tracer = None] the simulation is
+    bit-identical and pays one branch per would-be event. *)
 
 val total_committed : result -> int
 (** Instructions retired into architected state: committed-task

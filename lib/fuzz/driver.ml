@@ -6,6 +6,7 @@ type finding = {
   shrunk : Mssp_isa.Program.t;
   failures : Oracle.failure list;
   repro_path : string option;
+  trace_path : string option;
 }
 
 type report = {
@@ -16,7 +17,7 @@ type report = {
 }
 
 let campaign ?grid ?fuel ?(size = 0) ?(shrink_budget = 500) ?out ?(save = 0)
-    ?(log = fun _ -> ()) ~seed ~count () =
+    ?(trace = false) ?(log = fun _ -> ()) ~seed ~count () =
   let rng = Wl_util.lcg (seed lxor 0x6C078965) in
   let skipped = ref 0 in
   let runs = ref 0 in
@@ -64,9 +65,30 @@ let campaign ?grid ?fuel ?(size = 0) ?(shrink_budget = 500) ?out ?(save = 0)
       log
         (Printf.sprintf "  shrunk %d -> %d instructions"
            (Shrink.instructions p) (Shrink.instructions shrunk));
+      (* with tracing on, re-run the shrunk witness under the event bus:
+         the trail that explains the divergence ships with the repro *)
+      let traced =
+        if trace then Oracle.trace_failure ?grid ?fuel shrunk else None
+      in
       let repro_path =
         Option.map
           (fun dir ->
+            let attribution =
+              match traced with
+              | None -> []
+              | Some (tpoint, events, _) ->
+                let s = Mssp_trace.Trace.Summary.of_events events in
+                [
+                  Printf.sprintf
+                    "trace [%s]: %d committed, %d squashed (bad-prediction \
+                     %d, task-failed %d, master-dead %d)"
+                    tpoint s.Mssp_trace.Trace.Summary.commits
+                    s.Mssp_trace.Trace.Summary.squashes
+                    (Mssp_trace.Trace.Summary.squash_mismatch s)
+                    (Mssp_trace.Trace.Summary.squash_task_failed s)
+                    (Mssp_trace.Trace.Summary.squash_master_dead s);
+                ]
+            in
             let comment =
               [
                 Printf.sprintf "mssp fuzz repro (campaign seed %d, program seed %d)"
@@ -79,14 +101,26 @@ let campaign ?grid ?fuel ?(size = 0) ?(shrink_budget = 500) ?out ?(save = 0)
                     Printf.sprintf "diverged at [%s]: %s" f.Oracle.point
                       f.Oracle.reason)
                   failures
+              @ attribution
             in
             let name = Printf.sprintf "repro_seed%d" program_seed in
             Corpus.save ~dir ~name ~comment shrunk)
           out
       in
       Option.iter (fun path -> log (Printf.sprintf "  wrote %s" path)) repro_path;
+      let trace_path =
+        match (traced, repro_path) with
+        | Some (_, events, _), Some repro ->
+          let path = Filename.remove_extension repro ^ ".trace.jsonl" in
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc
+                (Mssp_trace.Trace.to_jsonl events));
+          log (Printf.sprintf "  wrote %s" path);
+          Some path
+        | _ -> None
+      in
       findings :=
-        { program_seed; program = p; shrunk; failures; repro_path }
+        { program_seed; program = p; shrunk; failures; repro_path; trace_path }
         :: !findings
   done;
   {

@@ -13,6 +13,9 @@ type finding = {
   shrunk : Mssp_isa.Program.t;  (** minimized witness *)
   failures : Oracle.failure list;  (** of the original program *)
   repro_path : string option;  (** where the shrunk witness was saved *)
+  trace_path : string option;
+      (** JSONL event trail of the shrunk witness's first failing grid
+          point, beside the repro ([campaign ~trace:true] + [out]) *)
 }
 
 type report = {
@@ -29,6 +32,7 @@ val campaign :
   ?shrink_budget:int ->
   ?out:string ->
   ?save:int ->
+  ?trace:bool ->
   ?log:(string -> unit) ->
   seed:int ->
   count:int ->
@@ -39,5 +43,8 @@ val campaign :
     per finding; [out] enables corpus persistence; [save] (default 0)
     additionally writes the first [save] {e passing} programs into [out]
     as corpus seeds, so interesting generated programs are replayed as
-    regressions by later runs; [log] receives one-line progress
-    messages. *)
+    regressions by later runs; [trace] (default false) re-runs each
+    shrunk witness with the event bus on, writes its JSONL event trail
+    as [<repro>.trace.jsonl] beside the repro and folds the squash
+    attribution into the repro's comment; [log] receives one-line
+    progress messages. *)

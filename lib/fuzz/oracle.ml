@@ -237,3 +237,34 @@ let failing ?grid ?fuel p =
   match check ?grid ?fuel ~formal:false p with
   | Failed _ -> true
   | Passed _ | Skipped _ -> false
+
+(* Re-run the grid with the event bus on and stop at the first failing
+   package: the event trail that explains a (typically already shrunk)
+   witness. Deterministic, so the traced re-run fails exactly like the
+   untraced one did. *)
+let trace_failure ?(grid = default_grid ()) ?(fuel = 5_000_000) p =
+  let probe = Machine.run_program ~fuel p in
+  match probe.Machine.stopped with
+  | Some (Machine.Faulted _) | Some Machine.Out_of_fuel | None -> None
+  | Some Machine.Halted ->
+    let profile = Profile.collect ~fuel p in
+    let rec points = function
+      | [] -> None
+      | point :: rest ->
+        let rec pkgs = function
+          | [] -> points rest
+          | (subname, d) :: more -> (
+            let tracer, events = Mssp_trace.Trace.recording () in
+            let traced =
+              {
+                point with
+                config = { point.config with Config.tracer = Some tracer };
+              }
+            in
+            match check_package ~fuel traced subname d with
+            | [] -> pkgs more
+            | fails -> Some (point.name ^ subname, events (), fails))
+        in
+        pkgs (packages p profile point)
+    in
+    points grid

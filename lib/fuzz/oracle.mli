@@ -62,4 +62,15 @@ val failing : ?grid:point list -> ?fuel:int -> Mssp_isa.Program.t -> bool
 (** [check] as a shrinker predicate: [true] iff [Failed]. A candidate
     whose reference run stops halting is [Skipped], hence not failing. *)
 
+val trace_failure :
+  ?grid:point list ->
+  ?fuel:int ->
+  Mssp_isa.Program.t ->
+  (string * Mssp_trace.Trace.event list * failure list) option
+(** Re-run the grid with the structured event bus on and return the
+    first failing package as [(point-name, event stream, failures)] —
+    the event trail that explains a shrunk witness. [None] if nothing
+    fails (or the reference run no longer halts). The machine is
+    deterministic, so this reproduces the untraced failure exactly. *)
+
 val pp_failure : Format.formatter -> failure -> unit

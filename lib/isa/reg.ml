@@ -16,14 +16,19 @@ let gp = 3
 let equal = Int.equal
 let compare = Int.compare
 
-let name r =
-  match r with
-  | 0 -> "zero"
-  | 1 -> "ra"
-  | 2 -> "sp"
-  | 3 -> "gp"
-  | r when r < 16 -> Printf.sprintf "t%d" (r - 4)
-  | r -> Printf.sprintf "s%d" (r - 16)
+(* precomputed: [name] sits on the event-emission fast path, where a
+   sprintf per call is measurable *)
+let names =
+  Array.init count (fun r ->
+      match r with
+      | 0 -> "zero"
+      | 1 -> "ra"
+      | 2 -> "sp"
+      | 3 -> "gp"
+      | r when r < 16 -> Printf.sprintf "t%d" (r - 4)
+      | r -> Printf.sprintf "s%d" (r - 16))
+
+let name r = names.(r)
 
 let pp fmt r = Format.pp_print_string fmt (name r)
 

@@ -8,20 +8,39 @@ type t = {
   state : Full.t;
   mutable stopped : stop option;
   mutable instructions : int;
+  mutable loads : int;
+  mutable stores : int;
   read : Cell.t -> int option;
   write : Cell.t -> int -> unit;
 }
 
 (* the executor callbacks are built once per machine, not per step — the
-   sequential interpreter and recovery replay live in this loop *)
+   sequential interpreter and recovery replay live in this loop. The
+   record is recursive only so the hoisted callbacks can bump the memory
+   traffic counters. *)
 let of_state state =
-  {
-    state;
-    stopped = None;
-    instructions = 0;
-    read = (fun c -> Some (Full.get state c));
-    write = (fun c v -> Full.set state c v);
-  }
+  let rec m =
+    {
+      state;
+      stopped = None;
+      instructions = 0;
+      loads = 0;
+      stores = 0;
+      read =
+        (fun c ->
+          (match c with
+          | Cell.Mem _ -> m.loads <- m.loads + 1
+          | Cell.Pc | Cell.Reg _ -> ());
+          Some (Full.get state c));
+      write =
+        (fun c v ->
+          (match c with
+          | Cell.Mem _ -> m.stores <- m.stores + 1
+          | Cell.Pc | Cell.Reg _ -> ());
+          Full.set state c v);
+    }
+  in
+  m
 
 let of_program p =
   let state = Full.create () in

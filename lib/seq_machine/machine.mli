@@ -10,6 +10,9 @@ type t = {
   state : Mssp_state.Full.t;
   mutable stopped : stop option;
   mutable instructions : int;  (** dynamic instructions executed *)
+  mutable loads : int;
+      (** memory reads, instruction fetches included (trace counter) *)
+  mutable stores : int;  (** memory writes (trace counter) *)
   read : Mssp_state.Cell.t -> int option;
       (** executor read callback over [state], built once at creation so
           the step loop allocates no closures *)

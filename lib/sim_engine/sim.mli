@@ -35,6 +35,13 @@ val run : ?limit:int -> t -> outcome
 val step : t -> bool
 (** Execute the single next event; [false] if the queue is empty. *)
 
+val scheduled : t -> int
+(** Total events ever scheduled on this kernel (trace counter). *)
+
+val executed : t -> int
+(** Total events popped and run, stale epoch-guarded ones included
+    (trace counter; [scheduled - executed] = still queued or abandoned). *)
+
 (** {1 Epoch-based cancellation} *)
 
 type epoch = int

@@ -29,7 +29,42 @@ let pp fmt = function
   | Reg r -> Reg_.pp fmt r
   | Mem a -> Format.fprintf fmt "[%#x]" a
 
-let show c = Format.asprintf "%a" pp c
+(* same rendering as [pp], without a formatter round trip: [show] is on
+   the tracing fast path (one call per live-in binding per fork), so the
+   [%#x] form — "0" for zero, "0x.." otherwise — is spelled out by hand *)
+let show_mem a =
+  if a = 0 then "[0]"
+  else begin
+    let rec nd n acc = if n = 0 then acc else nd (n lsr 4) (acc + 1) in
+    let len = nd a 0 + 4 in
+    let b = Bytes.create len in
+    Bytes.unsafe_set b 0 '[';
+    Bytes.unsafe_set b 1 '0';
+    Bytes.unsafe_set b 2 'x';
+    Bytes.unsafe_set b (len - 1) ']';
+    let rec fill i n =
+      if i >= 3 then begin
+        Bytes.unsafe_set b i "0123456789abcdef".[n land 15];
+        fill (i - 1) (n lsr 4)
+      end
+    in
+    fill (len - 2) a;
+    Bytes.unsafe_to_string b
+  end
+
+let show = function Pc -> "pc" | Reg r -> Reg_.name r | Mem a -> show_mem a
+
+(* inverse of [show], for trace deserialization *)
+let of_show s =
+  let len = String.length s in
+  if s = "pc" then Some Pc
+  else if len >= 3 && s.[0] = '[' && s.[len - 1] = ']' then
+    (* negative addresses render as wrapped unsigned hex, and
+       [int_of_string_opt] wraps hex literals back the same way *)
+    match int_of_string_opt (String.sub s 1 (len - 2)) with
+    | Some a -> Some (Mem a)
+    | None -> None
+  else Option.map (fun r -> Reg r) (Reg_.of_name s)
 let reg r = if Reg_.equal r Reg_.zero then None else Some (Reg r)
 let mem a = Mem a
 let is_mem = function Mem _ -> true | Pc | Reg _ -> false

@@ -13,7 +13,13 @@ val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int
 val pp : Format.formatter -> t -> unit
+
 val show : t -> string
+(** Same rendering as {!pp}, allocation-light: [pc], register names, or
+    ["[0x2a]"] for memory words. On the trace serialization path. *)
+
+val of_show : string -> t option
+(** Inverse of {!show}; [None] on anything {!show} cannot emit. *)
 
 val reg : Mssp_isa.Reg.t -> t option
 (** [reg r] is [Some (Reg r)] unless [r] is the hardwired zero register,

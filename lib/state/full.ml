@@ -134,6 +134,15 @@ let materialized_cells s =
   iter_materialized (fun _ _ -> incr n) s;
   !n
 
+let live_pages s =
+  let n = ref 0 in
+  for p = 0 to table_pages - 1 do
+    if Array.unsafe_get s.pages p != empty_page then incr n
+  done;
+  !n
+
+let overflow_words s = Hashtbl.length s.overflow
+
 let snapshot s =
   let f = ref (Fragment.singleton Cell.Pc s.pc) in
   List.iter

@@ -77,5 +77,11 @@ val diff_observable : t -> t -> (Cell.t * int * int) list
 (** Cells on which {!equal_observable} fails, with both values; for test
     diagnostics. *)
 
+val live_pages : t -> int
+(** Pages materialized in the paged span (footprint/trace counter). *)
+
+val overflow_words : t -> int
+(** Words held in the out-of-span overflow table (trace counter). *)
+
 val pp : Format.formatter -> t -> unit
 (** Compact rendering: PC, non-zero registers, dirty-memory count. *)

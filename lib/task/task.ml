@@ -197,6 +197,19 @@ let writes_fragment t = Journal.to_fragment t.writes
 let live_ins_consistent t arch =
   Journal.for_all (fun c v -> Full.get arch c = v) t.reads
 
+(* the trace layer's witness: which recorded live-in disagrees, and on
+   what values — [Some _] iff [live_ins_consistent] is [false] *)
+let first_inconsistent t arch =
+  let exception Found of Cell.t * int * int in
+  try
+    Journal.iter
+      (fun c v ->
+        let actual = Full.get arch c in
+        if actual <> v then raise (Found (c, v, actual)))
+      t.reads;
+    None
+  with Found (c, predicted, actual) -> Some (c, predicted, actual)
+
 (* the commit operation [S <- live_out(t)], straight from the journal *)
 let commit_into t arch = Journal.iter (fun c v -> Full.set arch c v) t.writes
 

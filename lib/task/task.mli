@@ -111,6 +111,14 @@ val live_ins_consistent : t -> Mssp_state.Full.t -> bool
 (** [live_ins_consistent t arch] is the verification unit's memoization
     check [reads(t) ⊑ arch], straight off the journal. *)
 
+val first_inconsistent :
+  t -> Mssp_state.Full.t -> (Mssp_state.Cell.t * int * int) option
+(** The mismatch witness for squash attribution:
+    [Some (cell, predicted, actual)] for the first recorded live-in that
+    disagrees with architected state, [None] iff
+    {!live_ins_consistent}. Journal order, so deterministic for a given
+    run. *)
+
 val commit_into : t -> Mssp_state.Full.t -> unit
 (** [commit_into t arch] superimposes the write buffer onto [arch] — the
     commit operation [S ← live_out(t)]. *)

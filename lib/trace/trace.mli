@@ -1,0 +1,240 @@
+(** Structured simulator tracing: the zero-cost-when-disabled event bus.
+
+    The machine core emits one {!event} per lifecycle step of every
+    speculative task (fork, live-in prediction, slave start/finish,
+    verify outcome, commit, squash with a typed reason, recovery,
+    restart) plus end-of-run counters. A tracer is a bag of sinks; with
+    the tracer disabled ([Mssp_config.tracer = None]) the emission sites
+    in the core compile to a single branch — no event is even
+    allocated.
+
+    Everything downstream is a fold over the stream: {!Summary} rebuilds
+    the machine's aggregate stats (squash attribution included) from
+    events alone, {!to_jsonl}/{!of_jsonl} round-trip the stream through
+    the on-disk format the golden tests pin down, and {!Chrome} exports
+    an [about://tracing] / Perfetto-loadable timeline.
+
+    This library sits below the machine core. Events are plain data,
+    with one deliberate exception: {!event.Predict} carries the
+    checkpoint's live-in {!Mssp_state.Fragment.t} by reference. The
+    fragment is persistent and already allocated by the machine whether
+    or not tracing is on, so the emission site stays O(1) — rendering
+    cells to strings happens only in the sinks and serializers (use
+    {!event_equal}, not [( = )], to compare events). *)
+
+(* --- vocabulary ------------------------------------------------------ *)
+
+type squash_reason =
+  | Bad_prediction
+      (** a completed task's recorded live-ins disagreed with architected
+          state at verify time — the master predicted wrong values *)
+  | Fuel_exhausted  (** the task ran out of its instruction budget *)
+  | Task_fault of string  (** the task faulted (rendered fault) *)
+  | Missing_cell of string
+      (** isolated slave touched a cell the checkpoint did not carry *)
+  | Speculative_io of string  (** task attempted I/O speculatively *)
+  | Master_dead
+      (** the distilled program halted/faulted/ran away with the window
+          empty — nothing to verify, restart via recovery *)
+
+val coarse :
+  squash_reason -> [ `Bad_prediction | `Task_failed | `Master_dead ]
+(** Collapse the six-way trace taxonomy onto the machine's three stats
+    counters ([squash_mismatch] / [squash_task_failed] /
+    [squash_master_dead]). *)
+
+val pp_squash_reason : Format.formatter -> squash_reason -> unit
+
+type verify_outcome =
+  | Pass
+  | Mismatch of { cell : string; predicted : int; actual : int }
+      (** first recorded live-in that disagrees with architected state *)
+  | Incomplete of squash_reason
+      (** the task never completed; carries the failure, pre-mapped *)
+
+(* --- events ---------------------------------------------------------- *)
+
+type event =
+  | Fork of { cycle : int; task : int; entry : int }
+      (** master reached a fork marker and cut a checkpoint *)
+  | Predict of { cycle : int; task : int; live_in : Mssp_state.Fragment.t }
+      (** the checkpoint's predicted live-in bindings, post fault
+          injection — exactly what the slave will be seeded with. Held by
+          reference (persistent, shared with the checkpoint): the
+          emission site does no per-binding work *)
+  | Slave_start of { cycle : int; task : int; slave : int }
+  | Slave_finish of {
+      cycle : int;
+      task : int;
+      slave : int;
+      executed : int;
+      ok : bool;
+    }
+  | Verify of {
+      cycle : int;
+      task : int;
+      live_ins : int;
+      outcome : verify_outcome;
+    }
+  | Commit of { cycle : int; task : int; instructions : int; live_outs : int }
+  | Squash of {
+      cycle : int;
+      task : int option;  (** [None]: master-dead squash, no head task *)
+      reason : squash_reason;
+      discarded : int;  (** window size thrown away, squashed task included *)
+    }
+  | Recovery of {
+      cycle : int;
+      instructions : int;
+      from_pc : int;
+      to_pc : int;
+      loads : int;
+      stores : int;
+      burst : bool;  (** this segment was a dual-mode sequential burst *)
+    }
+  | Restart of { cycle : int; pc : int }  (** master reseeded, distilled pc *)
+  | Master_stop of { cycle : int; pc : int }
+      (** distilled program halted/faulted/ran away at [pc] *)
+  | Counter of { cycle : int; name : string; value : int }
+      (** end-of-run counter sample (cache, memory image, sim engine) *)
+  | Halt of { cycle : int; stop : string }
+      (** exactly one per run; [stop] names the machine's stop reason *)
+
+val event_cycle : event -> int
+
+val event_equal : event -> event -> bool
+(** Structural equality, with [Predict] live-ins compared by content
+    ([Fragment.equal]) rather than tree shape — a fragment rebuilt from
+    JSONL can balance differently from the machine's original. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+(* --- tracer and sinks ------------------------------------------------ *)
+
+type sink = event -> unit
+
+type t
+(** A tracer: an ordered bag of sinks, every emitted event goes to all of
+    them. *)
+
+val create : unit -> t
+val attach : t -> sink -> unit
+
+val emit : t -> event -> unit
+(** Deliver to every sink, in attach order. The machine core guards each
+    call site with [if tracing then ...], so disabled runs never build
+    the event. *)
+
+val recording : unit -> t * (unit -> event list)
+(** A tracer with an unbounded in-memory collector attached; the thunk
+    returns everything emitted so far, oldest first. *)
+
+module Ring : sig
+  (** Bounded in-memory sink: keeps the last [capacity] events, counts
+      the rest. The flight-recorder sink for long runs. *)
+
+  type buf
+
+  val create : int -> buf
+  val sink : buf -> sink
+  val contents : buf -> event list  (** oldest retained first *)
+
+  val seen : buf -> int  (** total events pushed *)
+
+  val dropped : buf -> int  (** [max 0 (seen - capacity)] *)
+end
+
+val jsonl_sink : out_channel -> sink
+(** Stream events to a channel, one JSON object per line, as they
+    happen. The caller owns the channel. *)
+
+(* --- serialization --------------------------------------------------- *)
+
+val event_to_json : event -> Tjson.t
+val event_of_json : Tjson.t -> (event, string) result
+
+val to_jsonl : event list -> string
+(** One event per line, trailing newline. *)
+
+val of_jsonl : string -> (event list, string) result
+(** Inverse of {!to_jsonl}; blank lines are skipped, the first bad line
+    aborts with its line number. *)
+
+(* --- golden diffing -------------------------------------------------- *)
+
+val diff :
+  expected:event list ->
+  actual:event list ->
+  (int * event option * event option) option
+(** Structural comparison. [None] when identical; otherwise the first
+    differing position with the event on each side ([None] = stream
+    ended). *)
+
+val pp_diff : Format.formatter -> int * event option * event option -> unit
+
+(* --- aggregate fold -------------------------------------------------- *)
+
+module Summary : sig
+  (** The attribution fold: rebuild run aggregates from the stream alone.
+      [test_trace.ml] pins this against the machine's own stats — squash
+      attribution must be derivable from events, with no side channel. *)
+
+  type t = {
+    forks : int;
+    slave_starts : int;
+    slave_finishes : int;
+    verifies : int;
+    commits : int;
+    committed_instructions : int;
+    committed_live_outs : int;
+    live_ins_checked : int;  (** summed over [Verify] events *)
+    predicted_bindings : int;  (** summed over [Predict] events *)
+    squashes : int;
+    discarded : int;  (** summed over [Squash.discarded] *)
+    bad_prediction : int;
+    fuel_exhausted : int;
+    task_fault : int;
+    missing_cell : int;
+    speculative_io : int;
+    master_dead : int;  (** the six-way squash-reason breakdown *)
+    recoveries : int;
+    recovery_instructions : int;
+    recovery_loads : int;
+    recovery_stores : int;
+    bursts : int;
+    restarts : int;
+    master_stops : int;
+    counters : (string * int) list;  (** last sample per name, emit order *)
+    halt : string option;
+    last_cycle : int;
+  }
+
+  val of_events : event list -> t
+
+  val squash_mismatch : t -> int
+  val squash_task_failed : t -> int
+  val squash_master_dead : t -> int
+  (** The three-way collapse, for comparison against
+      [Mssp_core.Mssp_machine.stats]. *)
+
+  val rows : t -> string list list
+  (** [[counter; value]; ...] rows ready for [Metrics.Table.render] /
+      [Metrics.Csv.to_string]. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(* --- Chrome trace_event export --------------------------------------- *)
+
+module Chrome : sig
+  (** Export to the Chrome [trace_event] JSON format (the ["traceEvents"]
+      object form), loadable in [about://tracing] and
+      {{:https://ui.perfetto.dev}Perfetto}. Slave task executions become
+      complete ("X") slices on one track per slave; forks, verifies,
+      commits, squashes, recoveries and restarts become instants on the
+      master/commit track; counters become "C" samples. Cycles are
+      reported as microseconds (1 cycle = 1us). *)
+
+  val of_events : event list -> Tjson.t
+  val to_string : event list -> string
+end

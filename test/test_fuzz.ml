@@ -88,23 +88,69 @@ let test_campaign_smoke () =
   check "grid actually ran" true (r.Driver.runs > 0)
 
 (* the mutation smoke test: a broken commit unit must be caught, and the
-   witness must shrink to a handful of instructions *)
+   witness must shrink to a handful of instructions.  Crucially the test
+   asserts the FAILURE SIGNATURE of the shrunk witness — a corrupted
+   commit shows up as state divergence or a refinement violation at the
+   chaos-commit grid point — not merely that the oracle fired; a shrink
+   that wandered onto an unrelated failure would be caught here. *)
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let chaos_signature (fs : Oracle.failure list) =
+  fs <> []
+  && List.for_all (fun (f : Oracle.failure) -> f.Oracle.point = "chaos-commit") fs
+  && List.exists
+       (fun (f : Oracle.failure) ->
+         contains f.Oracle.reason "final state diverges"
+         || contains f.Oracle.reason "jumping-refinement violation")
+       fs
+
+(* shrink against the signature, not bare failure: the minimized witness
+   must still exhibit a corrupted commit, not just any divergence *)
+let chaos_failing grid p =
+  match Oracle.check ~formal:false ~grid p with
+  | Oracle.Failed fs -> chaos_signature fs
+  | Oracle.Passed _ | Oracle.Skipped _ -> false
+
 let test_chaos_commit_caught_and_shrunk () =
   let grid = [ Oracle.chaos_point ~seed:3 ~p:1.0 ] in
   let rec find seed =
     if seed > 20 then Alcotest.fail "chaos commit was never caught"
     else
       let p = Gen.generate ~seed ~size:10 () in
-      match Oracle.check ~formal:false ~grid p with
-      | Oracle.Failed _ -> p
-      | Oracle.Passed _ | Oracle.Skipped _ -> find (seed + 1)
+      if chaos_failing grid p then p else find (seed + 1)
   in
   let p = find 1 in
-  let shrunk = Shrink.minimize ~budget:800 ~failing:(Oracle.failing ~grid) p in
-  check "shrunk witness still failing" true (Oracle.failing ~grid shrunk);
+  let shrunk = Shrink.minimize ~budget:800 ~failing:(chaos_failing grid) p in
+  let shrunk_failures =
+    match Oracle.check ~formal:false ~grid shrunk with
+    | Oracle.Failed fs -> fs
+    | Oracle.Passed _ -> Alcotest.fail "shrunk witness no longer failing"
+    | Oracle.Skipped r -> Alcotest.failf "shrunk witness skipped: %s" r
+  in
+  check
+    (Printf.sprintf "shrunk witness carries the chaos-commit signature (%s)"
+       (pp_failures shrunk_failures))
+    true
+    (chaos_signature shrunk_failures);
   let n = Shrink.instructions shrunk in
   check (Printf.sprintf "shrunk to <= 10 instructions (got %d)" n) true
     (n <= 10);
+  (* the traced replay agrees: the machine committed work before (or
+     while) diverging, and the event stream closes with a halt *)
+  (match Oracle.trace_failure ~grid shrunk with
+  | None -> Alcotest.fail "traced replay of the shrunk witness found no failure"
+  | Some (tpoint, events, _) ->
+    check "traced replay fails at the chaos point" true
+      (contains tpoint "chaos-commit");
+    let module Trace = Mssp_trace.Trace in
+    let s = Trace.Summary.of_events events in
+    check "traced replay committed at least one task" true
+      (s.Trace.Summary.commits > 0);
+    check "event stream ends in a halt" true
+      (List.exists (function Trace.Halt _ -> true | _ -> false) events));
   (* the repro pipeline round-trips: save, reload, still failing *)
   let dir = Filename.temp_file "mssp_fuzz" "" in
   Sys.remove dir;

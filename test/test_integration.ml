@@ -126,7 +126,8 @@ let test_printers_total () =
   let p = b.Mssp_workload.Workload.program ~size:60 in
   let profile = Profile.collect p in
   let d = Distill.distill p profile in
-  let cfg = { Config.default with Config.record_trace = true } in
+  let tracer, events = Mssp_trace.Trace.recording () in
+  let cfg = { Config.default with Config.tracer = Some tracer } in
   let r = M.run ~config:cfg d in
   let rendered =
     [
@@ -137,7 +138,9 @@ let test_printers_total () =
       Format.asprintf "%a" Mssp_state.Full.pp r.M.arch;
       Format.asprintf "%a" Mssp_cfg.Cfg.pp (Mssp_cfg.Cfg.build p);
       String.concat "\n"
-        (List.map (Format.asprintf "%a" M.pp_event) r.M.trace);
+        (List.map (Format.asprintf "%a" Mssp_trace.Trace.pp_event) (events ()));
+      Format.asprintf "%a" Mssp_trace.Trace.Summary.pp
+        (Mssp_trace.Trace.Summary.of_events (events ()));
       Format.asprintf "%a" Mssp_state.Fragment.pp
         (Mssp_state.Fragment.of_list
            [ (Mssp_state.Cell.Pc, 1); (Mssp_state.Cell.mem 2, 3) ]);

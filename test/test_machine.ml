@@ -241,38 +241,45 @@ let test_dual_mode_restores_floor () =
     (honest.M.stats.M.sequential_bursts = 0)
 
 let test_trace_well_formed () =
+  let module Trace = Mssp_trace.Trace in
   let d = distill_of small_program in
-  let cfg = { checking_config with Config.record_trace = true } in
+  let tracer, events = Trace.recording () in
+  let cfg = { checking_config with Config.tracer = Some tracer } in
   let r = M.run ~config:cfg d in
-  check "trace non-empty" true (r.M.trace <> []);
+  let evs = events () in
+  check "trace non-empty" true (evs <> []);
   (* cycles are monotone *)
-  let cycles = List.map M.event_cycle r.M.trace in
+  let cycles = List.map Trace.event_cycle evs in
   check "monotone cycles" true
     (List.for_all2 ( <= )
        (List.filteri (fun i _ -> i < List.length cycles - 1) cycles)
        (List.tl cycles));
   (* event counts agree with the stats *)
-  let count p = List.length (List.filter p r.M.trace) in
+  let count p = List.length (List.filter p evs) in
   check_int "spawns" r.M.stats.M.tasks_spawned
-    (count (function M.Ev_spawn _ -> true | _ -> false));
+    (count (function Trace.Fork _ -> true | _ -> false));
   check_int "commits" r.M.stats.M.tasks_committed
-    (count (function M.Ev_commit _ -> true | _ -> false));
+    (count (function Trace.Commit _ -> true | _ -> false));
   check_int "squashes" r.M.stats.M.squashes
-    (count (function M.Ev_squash _ -> true | _ -> false));
-  check_int "one halt" 1 (count (function M.Ev_halt _ -> true | _ -> false));
-  (* every committed task was spawned first *)
-  let spawned = Hashtbl.create 64 in
+    (count (function Trace.Squash _ -> true | _ -> false));
+  check_int "one halt" 1
+    (count (function Trace.Halt _ -> true | _ -> false));
+  (* every committed task was forked first *)
+  let forked = Hashtbl.create 64 in
   List.iter
     (fun ev ->
       match ev with
-      | M.Ev_spawn { id; _ } -> Hashtbl.replace spawned id ()
-      | M.Ev_commit { id; _ } ->
-        check "commit after spawn" true (Hashtbl.mem spawned id)
+      | Trace.Fork { task; _ } -> Hashtbl.replace forked task ()
+      | Trace.Commit { task; _ } ->
+        check "commit after fork" true (Hashtbl.mem forked task)
       | _ -> ())
-    r.M.trace;
-  (* off by default *)
+    evs;
+  (* with the tracer off the machine behaves identically *)
   let r' = M.run ~config:checking_config d in
-  check "no trace by default" true (r'.M.trace = [])
+  check "same stop without tracer" true (r'.M.stop = r.M.stop);
+  check_int "same cycles without tracer" r.M.stats.M.cycles r'.M.stats.M.cycles;
+  check "same arch without tracer" true
+    (Full.equal_observable r.M.arch r'.M.arch)
 
 let test_control_only_mode_correct () =
   (* TLS mode (no value predictions): massively squashy but still exact *)

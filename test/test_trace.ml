@@ -1,0 +1,408 @@
+(* The golden-trace harness: the structured event bus is pinned down by
+   - four committed golden traces (vecsum, listwalk, a garbage
+     adversarial master, a deliberately broken chaos-commit run) that
+     every [dune runtest] replays and structurally diffs
+     ([PROMOTE_GOLDEN=1] / `make promote-golden` rewrites them);
+   - the acceptance criterion of the tracing subsystem: a fold over the
+     JSONL stream ALONE reproduces the machine's committed/squashed
+     counts and the squash-reason breakdown exactly;
+   - a validity check of the Chrome trace_event export;
+   - QCheck invariants over random programs: per-task event bracketing,
+     committed tasks never squashed, fold == stats, and tracing off
+     being observationally identical to tracing on. *)
+
+module Full = Mssp_state.Full
+module Machine = Mssp_seq.Machine
+module Profile = Mssp_profile.Profile
+module Distill = Mssp_distill.Distill
+module M = Mssp_core.Mssp_machine
+module Config = Mssp_core.Mssp_config
+module W = Mssp_workload.Workload
+module Adversary = Mssp_workload.Adversary
+module Trace = Mssp_trace.Trace
+module Tjson = Mssp_trace.Tjson
+module Gen = Mssp_fuzz.Gen
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- traced runs ----------------------------------------------------- *)
+
+let run_traced ~config d =
+  let tracer, events = Trace.recording () in
+  let r = M.run ~config:{ config with Config.tracer = Some tracer } d in
+  (events (), r)
+
+let distill_bench name ~size ~train =
+  let b = W.find name in
+  let program = b.W.program ~size in
+  let profile = Profile.collect (b.W.program ~size:train) in
+  Distill.distill program profile
+
+(* --- the four golden workloads ---------------------------------------
+
+   Deterministic by construction: fixed benchmarks, fixed sizes, fixed
+   configurations, and an event-driven simulator with no hidden
+   randomness. Two well-behaved runs, one adversarial master (master
+   death + task-budget attribution) and one deliberately broken commit
+   unit (commit-then-mismatch churn). *)
+
+let base2 = Config.with_slaves 2 Config.default
+
+let golden_cases =
+  [
+    ( "vecsum",
+      fun () ->
+        run_traced
+          ~config:{ base2 with Config.task_size = 20 }
+          (distill_bench "vecsum" ~size:160 ~train:40) );
+    ( "listwalk",
+      fun () ->
+        run_traced
+          ~config:{ base2 with Config.task_size = 25 }
+          (distill_bench "listwalk" ~size:120 ~train:40) );
+    ( "garbage_master",
+      fun () ->
+        let b = W.find "vecsum" in
+        run_traced
+          ~config:{ base2 with Config.task_budget = 200 }
+          (Adversary.garbage (b.W.program ~size:100)) );
+    (* qsort, not vecsum: its partitioning stores are read by later
+       tasks, so a corrupted committed live-out actually propagates into
+       live-in mismatches instead of rotting unread *)
+    ( "chaos_commit",
+      fun () ->
+        run_traced
+          ~config:
+            { base2 with Config.task_size = 25; chaos_commit = Some (3, 0.5) }
+          (distill_bench "qsort" ~size:60 ~train:30) );
+  ]
+
+(* --- golden replay / promotion ---------------------------------------
+
+   Under [dune runtest] the cwd is [_build/default/test] and the golden
+   tree is a sibling (declared as a dune dep); under [dune exec] from
+   the project root it is below us — which is also where
+   [PROMOTE_GOLDEN=1] must write so the source tree is updated. *)
+
+let golden_dir = if Sys.file_exists "golden" then "golden" else "test/golden"
+let promote = Sys.getenv_opt "PROMOTE_GOLDEN" <> None
+let failures_dir = "_trace_failures"
+let golden_path name = Filename.concat golden_dir (name ^ ".trace")
+
+let write_file path s =
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc s)
+
+let test_golden (name, run) () =
+  let events, _ = run () in
+  let path = golden_path name in
+  if promote then begin
+    write_file path (Trace.to_jsonl events);
+    Printf.printf "promoted %s (%d events)\n%!" path (List.length events)
+  end
+  else begin
+    if not (Sys.file_exists path) then
+      Alcotest.failf
+        "%s is missing — run `make promote-golden` from the project root to \
+         create it"
+        path;
+    let expected =
+      match
+        Trace.of_jsonl (In_channel.with_open_text path In_channel.input_all)
+      with
+      | Ok evs -> evs
+      | Error e -> Alcotest.failf "%s: unparseable golden trace: %s" path e
+    in
+    match Trace.diff ~expected ~actual:events with
+    | None -> ()
+    | Some d ->
+      (* park the actual stream where CI can pick it up as an artifact *)
+      (try
+         if not (Sys.file_exists failures_dir) then Sys.mkdir failures_dir 0o755;
+         write_file
+           (Filename.concat failures_dir (name ^ ".trace.jsonl"))
+           (Trace.to_jsonl events)
+       with Sys_error _ -> ());
+      Alcotest.failf "%s: golden trace diverged: %s (actual stream in %s/)"
+        name
+        (Format.asprintf "%a" Trace.pp_diff d)
+        failures_dir
+  end
+
+(* --- the acceptance criterion: attribution from the stream alone -----
+
+   Serialize to JSONL, parse the text back, fold — no access to the
+   machine beyond its public stats to compare against. *)
+
+let test_fold_reproduces_stats () =
+  List.iter
+    (fun (name, run) ->
+      let events, r = run () in
+      let reparsed =
+        match Trace.of_jsonl (Trace.to_jsonl events) with
+        | Ok evs -> evs
+        | Error e -> Alcotest.failf "%s: JSONL round trip failed: %s" name e
+      in
+      let s = Trace.Summary.of_events reparsed in
+      let st = r.M.stats in
+      let i tag = check_int (name ^ ": " ^ tag) in
+      i "forks = tasks_spawned" st.M.tasks_spawned s.Trace.Summary.forks;
+      i "commits = tasks_committed" st.M.tasks_committed
+        s.Trace.Summary.commits;
+      i "committed instructions" st.M.instructions_committed
+        s.Trace.Summary.committed_instructions;
+      i "committed live-outs" st.M.live_outs_committed
+        s.Trace.Summary.committed_live_outs;
+      i "squashes" st.M.squashes s.Trace.Summary.squashes;
+      i "squash: bad prediction" st.M.squash_mismatch
+        (Trace.Summary.squash_mismatch s);
+      i "squash: task failed" st.M.squash_task_failed
+        (Trace.Summary.squash_task_failed s);
+      i "squash: master dead" st.M.squash_master_dead
+        (Trace.Summary.squash_master_dead s);
+      i "recovery segments" st.M.recovery_segments
+        s.Trace.Summary.recoveries;
+      i "recovery instructions" st.M.recovery_instructions
+        s.Trace.Summary.recovery_instructions;
+      i "sequential bursts" st.M.sequential_bursts s.Trace.Summary.bursts;
+      (* a clean run loses no in-flight work silently: the discarded
+         total is also derivable (squash-limit trips stop counting in
+         the machine, so only pin it on halted runs) *)
+      if r.M.stop = M.Halted then
+        i "discarded" st.M.tasks_discarded s.Trace.Summary.discarded;
+      check (name ^ ": exactly one halt event") true
+        (s.Trace.Summary.halt <> None))
+    golden_cases
+
+(* --- Chrome export validity ------------------------------------------ *)
+
+let test_chrome_export_valid () =
+  let events, _ = (List.assoc "vecsum" golden_cases) () in
+  let s = Trace.Chrome.to_string events in
+  match Tjson.parse s with
+  | Error e -> Alcotest.failf "chrome export is not valid JSON: %s" e
+  | Ok json ->
+    let tevs =
+      match Tjson.member "traceEvents" json with
+      | Some (Tjson.List l) -> l
+      | _ -> Alcotest.fail "no traceEvents array"
+    in
+    check "has events" true (tevs <> []);
+    let phase ev =
+      match Tjson.member "ph" ev with Some (Tjson.Str p) -> p | _ -> "?"
+    in
+    List.iter
+      (fun ev ->
+        check "every event has a known phase" true
+          (List.mem (phase ev) [ "M"; "X"; "i"; "C" ]);
+        check "every event has a pid" true (Tjson.member "pid" ev <> None))
+      tevs;
+    let count p = List.length (List.filter (fun e -> phase e = p) tevs) in
+    check "has metadata records" true (count "M" > 0);
+    check "has task slices" true (count "X" > 0);
+    check "has instants" true (count "i" > 0);
+    check "has counter samples" true (count "C" > 0);
+    check "declares a display time unit" true
+      (Tjson.member "displayTimeUnit" json <> None)
+
+(* --- QCheck invariants over random programs -------------------------- *)
+
+let program_arb ~min_size ~max_size =
+  let gen st =
+    let seed = Random.State.int st 0x3FFFFFFF in
+    let size = min_size + Random.State.int st (max_size - min_size + 1) in
+    Gen.generate ~seed ~size ()
+  in
+  QCheck.make ~print:Mssp_asm.Emit.program_to_source gen
+
+let qc_config = { base2 with Config.max_cycles = 100_000_000 }
+
+(* programs whose reference run does not halt are out of scope, exactly
+   like the fuzz oracle treats them *)
+let traced_run p =
+  let probe = Machine.run_program ~fuel:2_000_000 p in
+  match probe.Machine.stopped with
+  | Some Machine.Halted ->
+    let profile = Profile.collect ~fuel:2_000_000 p in
+    Some (run_traced ~config:qc_config (Distill.distill p profile))
+  | _ -> None
+
+let rank = function
+  | Trace.Fork _ -> Some 0
+  | Trace.Predict _ -> Some 1
+  | Trace.Slave_start _ -> Some 2
+  | Trace.Slave_finish _ -> Some 3
+  | Trace.Verify _ -> Some 4
+  | Trace.Commit _ -> Some 5
+  | _ -> None
+
+let task_of = function
+  | Trace.Fork { task; _ }
+  | Trace.Predict { task; _ }
+  | Trace.Slave_start { task; _ }
+  | Trace.Slave_finish { task; _ }
+  | Trace.Verify { task; _ }
+  | Trace.Commit { task; _ } ->
+    Some task
+  | _ -> None
+
+(* every task's lifecycle events appear in order, at most once each, and
+   always starting from a fork *)
+let prop_well_bracketed =
+  QCheck.Test.make ~name:"trace: per-task events are well bracketed"
+    ~count:30
+    (program_arb ~min_size:5 ~max_size:20)
+    (fun p ->
+      match traced_run p with
+      | None -> true
+      | Some (events, _) ->
+        let last = Hashtbl.create 64 in
+        List.for_all
+          (fun ev ->
+            match (task_of ev, rank ev) with
+            | Some task, Some r ->
+              let prev = Hashtbl.find_opt last task in
+              let ok =
+                match prev with
+                | None -> r = 0 (* lifecycle opens with the fork *)
+                | Some pr -> r > pr
+              in
+              Hashtbl.replace last task r;
+              ok
+            | _ -> true)
+          events)
+
+(* a committed task is never later squashed, and vice versa *)
+let prop_committed_never_squashed =
+  QCheck.Test.make ~name:"trace: committed tasks are never squashed"
+    ~count:30
+    (program_arb ~min_size:5 ~max_size:20)
+    (fun p ->
+      match traced_run p with
+      | None -> true
+      | Some (events, _) ->
+        let committed = Hashtbl.create 64 in
+        List.for_all
+          (fun ev ->
+            match ev with
+            | Trace.Commit { task; _ } ->
+              Hashtbl.replace committed task ();
+              true
+            | Trace.Squash { task = Some task; _ } ->
+              not (Hashtbl.mem committed task)
+            | _ -> true)
+          events)
+
+(* cycles never go backwards, and the stream ends with the halt *)
+let prop_monotone_and_terminated =
+  QCheck.Test.make ~name:"trace: cycles monotone, halt terminal" ~count:30
+    (program_arb ~min_size:5 ~max_size:20)
+    (fun p ->
+      match traced_run p with
+      | None -> true
+      | Some (events, _) ->
+        let rec mono last = function
+          | [] -> true
+          | ev :: rest ->
+            let c = Trace.event_cycle ev in
+            c >= last && mono c rest
+        in
+        mono 0 events
+        &&
+        (match List.rev events with
+        | Trace.Halt _ :: rest ->
+          List.for_all
+            (function Trace.Halt _ -> false | _ -> true)
+            rest
+        | _ -> false))
+
+(* the attribution fold agrees with the machine's own stats *)
+let prop_fold_matches_stats =
+  QCheck.Test.make ~name:"trace: summary fold equals machine stats"
+    ~count:30
+    (program_arb ~min_size:5 ~max_size:20)
+    (fun p ->
+      match traced_run p with
+      | None -> true
+      | Some (events, r) ->
+        let s = Trace.Summary.of_events events in
+        let st = r.M.stats in
+        s.Trace.Summary.forks = st.M.tasks_spawned
+        && s.Trace.Summary.commits = st.M.tasks_committed
+        && s.Trace.Summary.squashes = st.M.squashes
+        && Trace.Summary.squash_mismatch s = st.M.squash_mismatch
+        && Trace.Summary.squash_task_failed s = st.M.squash_task_failed
+        && Trace.Summary.squash_master_dead s = st.M.squash_master_dead
+        && s.Trace.Summary.committed_instructions
+           = st.M.instructions_committed
+        && s.Trace.Summary.recovery_instructions
+           = st.M.recovery_instructions)
+
+(* tracing is observationally free: a run with the bus off is identical,
+   cycle for cycle, to the same run with a sink attached *)
+let prop_disabled_identical =
+  QCheck.Test.make ~name:"trace: disabled tracing changes nothing"
+    ~count:20
+    (program_arb ~min_size:5 ~max_size:20)
+    (fun p ->
+      match traced_run p with
+      | None -> true
+      | Some (_, traced) ->
+        let probe = Machine.run_program ~fuel:2_000_000 p in
+        ignore probe;
+        let profile = Profile.collect ~fuel:2_000_000 p in
+        let plain =
+          M.run ~config:qc_config (Distill.distill p profile)
+        in
+        plain.M.stop = traced.M.stop
+        && plain.M.stats.M.cycles = traced.M.stats.M.cycles
+        && plain.M.stats.M.tasks_committed
+           = traced.M.stats.M.tasks_committed
+        && plain.M.stats.M.squashes = traced.M.stats.M.squashes
+        && Full.equal_observable plain.M.arch traced.M.arch)
+
+(* the JSONL codec is lossless *)
+let prop_jsonl_roundtrip =
+  QCheck.Test.make ~name:"trace: JSONL round trip is the identity"
+    ~count:20
+    (program_arb ~min_size:5 ~max_size:20)
+    (fun p ->
+      match traced_run p with
+      | None -> true
+      | Some (events, _) -> (
+        match Trace.of_jsonl (Trace.to_jsonl events) with
+        | Error _ -> false
+        | Ok parsed ->
+          (* event_equal, not (=): a Predict fragment rebuilt from JSONL
+             can balance differently from the machine's original *)
+          List.length parsed = List.length events
+          && List.for_all2 Trace.event_equal parsed events))
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "golden",
+        List.map
+          (fun (name, _ as case) ->
+            Alcotest.test_case name `Quick (test_golden case))
+          golden_cases );
+      ( "attribution",
+        [
+          Alcotest.test_case "fold over JSONL reproduces stats" `Quick
+            test_fold_reproduces_stats;
+        ] );
+      ( "chrome",
+        [
+          Alcotest.test_case "export is valid trace_event JSON" `Quick
+            test_chrome_export_valid;
+        ] );
+      ( "properties",
+        [
+          Mssp_testkit.to_alcotest prop_well_bracketed;
+          Mssp_testkit.to_alcotest prop_committed_never_squashed;
+          Mssp_testkit.to_alcotest prop_monotone_and_terminated;
+          Mssp_testkit.to_alcotest prop_fold_matches_stats;
+          Mssp_testkit.to_alcotest prop_disabled_identical;
+          Mssp_testkit.to_alcotest prop_jsonl_roundtrip;
+        ] );
+    ]
