@@ -20,14 +20,18 @@ bench-csv:
 	dune exec bench/main.exe -- --csv results
 
 # machine-readable baseline: headline experiment + hot-path micros
-# (including the trace-off/ring-on pair) + the tracing-overhead guard
+# (including the trace-off/ring-on and serial/pooled pairs) + the
+# tracing-overhead guard + the host-pool guard (serial and pooled E1
+# wall clocks land in the pool_guard JSON object)
 bench-json:
-	dune exec bench/main.exe -- E1 micro TRACEG --json BENCH_mssp.json
+	dune exec bench/main.exe -- E1 micro TRACEG POOLG --json BENCH_mssp.json
 
-# quick perf regression check: reduced-scale E1 plus the tracing-overhead
-# guard (fails if the event bus costs more than 2% of a run's wall clock)
+# quick perf regression check: reduced-scale E1, the tracing-overhead
+# guard (event bus > 2% of a run's wall clock fails) and the host-pool
+# guard (4 worker domains must cut the E1 grid below 0.6x serial wall
+# clock on hosts with >= 4 cores; single-core runners report only)
 perf-smoke:
-	timeout 120 dune exec bench/main.exe -- E1s TRACEG
+	timeout 240 dune exec bench/main.exe -- E1s TRACEG POOLG
 
 # regenerate test/golden/*.trace from the current machine (review the
 # diff before committing: goldens exist to make event-stream changes
@@ -37,8 +41,10 @@ promote-golden:
 
 # differential fuzzing: SEQ vs MSSP config grid vs formal models.
 # Failing programs are shrunk and written to fuzz/corpus/ as .s repros.
+# JOBS worker domains run independently seeded shards; every parallel
+# finding prints its exact --jobs 1 replay line.
 fuzz:
-	dune exec -- mssp_sim fuzz --seed $${SEED:-1} --count $${COUNT:-500} --out fuzz/corpus
+	dune exec -- mssp_sim fuzz --seed $${SEED:-1} --count $${COUNT:-500} --jobs $${JOBS:-4} --out fuzz/corpus
 
 examples:
 	dune exec examples/quickstart.exe

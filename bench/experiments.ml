@@ -17,22 +17,41 @@ module Frag_exec = Mssp_seq.Frag_exec
 
 let suite () = List.map (fun b -> prepare b) W.all
 
+(* regroup a flat [checked_runs] result list back into the per-row
+   shape an experiment's table wants *)
+let rec chunk k = function
+  | [] -> []
+  | l ->
+    let rec take n = function
+      | x :: tl when n > 0 ->
+        let hd, rest = take (n - 1) tl in
+        (x :: hd, rest)
+      | rest -> ([], rest)
+    in
+    let hd, rest = take k l in
+    hd :: chunk k rest
+
 (* --- E1: MSSP speedup over the sequential baseline ------------------- *)
+
+let e1_slave_counts = [ 1; 2; 4; 8 ]
+
+(* the full E1 grid — every benchmark at every slave count — as
+   (prepared, config) points for [checked_runs]; POOLG times this same
+   grid at two host job counts *)
+let e1_points prepared =
+  List.concat_map
+    (fun p -> List.map (fun n -> (p, with_slaves n)) e1_slave_counts)
+    prepared
 
 let e1 () =
   section "E1  Speedup over sequential baseline (MICRO'02 headline figure)";
   let prepared = suite () in
-  let slave_counts = [ 1; 2; 4; 8 ] in
+  let slave_counts = e1_slave_counts in
+  let runs = chunk (List.length slave_counts) (checked_runs (e1_points prepared)) in
   let results =
-    List.map
-      (fun p ->
-        let speedups =
-          List.map
-            (fun n -> speedup p (checked_run ~config:(with_slaves n) p))
-            slave_counts
-        in
-        (p, speedups))
-      prepared
+    List.map2
+      (fun p rs -> (p, List.map (fun r -> speedup p r) rs))
+      prepared runs
   in
   print_table
     ~header:([ "benchmark" ] @ List.map (fun n -> Printf.sprintf "%d slaves" n) slave_counts)
@@ -57,11 +76,12 @@ let e1 () =
 
 let e2 () =
   section "E2  Distillation: static and dynamic reduction";
+  let prepared = suite () in
+  let runs = checked_runs (List.map (fun p -> (p, Config.default)) prepared) in
   let rows =
-    List.map
-      (fun p ->
+    List.map2
+      (fun p r ->
         let s = p.distilled.Distill.stats in
-        let r = checked_run p in
         (* measured dynamic ratio: original instructions retired per
            master instruction executed *)
         let measured =
@@ -79,7 +99,7 @@ let e2 () =
           fi s.Distill.stores_removed;
           fi s.Distill.dead_writes_removed;
         ])
-      (suite ())
+      prepared runs
   in
   print_table
     ~header:
@@ -100,16 +120,22 @@ let e3 () =
   let names = [ "vecsum"; "branchy"; "qsort" ] in
   let prepared = List.map (fun n -> prepare (W.find n)) names in
   let sizes = [ 10; 25; 50; 100; 200; 400 ] in
+  let cfg_of ts = { (with_slaves 8) with Config.task_size = ts } in
+  let grid =
+    checked_runs
+      (List.concat_map
+         (fun ts -> List.map (fun p -> (p, cfg_of ts)) prepared)
+         sizes)
+  in
   let rows =
-    List.map
-      (fun ts ->
-        let cfg = { (with_slaves 8) with Config.task_size = ts } in
-        let runs = List.map (fun p -> (p, checked_run ~config:cfg p)) prepared in
-        let speedups = List.map (fun (p, r) -> speedup p r) runs in
-        let mean_task = Stats.mean (List.map (fun (_, r) -> M.mean_task_size r) runs) in
+    List.map2
+      (fun ts runs ->
+        let speedups = List.map2 (fun p r -> speedup p r) prepared runs in
+        let mean_task = Stats.mean (List.map M.mean_task_size runs) in
         fi ts :: f2 (Stats.geomean speedups) :: f2 mean_task
         :: List.map f2 speedups)
       sizes
+      (chunk (List.length prepared) grid)
   in
   print_table
     ~header:([ "task size"; "geomean"; "mean instrs" ] @ names)
@@ -146,11 +172,11 @@ let e4 () =
           }
         in
         let prepared = List.map (fun n -> prepare ~options (W.find n)) names in
-        let runs = List.map (fun p -> (p, checked_run ~config:(with_slaves 4) p)) prepared in
-        let geo = Stats.geomean (List.map (fun (p, r) -> speedup p r) runs) in
-        let squash_rate =
-          Stats.mean (List.map (fun (_, r) -> M.squash_rate r) runs)
+        let runs =
+          checked_runs (List.map (fun p -> (p, with_slaves 4)) prepared)
         in
+        let geo = Stats.geomean (List.map2 (fun p r -> speedup p r) prepared runs) in
+        let squash_rate = Stats.mean (List.map M.squash_rate runs) in
         let dyn =
           Stats.geomean
             (List.map
@@ -173,22 +199,31 @@ let e5 () =
   let names = [ "vecsum"; "qsort"; "treesum" ] in
   let prepared = List.map (fun n -> prepare (W.find n)) names in
   let sweeps = [ 1; 10; 50; 100; 200 ] in
+  let cfg_of lat =
+    let timing =
+      {
+        Config.default_timing with
+        Config.spawn_latency = lat;
+        verify_base = lat / 2;
+        commit_base = lat / 2;
+        restart_latency = lat;
+      }
+    in
+    { (with_slaves 8) with Config.timing = timing }
+  in
+  let grid =
+    checked_runs
+      (List.concat_map
+         (fun lat -> List.map (fun p -> (p, cfg_of lat)) prepared)
+         sweeps)
+  in
   let rows =
-    List.map
-      (fun lat ->
-        let timing =
-          {
-            Config.default_timing with
-            Config.spawn_latency = lat;
-            verify_base = lat / 2;
-            commit_base = lat / 2;
-            restart_latency = lat;
-          }
-        in
-        let cfg = { (with_slaves 8) with Config.timing = timing } in
-        let speedups = List.map (fun p -> speedup p (checked_run ~config:cfg p)) prepared in
+    List.map2
+      (fun lat runs ->
+        let speedups = List.map2 (fun p r -> speedup p r) prepared runs in
         fi lat :: f2 (Stats.geomean speedups) :: List.map f2 speedups)
       sweeps
+      (chunk (List.length prepared) grid)
   in
   print_table ~header:([ "latency"; "geomean" ] @ names) rows;
   note "paper shape: MSSP tolerates checkpoint/commit latency well — it";
@@ -199,11 +234,12 @@ let e5 () =
 
 let e6 () =
   section "E6  Task population: sizes, live-ins, utilization";
+  let cfg = with_slaves 4 in
+  let prepared = suite () in
+  let runs = checked_runs (List.map (fun p -> (p, cfg)) prepared) in
   let rows =
-    List.map
-      (fun p ->
-        let cfg = with_slaves 4 in
-        let r = checked_run ~config:cfg p in
+    List.map2
+      (fun p r ->
         let sizes = Stats.of_ints r.M.stats.M.task_sizes in
         [
           p.bench.W.name;
@@ -217,7 +253,7 @@ let e6 () =
             (float_of_int r.M.stats.M.recovery_instructions
             /. float_of_int (max 1 (M.total_committed r)));
         ])
-      (suite ())
+      prepared runs
   in
   print_table
     ~header:
@@ -358,18 +394,18 @@ let e9 () =
   section "E9  Jumping refinement: MSSP projects onto SEQ (Definition 1)";
   (* machine level: the shadow checker re-verifies every commit *)
   let machine_rows =
-    List.map
-      (fun b ->
-        let p = prepare b in
-        let cfg = { (with_slaves 4) with Config.verify_refinement = true } in
-        let r = checked_run ~config:cfg p in
+    let cfg = { (with_slaves 4) with Config.verify_refinement = true } in
+    let prepared = suite () in
+    let runs = checked_runs (List.map (fun p -> (p, cfg)) prepared) in
+    List.map2
+      (fun p r ->
         [
-          b.W.name;
+          p.bench.W.name;
           fi r.M.stats.M.tasks_committed;
           fi r.M.stats.M.recovery_segments;
           fi r.M.refinement_violations;
         ])
-      W.all
+      prepared runs
   in
   print_table
     ~header:[ "benchmark"; "jumps (commits)"; "recoveries"; "violations" ]
@@ -458,24 +494,33 @@ let e10 () =
 
 let e11 () =
   section "E11  Where the speedup comes from: ablation";
-  let rows =
+  let cfg = with_slaves 8 in
+  let pairs =
     List.map
-      (fun b ->
-        let full = prepare b in
-        let nodistill = prepare ~options:Distill.identity_options b in
-        let cfg = with_slaves 8 in
-        let s_full = speedup full (checked_run ~config:cfg full) in
-        let s_nod = speedup nodistill (checked_run ~config:cfg nodistill) in
-        let oracle =
-          B.oracle_parallel ~slaves:8 full.program
+      (fun b -> (prepare b, prepare ~options:Distill.identity_options b))
+      W.all
+  in
+  let runs =
+    chunk 2
+      (checked_runs
+         (List.concat_map
+            (fun (full, nodistill) -> [ (full, cfg); (nodistill, cfg) ])
+            pairs))
+  in
+  let rows =
+    List.map2
+      (fun (full, nodistill) rs ->
+        let r_full, r_nod =
+          match rs with [ a; b ] -> (a, b) | _ -> assert false
         in
+        let oracle = B.oracle_parallel ~slaves:8 full.program in
         [
-          b.W.name;
-          f2 s_full;
-          f2 s_nod;
+          full.bench.W.name;
+          f2 (speedup full r_full);
+          f2 (speedup nodistill r_nod);
           f2 (B.speedup ~baseline:full.baseline oracle.B.cycles);
         ])
-      W.all
+      pairs runs
   in
   print_table
     ~header:[ "benchmark"; "MSSP"; "no-distill master"; "oracle parallel" ]
@@ -573,16 +618,17 @@ let e13 () =
 let e14 () =
   section "E14  Fault injection: corrupted checkpoints cannot corrupt state";
   let p = prepare ~scale:0.5 (W.find "branchy") in
+  let rates = [ 0.0; 0.05; 0.2; 0.5; 1.0 ] in
+  let cfg_of rate =
+    {
+      (with_slaves 4) with
+      Config.fault_injection = (if rate > 0.0 then Some (42, rate) else None);
+    }
+  in
+  let runs = checked_runs (List.map (fun rate -> (p, cfg_of rate)) rates) in
   let rows =
-    List.map
-      (fun rate ->
-        let cfg =
-          {
-            (with_slaves 4) with
-            Config.fault_injection = (if rate > 0.0 then Some (42, rate) else None);
-          }
-        in
-        let r = checked_run ~config:cfg p in
+    List.map2
+      (fun rate r ->
         [
           Printf.sprintf "%.2f" rate;
           fi r.M.stats.M.faults_injected;
@@ -590,7 +636,7 @@ let e14 () =
           f2 (speedup p r);
           "yes";
         ])
-      [ 0.0; 0.05; 0.2; 0.5; 1.0 ]
+      rates runs
   in
   print_table
     ~header:[ "fault rate"; "injected"; "squashes"; "speedup"; "correct?" ]
@@ -607,23 +653,30 @@ let e14 () =
 
 let e15 () =
   section "E15  Why the master predicts values: MSSP vs control-only TLS";
+  let cfg = with_slaves 4 in
+  let prepared = suite () in
+  let runs =
+    chunk 2
+      (checked_runs
+         (List.concat_map
+            (fun p ->
+              [ (p, cfg); (p, { cfg with Config.control_only_master = true }) ])
+            prepared))
+  in
   let rows =
-    List.map
-      (fun b ->
-        let p = prepare b in
-        let cfg = with_slaves 4 in
-        let mssp = checked_run ~config:cfg p in
-        let tls =
-          checked_run ~config:{ cfg with Config.control_only_master = true } p
+    List.map2
+      (fun p rs ->
+        let mssp, tls =
+          match rs with [ a; b ] -> (a, b) | _ -> assert false
         in
         [
-          b.W.name;
+          p.bench.W.name;
           f2 (speedup p mssp);
           f2 (speedup p tls);
           f2 (1000.0 *. M.squash_rate mssp);
           f2 (1000.0 *. M.squash_rate tls);
         ])
-      W.all
+      prepared runs
   in
   print_table
     ~header:
@@ -640,11 +693,13 @@ let e15 () =
 
 let e16 () =
   section "E16  The CMP argument: MSSP on simple cores vs one wide OoO core";
+  let prepared = suite () in
+  let runs =
+    checked_runs (List.map (fun p -> (p, with_slaves 8)) prepared)
+  in
   let rows =
-    List.map
-      (fun b ->
-        let p = prepare b in
-        let mssp = checked_run ~config:(with_slaves 8) p in
+    List.map2
+      (fun p mssp ->
         let w2 = B.ilp_limit ~width:2 p.program in
         let w4 = B.ilp_limit ~width:4 p.program in
         let w8 = B.ilp_limit ~width:8 p.program in
@@ -656,7 +711,7 @@ let e16 () =
           f2 (sp w4.B.cycles);
           f2 (sp w8.B.cycles);
         ])
-      W.all
+      prepared runs
   in
   print_table
     ~header:
@@ -679,18 +734,25 @@ let e17 () =
   section "E17  Checkpoint window: how far ahead may the master run?";
   let names = [ "vecsum"; "branchy"; "qsort" ] in
   let prepared = List.map (fun n -> prepare (W.find n)) names in
+  let windows = [ 1; 2; 4; 8; 16; 32 ] in
+  let cfg_of window = { (with_slaves 4) with Config.max_in_flight = window } in
+  let grid =
+    checked_runs
+      (List.concat_map
+         (fun window -> List.map (fun p -> (p, cfg_of window)) prepared)
+         windows)
+  in
   let rows =
-    List.map
-      (fun window ->
-        let cfg = { (with_slaves 4) with Config.max_in_flight = window } in
-        let runs = List.map (fun p -> (p, checked_run ~config:cfg p)) prepared in
-        let speedups = List.map (fun (p, r) -> speedup p r) runs in
+    List.map2
+      (fun window runs ->
+        let speedups = List.map2 (fun p r -> speedup p r) prepared runs in
         let discarded =
-          List.fold_left (fun a (_, r) -> a + r.M.stats.M.tasks_discarded) 0 runs
+          List.fold_left (fun a r -> a + r.M.stats.M.tasks_discarded) 0 runs
         in
         fi window :: f2 (Stats.geomean speedups) :: fi discarded
         :: List.map f2 speedups)
-      [ 1; 2; 4; 8; 16; 32 ]
+      windows
+      (chunk (List.length prepared) grid)
   in
   print_table
     ~header:([ "window"; "geomean"; "discarded" ] @ names)
@@ -710,10 +772,10 @@ let e17 () =
 let e1s () =
   section "E1s  Reduced-scale speedup smoke (fast variant of E1)";
   let prepared = List.map (fun b -> prepare ~scale:0.25 b) W.all in
-  let results =
-    List.map (fun p -> (p, speedup p (checked_run ~config:(with_slaves 8) p)))
-      prepared
+  let runs =
+    checked_runs (List.map (fun p -> (p, with_slaves 8)) prepared)
   in
+  let results = List.map2 (fun p r -> (p, speedup p r)) prepared runs in
   print_table
     ~header:[ "benchmark"; "8 slaves" ]
     (List.map (fun (p, s) -> [ p.bench.W.name; f2 s ]) results);
@@ -777,6 +839,71 @@ let traceg () =
       (Printf.sprintf "TRACEG: tracing overhead %.1f%% exceeds the 2%% budget"
          (overhead *. 100.))
 
+(* --- POOLG: host-pool speedup guard ----------------------------------- *)
+
+(* The domain pool's wall-clock contract, enforced under `make
+   perf-smoke`: fanning the reduced-scale E1 grid across 4 worker
+   domains must cost at most 0.6x the serial wall clock, and must
+   produce cycle-identical results. The bit-identity cross-check always
+   runs; the 0.6x budget is enforced only where it is physically
+   meaningful — hosts with at least 4 cores (a single-core container
+   can only report the ratio honestly). Either way the measured pair
+   lands in the --json report as [pool_guard]. *)
+let poolg () =
+  section "POOLG  Host-pool guard: E1 grid, serial vs 4 worker domains";
+  let pool_jobs = 4 in
+  let prepared = List.map (fun b -> prepare ~scale:0.25 b) W.all in
+  let points = e1_points prepared in
+  let timed n =
+    let saved = !Harness.jobs in
+    Harness.jobs := n;
+    record_samples := false;
+    Gc.major ();
+    let t0 = Unix.gettimeofday () in
+    let rs = checked_runs points in
+    Harness.jobs := saved;
+    record_samples := true;
+    (Unix.gettimeofday () -. t0, List.map (fun r -> r.M.stats.M.cycles) rs)
+  in
+  (* one untimed pooled pass first: domain spawning and first-touch
+     allocation costs land here, not in a timed rep *)
+  let _, warm_cycles = timed pool_jobs in
+  let best_serial = ref infinity and best_pooled = ref infinity in
+  for _ = 1 to 2 do
+    let t, cycles = timed 1 in
+    if cycles <> warm_cycles then failwith "POOLG: serial run diverged";
+    if t < !best_serial then best_serial := t;
+    let t, cycles = timed pool_jobs in
+    if cycles <> warm_cycles then failwith "POOLG: pooled run diverged";
+    if t < !best_pooled then best_pooled := t
+  done;
+  let cores = Domain.recommended_domain_count () in
+  let ratio = !best_pooled /. !best_serial in
+  let enforced = cores >= pool_jobs in
+  note "simulated cycles identical at both job counts (%d grid points)"
+    (List.length points);
+  note "serial: %.3fs   %d jobs: %.3fs   ratio: %.2fx  (budget 0.60x, %d host core%s)"
+    !best_serial pool_jobs !best_pooled ratio cores
+    (if cores = 1 then "" else "s");
+  Harness.pool_guard :=
+    Some
+      {
+        pg_jobs = pool_jobs;
+        pg_cores = cores;
+        pg_serial_s = !best_serial;
+        pg_pooled_s = !best_pooled;
+        pg_enforced = enforced;
+      };
+  if enforced then begin
+    if ratio > 0.6 then
+      failwith
+        (Printf.sprintf
+           "POOLG: pooled/serial ratio %.2fx exceeds the 0.60x budget" ratio)
+  end
+  else
+    note "host has %d core(s) < %d: ratio reported, budget not enforced"
+      cores pool_jobs
+
 let all : (string * (unit -> unit)) list =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
@@ -788,4 +915,4 @@ let all : (string * (unit -> unit)) list =
 (* opt-in experiments: run only when named on the command line, never
    part of the default everything sweep *)
 let extras : (string * (unit -> unit)) list =
-  [ ("E1s", e1s); ("TRACEG", traceg) ]
+  [ ("E1s", e1s); ("TRACEG", traceg); ("POOLG", poolg) ]

@@ -67,19 +67,58 @@ type sample = {
 
 let samples : sample list ref = ref []
 
+(* POOLG times runs whose samples would duplicate E1's; it flips this
+   off around its timed batches *)
+let record_samples = ref true
+
+let record_sample ~config prepared (r : M.result) =
+  assert_correct prepared r;
+  if !record_samples then
+    samples :=
+      {
+        experiment = !current_section;
+        benchmark = prepared.bench.W.name;
+        slaves = config.Config.slaves;
+        cycles = r.M.stats.M.cycles;
+        speedup = speedup prepared r;
+      }
+      :: !samples
+
 let checked_run ?(config = Config.default) prepared =
   let r = run ~config prepared in
-  assert_correct prepared r;
-  samples :=
-    {
-      experiment = !current_section;
-      benchmark = prepared.bench.W.name;
-      slaves = config.Config.slaves;
-      cycles = r.M.stats.M.cycles;
-      speedup = speedup prepared r;
-    }
-    :: !samples;
+  record_sample ~config prepared r;
   r
+
+(* inter-run parallelism: bench --jobs N fans each experiment's
+   independent grid points across N domains *)
+let jobs = ref 1
+
+(* Run every (prepared, config) point, fanned across [!jobs] domains.
+   The simulations are independent and each is deterministic, so the
+   result list — and everything downstream: assertions, samples,
+   printed tables — is identical at every job count. Verification and
+   sample recording happen here on the calling domain, in point order. *)
+let checked_runs points =
+  let results =
+    Mssp_exec.Pool.map_runs ~jobs:!jobs
+      (fun (prepared, config) -> run ~config prepared)
+      points
+  in
+  List.iter2
+    (fun (prepared, config) r -> record_sample ~config prepared r)
+    points results;
+  results
+
+(* POOLG's measured wall clocks, picked up by the bench --json writer *)
+type pool_guard = {
+  pg_jobs : int;
+  pg_cores : int;  (** Domain.recommended_domain_count on this host *)
+  pg_serial_s : float;
+  pg_pooled_s : float;
+  pg_enforced : bool;  (** the 0.6x budget was a hard failure condition *)
+}
+
+let pool_guard : pool_guard option ref = ref None
 
 let section title =
   (match String.index_opt title ' ' with

@@ -12,7 +12,12 @@
 
    --json FILE writes a machine-readable report: per-experiment
    wall-clock, every verified machine run (benchmark, slaves, cycles,
-   speedup), and the micro-benchmark ns/run estimates. *)
+   speedup), and the micro-benchmark ns/run estimates.
+
+   --jobs N fans each experiment's independent simulation points across
+   N worker domains. Every reported number — cycles, speedups, samples,
+   tables — is identical at any job count; only host wall clock
+   changes. *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -30,7 +35,14 @@ let () =
          exit 2);
       json_file := Some file;
       strip_flags acc rest
-    | [ (("--csv" | "--json") as flag) ] ->
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 1 -> Harness.jobs := n
+      | _ ->
+        Printf.eprintf "bench: --jobs wants a positive integer, got %s\n" n;
+        exit 2);
+      strip_flags acc rest
+    | [ (("--csv" | "--json" | "--jobs") as flag) ] ->
       Printf.eprintf "bench: %s requires an argument\n" flag;
       exit 2
     | a :: rest -> strip_flags (a :: acc) rest
@@ -98,6 +110,25 @@ let () =
           Obj [ ("name", String name); ("ns_per_run", Float ns) ])
         micro_results
     in
+    let pool_guard =
+      match !Harness.pool_guard with
+      | None -> []
+      | Some g ->
+        [
+          ( "pool_guard",
+            Obj
+              [
+                ("jobs", Int g.Harness.pg_jobs);
+                ("host_cores", Int g.Harness.pg_cores);
+                ("serial_wall_clock_s", Float g.Harness.pg_serial_s);
+                ("pooled_wall_clock_s", Float g.Harness.pg_pooled_s);
+                ("ratio", Float (g.Harness.pg_pooled_s /. g.Harness.pg_serial_s));
+                ("budget_enforced", String (if g.Harness.pg_enforced then "yes" else "no"));
+              ] );
+        ]
+    in
     write_file file
-      (Obj [ ("experiments", List experiments); ("micro", List micro) ]);
+      (Obj
+         ([ ("experiments", List experiments); ("micro", List micro) ]
+         @ pool_guard));
     Printf.printf "\n  [json report written to %s]\n" file

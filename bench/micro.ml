@@ -1,12 +1,9 @@
 (** Bechamel micro-benchmarks of the simulator's hot paths — these bound
     how large a workload the reproduction can simulate, and catch
-    performance regressions in the substrate.
-
-    The [mem ... (hashtbl ref)] entries are a reference implementation of
-    the pre-paging memory image (one hashtable entry per materialized
-    word, copy = [Hashtbl.copy]) kept here as the before side of the
-    before/after pairs; the [(paged)] entries go through the real
-    {!Mssp_state.Full.t}. *)
+    performance regressions in the substrate. The [(paged)] memory
+    entries go through the real {!Mssp_state.Full.t}; the [pool ...]
+    entries price the domain pool's dispatch overhead against the work
+    it amortizes. *)
 
 open Bechamel
 open Toolkit
@@ -18,6 +15,7 @@ module Full = Mssp_state.Full
 module Cache = Mssp_cache.Cache
 module Task = Mssp_task.Task
 module Machine = Mssp_seq.Machine
+module Pool = Mssp_exec.Pool
 
 let sample_instr = Instr.Alu (Instr.Add, Reg.of_int 1, Reg.of_int 2, Reg.of_int 3)
 let sample_word = Instr.encode sample_instr
@@ -28,31 +26,12 @@ let test_encode =
 let test_decode =
   Test.make ~name:"instr decode" (Staged.stage (fun () -> Instr.decode sample_word))
 
-(* --- memory image: hashtable reference vs the paged/COW Full.t ------- *)
+(* --- memory image: the paged/COW Full.t ------------------------------ *)
 
-(* the pre-paging layout: one table entry per materialized word *)
-module Ref_mem = struct
-  type t = { mutable pc : int; regs : int array; mem : (int, int) Hashtbl.t }
-
-  let create () =
-    { pc = 0; regs = Array.make Reg.count 0; mem = Hashtbl.create 1024 }
-
-  let get_mem s a = match Hashtbl.find_opt s.mem a with Some v -> v | None -> 0
-  let set_mem s a v = Hashtbl.replace s.mem a v
-  let copy s = { pc = s.pc; regs = Array.copy s.regs; mem = Hashtbl.copy s.mem }
-end
-
-(* both images materialize the same footprint: [mem_words] words spread
-   with a prime stride, the shape of a loaded program + live heap *)
+(* the image materializes a program-plus-live-heap footprint:
+   [mem_words] words spread with a prime stride *)
 let mem_words = 16_384
 let addr i = i * 61 land 0xFFFFF
-
-let ref_state =
-  let s = Ref_mem.create () in
-  for i = 0 to mem_words - 1 do
-    Ref_mem.set_mem s (addr i) (i + 1)
-  done;
-  s
 
 let paged_state =
   let s = Full.create () in
@@ -67,40 +46,20 @@ let next_addr () =
   cursor := (!cursor + 1) land (mem_words - 1);
   addr !cursor
 
-let test_read_ref =
-  Test.make ~name:"mem read (hashtbl ref)"
-    (Staged.stage (fun () -> Ref_mem.get_mem ref_state (next_addr ())))
-
 let test_read_paged =
   Test.make ~name:"mem read (paged)"
     (Staged.stage (fun () -> Full.get_mem paged_state (next_addr ())))
 
-let test_write_ref =
-  Test.make ~name:"mem write (hashtbl ref)"
-    (Staged.stage (fun () -> Ref_mem.set_mem ref_state (next_addr ()) 7))
-
 let test_write_paged =
   Test.make ~name:"mem write (paged)"
     (Staged.stage (fun () -> Full.set_mem paged_state (next_addr ()) 7))
-
-let test_copy_ref =
-  Test.make ~name:"state copy (hashtbl ref)"
-    (Staged.stage (fun () -> Ref_mem.copy ref_state))
 
 let test_copy_paged =
   Test.make ~name:"state copy (paged)"
     (Staged.stage (fun () -> Full.copy paged_state))
 
 (* checkpointing is copy + a burst of stores on the copy: COW pays its
-   privatization debt here, the hashtable pays a full-table copy *)
-let test_checkpoint_ref =
-  Test.make ~name:"checkpoint+8 stores (hashtbl ref)"
-    (Staged.stage (fun () ->
-         let c = Ref_mem.copy ref_state in
-         for i = 0 to 7 do
-           Ref_mem.set_mem c (addr (i * 97)) i
-         done))
-
+   privatization debt here *)
 let test_checkpoint_paged =
   Test.make ~name:"checkpoint+8 stores (paged)"
     (Staged.stage (fun () ->
@@ -154,6 +113,31 @@ let test_task_run =
              ~budget:100 ~live_in:task_live_in
          in
          Task.run t task_view))
+
+(* --- domain pool dispatch --------------------------------------------
+   prices the pool's fixed cost (submit + signal + await) against the
+   work it offloads: an empty closure bounds the overhead from below, a
+   whole 48-instruction task body is the intra-run unit the simulator
+   actually ships to a worker. lazily forced so a bench invocation that
+   never reaches the micros spawns no domain. *)
+
+let micro_pool = lazy (Pool.global ~size:1 ())
+
+let test_pool_dispatch =
+  Test.make ~name:"pool dispatch (empty task)"
+    (Staged.stage (fun () ->
+         Pool.await (Pool.submit (Lazy.force micro_pool) (fun () -> ()))))
+
+let test_task_run_pooled =
+  Test.make ~name:"task run (48 instrs, pooled)"
+    (Staged.stage (fun () ->
+         let t =
+           Task.make ~id:0 ~start_pc:task_entry ~end_pc:None ~end_occurrence:1
+             ~budget:100 ~live_in:task_live_in
+         in
+         Pool.await
+           (Pool.submit (Lazy.force micro_pool) (fun () ->
+                Task.run t task_view))))
 
 (* non-speculative recovery replay: advance a COW copy of architected
    state 48 instructions with the sequential machine *)
@@ -230,26 +214,13 @@ let tests =
   Test.make_grouped ~name:"mssp hot paths"
     [
       test_encode; test_decode;
-      test_read_ref; test_read_paged;
-      test_write_ref; test_write_paged;
-      test_copy_ref; test_copy_paged;
-      test_checkpoint_ref; test_checkpoint_paged;
+      test_read_paged; test_write_paged;
+      test_copy_paged; test_checkpoint_paged;
       test_exec_step; test_task_run; test_recovery_replay;
+      test_pool_dispatch; test_task_run_pooled;
       test_superimpose; test_consistent; test_cache_access;
       test_run_trace_off; test_run_trace_ring;
     ]
-
-(* the before/after pairs whose ratios the run prints: old hashtable
-   image vs the paged image, per operation *)
-let pairs =
-  [
-    ("mem read", "mem read (hashtbl ref)", "mem read (paged)");
-    ("mem write", "mem write (hashtbl ref)", "mem write (paged)");
-    ("state copy", "state copy (hashtbl ref)", "state copy (paged)");
-    ( "checkpoint+stores",
-      "checkpoint+8 stores (hashtbl ref)",
-      "checkpoint+8 stores (paged)" );
-  ]
 
 (* runs the suite, renders the usual notty table, prints the speedup
    ratios, and returns [(name, ns_per_run)] for the JSON report *)
@@ -300,15 +271,12 @@ let run () =
     | [] -> []
   in
   let ns name = List.assoc_opt name estimates in
-  Printf.printf "\n  paged memory image vs hashtable reference:\n";
-  List.iter
-    (fun (what, before, after) ->
-      match (ns before, ns after) with
-      | Some b, Some a when a > 0. ->
-        Printf.printf "    %-18s %8.1f ns -> %8.1f ns   (%.1fx)\n" what b a
-          (b /. a)
-      | _ -> ())
-    pairs;
+  (match (ns "pool dispatch (empty task)", ns "task run (48 instrs)") with
+  | Some d, Some t when t > 0. ->
+    Printf.printf
+      "\n  pool dispatch: %.1f ns fixed cost, %.2fx one 48-instr task body\n" d
+      (d /. t)
+  | _ -> ());
   (match (ns "mssp run (trace off)", ns "mssp run (ring trace)") with
   | Some off, Some ring when off > 0. ->
     Printf.printf "\n  tracing: full run %.1f us off, %.1f us ring  (%+.1f%%)\n"

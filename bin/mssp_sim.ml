@@ -61,6 +61,15 @@ let no_distill_arg =
   let doc = "Disable all distiller transformations (identity master ablation)." in
   Arg.(value & flag & info [ "no-distill" ] ~doc)
 
+let pool_arg =
+  let doc =
+    "Worker domains executing slave task bodies (0: serial event-loop \
+     path; default: the MSSP_POOL environment variable, absent = 0). \
+     Simulated cycles, stats and traces are bit-identical at every size \
+     — the pool buys host wall clock only."
+  in
+  Arg.(value & opt (some int) None & info [ "pool"; "jobs" ] ~docv:"N" ~doc)
+
 let resolve_bench name size =
   let b = W.find name in
   let size = Option.value size ~default:b.W.ref_size in
@@ -74,12 +83,13 @@ let prepare name size no_distill =
   let options = if no_distill then Distill.identity_options else Distill.default_options in
   (b, program, Distill.distill ~options program profile)
 
-let config slaves task_size isolated verify =
+let config ?pool slaves task_size isolated verify =
   {
     (Config.with_slaves slaves Config.default) with
     Config.task_size;
     isolated_slaves = isolated;
     verify_refinement = verify;
+    pool;
   }
 
 (* --- list --- *)
@@ -141,11 +151,11 @@ let run_cmd =
          ~doc:"Record the structured event stream and print its first \
                $(docv) events (see `mssp_sim trace` for exports).")
   in
-  let run name size slaves task_size isolated verify no_distill trace =
+  let run name size slaves task_size isolated verify no_distill trace pool =
     let _, _, d = prepare name size no_distill in
     let collector = Option.map (fun _ -> Trace.recording ()) trace in
     let cfg =
-      { (config slaves task_size isolated verify) with
+      { (config ?pool slaves task_size isolated verify) with
         Config.tracer = Option.map fst collector }
     in
     let r = M.run ~config:cfg d in
@@ -178,7 +188,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run a benchmark under MSSP")
     Term.(
       const run $ bench_arg $ size_arg $ slaves_arg $ task_size_arg
-      $ isolated_arg $ verify_arg $ no_distill_arg $ trace_arg)
+      $ isolated_arg $ verify_arg $ no_distill_arg $ trace_arg $ pool_arg)
 
 (* --- trace --- *)
 
@@ -207,7 +217,7 @@ let trace_cmd =
                instead of the full stream.")
   in
   let run name size slaves task_size isolated verify no_distill format out ring
-      =
+      pool =
     let _, _, d = prepare name size no_distill in
     let tracer, events =
       match ring with
@@ -219,7 +229,7 @@ let trace_cmd =
         (tr, fun () -> Trace.Ring.contents buf)
     in
     let cfg =
-      { (config slaves task_size isolated verify) with
+      { (config ?pool slaves task_size isolated verify) with
         Config.tracer = Some tracer }
     in
     let r = M.run ~config:cfg d in
@@ -261,15 +271,15 @@ let trace_cmd =
     Term.(
       const run $ bench_arg $ size_arg $ slaves_arg $ task_size_arg
       $ isolated_arg $ verify_arg $ no_distill_arg $ format_arg $ out_arg
-      $ ring_arg)
+      $ ring_arg $ pool_arg)
 
 (* --- compare --- *)
 
 let compare_cmd =
-  let run name size slaves task_size no_distill =
+  let run name size slaves task_size no_distill pool =
     let _, program, d = prepare name size no_distill in
     let baseline = B.sequential ~also_load:[ d.Distill.distilled ] program in
-    let cfg = config slaves task_size false true in
+    let cfg = config ?pool slaves task_size false true in
     let r = M.run ~config:cfg d in
     let equal = Full.equal_observable baseline.B.state r.M.arch in
     Printf.printf "sequential cycles: %d\n" baseline.B.cycles;
@@ -294,7 +304,7 @@ let compare_cmd =
     (Cmd.info "compare" ~doc:"Verify MSSP against SEQ and report the speedup")
     Term.(
       const run $ bench_arg $ size_arg $ slaves_arg $ task_size_arg
-      $ no_distill_arg)
+      $ no_distill_arg $ pool_arg)
 
 (* --- exec --- *)
 
@@ -472,13 +482,19 @@ let fuzz_cmd =
          ~doc:"Re-run each shrunk witness with the event bus on and write \
                its JSONL event trail beside the repro (needs --out).")
   in
-  let run seed count size budget out save quiet trace =
+  let jobs_arg =
+    Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N"
+         ~doc:"Fan the campaign across $(docv) worker domains as \
+               independently seeded shards (shard w runs with seed + w); \
+               any parallel finding prints its exact --jobs 1 replay line.")
+  in
+  let run seed count size budget out save quiet trace jobs =
     let module Driver = Mssp_fuzz.Driver in
     let module Oracle = Mssp_fuzz.Oracle in
     let log = if quiet then fun _ -> () else print_endline in
     let r =
       Driver.campaign ~seed ~count ~size ~shrink_budget:budget ?out ~save
-        ~trace ~log ()
+        ~trace ~log ~jobs ()
     in
     Printf.printf
       "fuzz: %d programs (%d skipped), %d machine runs compared, %d divergence(s)\n"
@@ -511,7 +527,7 @@ let fuzz_cmd =
           grid and the formal models; failures are shrunk to minimal repros")
     Term.(
       const run $ seed_arg $ count_arg $ size_arg $ budget_arg $ out_arg
-      $ save_arg $ quiet_arg $ trace_flag)
+      $ save_arg $ quiet_arg $ trace_flag $ jobs_arg)
 
 (* --- maude --- *)
 

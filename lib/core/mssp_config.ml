@@ -46,6 +46,7 @@ type t = {
   chaos_commit : (int * float) option;
   record_tasks : bool;
   tracer : Mssp_trace.Trace.t option;
+  pool : int option;
   master_chunk : int;
   max_cycles : int;
   max_squashes : int;
@@ -69,6 +70,7 @@ let default =
     chaos_commit = None;
     record_tasks = true;
     tracer = None;
+    pool = None;
     master_chunk = 1_000_000;
     max_cycles = 2_000_000_000;
     max_squashes = 1_000_000;
@@ -86,7 +88,7 @@ let pp fmt c =
      dual mode: %b (trigger %d, burst %d)@,\
      fault injection: %s, chaos commit: %s@,\
      master chunk: %d, max cycles: %d, max squashes: %d@,\
-     recovery fuel: %d, tracing: %s@]"
+     recovery fuel: %d, tracing: %s, pool: %s@]"
     c.slaves c.max_in_flight c.task_size c.task_budget c.isolated_slaves
     c.control_only_master c.verify_refinement c.dual_mode c.dual_trigger
     c.dual_burst
@@ -98,3 +100,7 @@ let pp fmt c =
     | Some (seed, p) -> Printf.sprintf "seed %d, p=%g" seed p)
     c.master_chunk c.max_cycles c.max_squashes c.recovery_fuel
     (match c.tracer with None -> "off" | Some _ -> "on")
+    (match c.pool with
+    | None -> "env"
+    | Some 0 -> "off"
+    | Some n -> string_of_int n)

@@ -83,6 +83,15 @@ type t = {
           sinks; [None] (the default) compiles every emission site down
           to one predictable branch — no event is allocated. Attach a
           collector, ring buffer, or JSONL sink before the run. *)
+  pool : int option;
+      (** worker domains for slave task {e functional} execution
+          ({!Mssp_exec.Pool}): [Some 0] pins the serial in-event-loop
+          path, [Some n] dispatches task bodies to [n] workers, [None]
+          (the default) defers to the [MSSP_POOL] environment variable
+          (absent ⇒ serial). Pool size {e never} changes simulated
+          cycles, stats, squash attribution or traces — runs are
+          bit-identical at every size (enforced by tests and the CI
+          pool leg). *)
   master_chunk : int;
       (** run-away guard: a master producing no fork for this many
           instructions is stopped (execution continues correctly via

@@ -10,6 +10,7 @@ module Distill = Mssp_distill.Distill
 module Sim = Mssp_sim_engine.Sim
 module Hierarchy = Mssp_cache.Cache.Hierarchy
 module Trace = Mssp_trace.Trace
+module Pool = Mssp_exec.Pool
 
 type squash_reason =
   | Live_in_mismatch
@@ -238,6 +239,87 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
     | None -> (false, fun (_ : Trace.event) -> ())
     | Some tr -> (true, Trace.emit tr)
   in
+  (* Host-parallel slave execution. A task body is a pure function of
+     its checkpoint + the (frozen-during-dispatch) architected state:
+     PR 1's COW image and flat journals made it side-effect-free, so it
+     may run on a worker domain. Everything that orders the simulation —
+     cache traffic, trace emission, event scheduling — stays on the
+     event-loop domain, which is what keeps pooled runs bit-identical
+     to serial ones (see HACKING.md "Determinism under domains"). *)
+  let exec_pool =
+    match Pool.effective cfg.pool with
+    | 0 -> None
+    | n -> Some (Pool.global ~size:n ())
+  in
+  let task_view () =
+    if cfg.isolated_slaves then Task.Isolated
+    else Task.Fallback (fun c -> Full.get arch c)
+  in
+  (* Execute one batch of startable tasks (all from a single
+     [try_start_tasks] event); returns each task's cache cost, in batch
+     order. Serial: run each body inline, charging its slave cache as it
+     goes. Pooled: run the bodies on workers with their Mem accesses
+     recorded instead of applied, await them all within this event, then
+     replay the recorded addresses through the slave caches here, in
+     batch order. The serial path issues all of task A's accesses before
+     any of task B's (bodies run back to back inside one event), which
+     is exactly the replay order — so the shared-L2 hierarchy evolves
+     identically and every per-task cost is bit-equal. *)
+  let run_task_batch batch =
+    match exec_pool with
+    | None ->
+      List.map
+        (fun (_, s, task) ->
+          let cache = slave_caches.(s) in
+          let cost = ref 0 in
+          let on_access c =
+            match c with
+            | Cell.Mem a -> cost := !cost + Hierarchy.access cache a
+            | Cell.Pc | Cell.Reg _ -> ()
+          in
+          ignore (Task.run ~on_access task (task_view ()) : Task.status);
+          !cost)
+        batch
+    | Some pool ->
+      let futures =
+        List.map
+          (fun (_, _, task) ->
+            let accesses = ref (Array.make 64 0) in
+            let n = ref 0 in
+            let on_access c =
+              match c with
+              | Cell.Mem a ->
+                let buf = !accesses in
+                let len = Array.length buf in
+                if !n = len then begin
+                  let bigger = Array.make (2 * len) 0 in
+                  Array.blit buf 0 bigger 0 len;
+                  accesses := bigger;
+                  bigger.(!n) <- a
+                end
+                else buf.(!n) <- a;
+                incr n
+              | Cell.Pc | Cell.Reg _ -> ()
+            in
+            let fut =
+              Pool.submit pool (fun () ->
+                  ignore (Task.run ~on_access task (task_view ()) : Task.status))
+            in
+            (accesses, n, fut))
+          batch
+      in
+      List.map2
+        (fun (_, s, _) (accesses, n, fut) ->
+          Pool.await fut;
+          let cache = slave_caches.(s) in
+          let cost = ref 0 in
+          let buf = !accesses in
+          for i = 0 to !n - 1 do
+            cost := !cost + Hierarchy.access cache buf.(i)
+          done;
+          !cost)
+        batch futures
+  in
   let running = ref true in
   let commit_busy = ref false in
   let stop_reason = ref Halted in
@@ -433,6 +515,10 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
     commit_kick ()
   (* --- slaves ------------------------------------------------------ *)
   and try_start_tasks () =
+    (* Phase 1: slave assignment and task construction, in window order
+       — the same scan (and therefore the same slave numbering) as the
+       serial engine's single pass. *)
+    let rev_batch = ref [] in
     Queue.iter
       (fun cp ->
         if cp.cp_task = None && cp.cp_end_known then
@@ -440,52 +526,56 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
           | None -> ()
           | Some s ->
             slave_free.(s) <- false;
-            let cache = slave_caches.(s) in
-            let cost = ref 0 in
-            let on_access c =
-              match c with
-              | Cell.Mem a -> cost := !cost + Hierarchy.access cache a
-              | Cell.Pc | Cell.Reg _ -> ()
-            in
             let task =
               Task.make ~id:cp.cp_id ~start_pc:cp.cp_entry ~end_pc:cp.cp_end
                 ~end_occurrence:cp.cp_end_occurrence ~budget:cfg.task_budget
                 ~live_in:cp.cp_live_in
             in
-            let view =
-              if cfg.isolated_slaves then Task.Isolated
-              else Task.Fallback (fun c -> Full.get arch c)
-            in
-            ignore (Task.run ~on_access task view : Task.status);
             cp.cp_task <- Some task;
-            if tracing then
-              temit
-                (Trace.Slave_start
-                   { cycle = Sim.now sim; task = cp.cp_id; slave = s });
-            let total =
-              t.spawn_latency + (t.slave_base * task.Task.executed) + !cost
-            in
-            stats.slave_busy_cycles <- stats.slave_busy_cycles + total;
-            Sim.schedule sim ~delay:total
-              (epoch_guarded (fun () ->
-                   cp.cp_finished <- true;
-                   if tracing then
-                     temit
-                       (Trace.Slave_finish
-                          {
-                            cycle = Sim.now sim;
-                            task = cp.cp_id;
-                            slave = s;
-                            executed = task.Task.executed;
-                            ok =
-                              (match task.Task.status with
-                              | Task.Complete _ -> true
-                              | Task.Running | Task.Failed _ -> false);
-                          });
-                   slave_free.(s) <- true;
-                   try_start_tasks ();
-                   commit_kick ())))
-      window
+            rev_batch := (cp, s, task) :: !rev_batch)
+      window;
+    match List.rev !rev_batch with
+    | [] -> ()
+    | batch ->
+      (* Phase 2: functional execution — inline, or fanned out to the
+         domain pool and awaited before this event proceeds. Architected
+         state is not mutated until the await completes, and [Task.run]
+         emits no events, so pooling cannot reorder anything
+         observable. *)
+      let costs = run_task_batch batch in
+      (* Phase 3: trace emission and completion scheduling, in window
+         order — the stream and heap-FIFO order match the serial engine
+         because phase 2 contributes neither. *)
+      List.iter2
+        (fun (cp, s, task) cost ->
+          if tracing then
+            temit
+              (Trace.Slave_start
+                 { cycle = Sim.now sim; task = cp.cp_id; slave = s });
+          let total =
+            t.spawn_latency + (t.slave_base * task.Task.executed) + cost
+          in
+          stats.slave_busy_cycles <- stats.slave_busy_cycles + total;
+          Sim.schedule sim ~delay:total
+            (epoch_guarded (fun () ->
+                 cp.cp_finished <- true;
+                 if tracing then
+                   temit
+                     (Trace.Slave_finish
+                        {
+                          cycle = Sim.now sim;
+                          task = cp.cp_id;
+                          slave = s;
+                          executed = task.Task.executed;
+                          ok =
+                            (match task.Task.status with
+                            | Task.Complete _ -> true
+                            | Task.Running | Task.Failed _ -> false);
+                        });
+                 slave_free.(s) <- true;
+                 try_start_tasks ();
+                 commit_kick ())))
+        batch costs
   (* --- verify/commit unit ------------------------------------------ *)
   and commit_kick () =
     (* The commit unit re-examines the window head; serialization of the

@@ -16,8 +16,8 @@ type report = {
   findings : finding list;
 }
 
-let campaign ?grid ?fuel ?(size = 0) ?(shrink_budget = 500) ?out ?(save = 0)
-    ?(trace = false) ?(log = fun _ -> ()) ~seed ~count () =
+let run_serial ?grid ?fuel ~size ~shrink_budget ~out ~save ~trace ~log ~seed
+    ~count () =
   let rng = Wl_util.lcg (seed lxor 0x6C078965) in
   let skipped = ref 0 in
   let runs = ref 0 in
@@ -129,3 +129,60 @@ let campaign ?grid ?fuel ?(size = 0) ?(shrink_budget = 500) ?out ?(save = 0)
     runs = !runs;
     findings = List.rev !findings;
   }
+
+let campaign ?grid ?fuel ?(size = 0) ?(shrink_budget = 500) ?out ?(save = 0)
+    ?(trace = false) ?(log = fun _ -> ()) ?(jobs = 1) ~seed ~count () =
+  if jobs <= 1 || count <= 1 then
+    run_serial ?grid ?fuel ~size ~shrink_budget ~out ~save ~trace ~log ~seed
+      ~count ()
+  else begin
+    let jobs = min jobs count in
+    (* Each shard is an independent serial campaign seeded with the
+       campaign seed + the shard (worker) index, so a parallel-found
+       divergence replays exactly, alone, with
+       `fuzz --jobs 1 --seed <seed+w> --count <shard count>` — and its
+       one-line program seed means the usual single-program replay works
+       too. Shard logs are buffered on the worker and emitted here in
+       shard order: the output is deterministic whatever the host
+       interleaving. Corpus saves go through shard 0 only, keeping the
+       "first N passing programs" contract meaningful. *)
+    let base = count / jobs and extra = count mod jobs in
+    let shards =
+      List.init jobs (fun w -> (w, base + if w < extra then 1 else 0))
+    in
+    let results =
+      Mssp_exec.Pool.map_runs ~jobs
+        (fun (w, cw) ->
+          let buf = Buffer.create 256 in
+          let shard_log line =
+            Buffer.add_string buf line;
+            Buffer.add_char buf '\n'
+          in
+          let r =
+            run_serial ?grid ?fuel ~size ~shrink_budget ~out
+              ~save:(if w = 0 then save else 0)
+              ~trace ~log:shard_log ~seed:(seed + w) ~count:cw ()
+          in
+          (w, cw, Buffer.contents buf, r))
+        shards
+    in
+    List.fold_left
+      (fun acc (w, cw, logs, (r : report)) ->
+        List.iter
+          (fun line ->
+            if line <> "" then log (Printf.sprintf "[shard %d] %s" w line))
+          (String.split_on_char '\n' logs);
+        if r.findings <> [] then
+          log
+            (Printf.sprintf
+               "[shard %d] replay: mssp_sim fuzz --seed %d --count %d --jobs 1"
+               w (seed + w) cw);
+        {
+          programs = acc.programs + r.programs;
+          skipped = acc.skipped + r.skipped;
+          runs = acc.runs + r.runs;
+          findings = acc.findings @ r.findings;
+        })
+      { programs = 0; skipped = 0; runs = 0; findings = [] }
+      results
+  end

@@ -5,7 +5,16 @@
     on failure, shrinks it against the same grid ({!Shrink.minimize})
     and writes a provenance-commented repro into the corpus directory
     ({!Corpus.save}). Campaigns are deterministic: same seed, same
-    programs, same verdicts. *)
+    programs, same verdicts.
+
+    With [~jobs:n] (n > 1) the campaign splits into [n] independent
+    shards fanned across domains ({!Mssp_exec.Pool.map_runs}); shard
+    [w] is a serial campaign with seed [seed + w], so any
+    parallel-found divergence replays exactly with
+    [fuzz --jobs 1 --seed (seed + w) --count <shard count>] (the replay
+    line is printed next to the finding). Verdicts and logs are
+    deterministic either way; only the log's shard interleaving differs
+    from a serial run. *)
 
 type finding = {
   program_seed : int;
@@ -34,6 +43,7 @@ val campaign :
   ?save:int ->
   ?trace:bool ->
   ?log:(string -> unit) ->
+  ?jobs:int ->
   seed:int ->
   count:int ->
   unit ->
@@ -47,4 +57,6 @@ val campaign :
     shrunk witness with the event bus on, writes its JSONL event trail
     as [<repro>.trace.jsonl] beside the repro and folds the squash
     attribution into the repro's comment; [log] receives one-line
-    progress messages. *)
+    progress messages; [jobs] (default 1) fans the campaign out across
+    that many worker domains as per-worker-seeded shards (corpus seed
+    saves then come from shard 0 only). *)

@@ -250,13 +250,18 @@ let decode w =
       if rd = 0 && rs1 = 0 && rs2 = 0 && imm = 0 then Some Nop else None
     else None
 
-(* Decoding is referentially transparent, so a global memo keyed by the
-   word itself is always sound; it turns the fetch path's field
-   extraction into one hash lookup. Bounded to keep adversarial garbage
-   from growing it without limit. *)
-let decode_cache : (int, t option) Hashtbl.t = Hashtbl.create 4096
+(* Decoding is referentially transparent, so a memo keyed by the word
+   itself is always sound; it turns the fetch path's field extraction
+   into one hash lookup. Bounded to keep adversarial garbage from
+   growing it without limit. The table is domain-local: task bodies
+   decode on pool workers concurrently with the event loop, and a
+   shared Hashtbl would race on resize — per-domain tables memoize the
+   same pure function, so results cannot differ across domains. *)
+let decode_cache_key : (int, t option) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4096)
 
 let decode_cached w =
+  let decode_cache = Domain.DLS.get decode_cache_key in
   match Hashtbl.find_opt decode_cache w with
   | Some r -> r
   | None ->

@@ -1,0 +1,168 @@
+(* The domain pool's two contracts, pinned by test:
+   - the library itself: submission order, exception transparency,
+     map_runs order preservation, and helping-await (nested map_runs on
+     one shared pool must not deadlock);
+   - bit-identical determinism: an MSSP run with task bodies fanned
+     across 4 worker domains produces the same cycles, stats record,
+     final architected state, event stream and attribution summary as
+     the serial event-loop path — on a fixed benchmark and on random
+     fuzz-generated programs. The fuzz driver's shard seeding is pinned
+     the same way: a --jobs 2 campaign equals the merge of its two
+     --jobs 1 shard replays. *)
+
+module Full = Mssp_state.Full
+module Machine = Mssp_seq.Machine
+module Profile = Mssp_profile.Profile
+module Distill = Mssp_distill.Distill
+module M = Mssp_core.Mssp_machine
+module Config = Mssp_core.Mssp_config
+module W = Mssp_workload.Workload
+module Trace = Mssp_trace.Trace
+module Gen = Mssp_fuzz.Gen
+module Driver = Mssp_fuzz.Driver
+module Pool = Mssp_exec.Pool
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- the pool library itself ----------------------------------------- *)
+
+let test_submit_await () =
+  let p = Pool.global ~size:2 () in
+  let futs = List.init 100 (fun i -> Pool.submit p (fun () -> i * i)) in
+  List.iteri (fun i f -> check_int "square" (i * i) (Pool.await f)) futs
+
+let test_exceptions_propagate () =
+  let p = Pool.global ~size:2 () in
+  let f = Pool.submit p (fun () -> failwith "boom") in
+  match Pool.await f with
+  | exception Failure m -> check "exception payload survives" true (m = "boom")
+  | _ -> Alcotest.fail "expected the worker's exception to re-raise"
+
+let test_map_runs_order () =
+  let xs = List.init 37 Fun.id in
+  check "order preserved" true
+    (Pool.map_runs ~jobs:4 (fun x -> (3 * x) + 1) xs
+    = List.map (fun x -> (3 * x) + 1) xs)
+
+(* helping-await: a worker blocked awaiting an inner map_runs steals
+   queued jobs instead of sleeping, so nesting on the one global pool
+   cannot deadlock even when every worker is itself inside an await *)
+let test_nested_map_runs () =
+  let inner x = Pool.map_runs ~jobs:2 (fun y -> x + y) [ 1; 2; 3 ] in
+  check "nested map_runs" true
+    (Pool.map_runs ~jobs:2 inner [ 10; 20; 30; 40 ]
+    = List.map inner [ 10; 20; 30; 40 ])
+
+let test_effective () =
+  check_int "Some 0 pins the serial path" 0 (Pool.effective (Some 0));
+  check_int "Some n means n workers" 3 (Pool.effective (Some 3))
+
+(* --- machine determinism: pooled == serial, bit for bit -------------- *)
+
+let distill_bench name ~size ~train =
+  let b = W.find name in
+  let program = b.W.program ~size in
+  let profile = Profile.collect (b.W.program ~size:train) in
+  Distill.distill program profile
+
+let run_recorded ~pool config d =
+  let tracer, events = Trace.recording () in
+  let r =
+    M.run
+      ~config:{ config with Config.tracer = Some tracer; pool = Some pool }
+      d
+  in
+  (events (), r)
+
+let base4 = Config.with_slaves 4 Config.default
+
+let same_run name (ev0, r0) (ev4, r4) =
+  check_int (name ^ ": cycles") r0.M.stats.M.cycles r4.M.stats.M.cycles;
+  check (name ^ ": whole stats record") true (r0.M.stats = r4.M.stats);
+  check (name ^ ": stop reason") true (r0.M.stop = r4.M.stop);
+  check (name ^ ": final architected state") true
+    (Full.equal_observable r0.M.arch r4.M.arch);
+  check_int (name ^ ": event count") (List.length ev0) (List.length ev4);
+  check (name ^ ": event stream") true (List.for_all2 Trace.event_equal ev0 ev4);
+  let s0 = Trace.Summary.of_events ev0 and s4 = Trace.Summary.of_events ev4 in
+  check_int (name ^ ": summary commits") s0.Trace.Summary.commits
+    s4.Trace.Summary.commits;
+  check_int (name ^ ": summary squashes") s0.Trace.Summary.squashes
+    s4.Trace.Summary.squashes
+
+let test_vecsum_identical () =
+  let d = distill_bench "vecsum" ~size:160 ~train:40 in
+  let cfg = { base4 with Config.task_size = 20 } in
+  same_run "vecsum" (run_recorded ~pool:0 cfg d) (run_recorded ~pool:4 cfg d)
+
+let program_arb ~min_size ~max_size =
+  let gen st =
+    let seed = Random.State.int st 0x3FFFFFFF in
+    let size = min_size + Random.State.int st (max_size - min_size + 1) in
+    Gen.generate ~seed ~size ()
+  in
+  QCheck.make ~print:Mssp_asm.Emit.program_to_source gen
+
+let qc_config = { base4 with Config.max_cycles = 100_000_000 }
+
+let prop_pool_identical =
+  QCheck.Test.make ~name:"pool: 4 workers bit-identical to serial" ~count:25
+    (program_arb ~min_size:5 ~max_size:20)
+    (fun p ->
+      let probe = Machine.run_program ~fuel:2_000_000 p in
+      match probe.Machine.stopped with
+      | Some Machine.Halted ->
+        let profile = Profile.collect ~fuel:2_000_000 p in
+        let d = Distill.distill p profile in
+        let ev0, r0 = run_recorded ~pool:0 qc_config d in
+        let ev4, r4 = run_recorded ~pool:4 qc_config d in
+        r0.M.stats = r4.M.stats
+        && r0.M.stop = r4.M.stop
+        && Full.equal_observable r0.M.arch r4.M.arch
+        && List.length ev0 = List.length ev4
+        && List.for_all2 Trace.event_equal ev0 ev4
+      | _ -> true)
+
+(* --- fuzz sharding: a parallel campaign is its shard replays ---------- *)
+
+let test_fuzz_shards_replayable () =
+  let parallel = Driver.campaign ~jobs:2 ~seed:7 ~count:6 () in
+  let shard0 = Driver.campaign ~seed:7 ~count:3 () in
+  let shard1 = Driver.campaign ~seed:8 ~count:3 () in
+  check_int "programs" (shard0.Driver.programs + shard1.Driver.programs)
+    parallel.Driver.programs;
+  check_int "skipped" (shard0.Driver.skipped + shard1.Driver.skipped)
+    parallel.Driver.skipped;
+  check_int "runs" (shard0.Driver.runs + shard1.Driver.runs)
+    parallel.Driver.runs;
+  check_int "findings"
+    (List.length shard0.Driver.findings + List.length shard1.Driver.findings)
+    (List.length parallel.Driver.findings)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "library",
+        [
+          Alcotest.test_case "submit/await" `Quick test_submit_await;
+          Alcotest.test_case "exceptions propagate" `Quick
+            test_exceptions_propagate;
+          Alcotest.test_case "map_runs preserves order" `Quick
+            test_map_runs_order;
+          Alcotest.test_case "nested map_runs (helping await)" `Quick
+            test_nested_map_runs;
+          Alcotest.test_case "effective size" `Quick test_effective;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "vecsum: pooled == serial" `Quick
+            test_vecsum_identical;
+          Mssp_testkit.to_alcotest prop_pool_identical;
+        ] );
+      ( "fuzz sharding",
+        [
+          Alcotest.test_case "jobs 2 == its two jobs-1 shard replays" `Quick
+            test_fuzz_shards_replayable;
+        ] );
+    ]

@@ -49,7 +49,12 @@ let distill_bench name ~size ~train =
 
 let base2 = Config.with_slaves 2 Config.default
 
-let golden_cases =
+(* [pool = None] defers to MSSP_POOL (absent = serial), so the default
+   suite follows the CI matrix leg; [golden_cases_at (Some 4)] pins the
+   pooled path against the same committed traces — the bit-identity
+   contract of lib/exec, enforced on every runtest *)
+let golden_cases_at pool =
+  let base2 = { base2 with Config.pool } in
   [
     ( "vecsum",
       fun () ->
@@ -77,6 +82,8 @@ let golden_cases =
             { base2 with Config.task_size = 25; chaos_commit = Some (3, 0.5) }
           (distill_bench "qsort" ~size:60 ~train:30) );
   ]
+
+let golden_cases = golden_cases_at None
 
 (* --- golden replay / promotion ---------------------------------------
 
@@ -386,6 +393,14 @@ let () =
           (fun (name, _ as case) ->
             Alcotest.test_case name `Quick (test_golden case))
           golden_cases );
+      (* the same committed traces must fall out of the pooled engine:
+         promotion is skipped here (the serial suite owns the files) *)
+      ( "golden (pool 4)",
+        List.map
+          (fun (name, _ as case) ->
+            Alcotest.test_case name `Quick (fun () ->
+                if not promote then test_golden case ()))
+          (golden_cases_at (Some 4)) );
       ( "attribution",
         [
           Alcotest.test_case "fold over JSONL reproduces stats" `Quick
