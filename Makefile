@@ -24,14 +24,14 @@ bench-csv:
 # tracing-overhead guard + the host-pool guard (serial and pooled E1
 # wall clocks land in the pool_guard JSON object)
 bench-json:
-	dune exec bench/main.exe -- E1 micro TRACEG POOLG --json BENCH_mssp.json
+	dune exec bench/main.exe -- E1 micro TRACEG FAULTG POOLG --json BENCH_mssp.json
 
 # quick perf regression check: reduced-scale E1, the tracing-overhead
 # guard (event bus > 2% of a run's wall clock fails) and the host-pool
 # guard (4 worker domains must cut the E1 grid below 0.6x serial wall
 # clock on hosts with >= 4 cores; single-core runners report only)
 perf-smoke:
-	timeout 240 dune exec bench/main.exe -- E1s TRACEG POOLG
+	timeout 240 dune exec bench/main.exe -- E1s TRACEG FAULTG POOLG
 
 # regenerate test/golden/*.trace from the current machine (review the
 # diff before committing: goldens exist to make event-stream changes

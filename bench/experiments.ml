@@ -839,6 +839,69 @@ let traceg () =
       (Printf.sprintf "TRACEG: tracing overhead %.1f%% exceeds the 2%% budget"
          (overhead *. 100.))
 
+(* --- FAULTG: fault-subsystem-overhead guard --------------------------- *)
+
+(* The fault injector's cost contract, enforced under `make perf-smoke`:
+   a fixed MSSP run with no plan compiled in must stay within 2% of the
+   same run with a benign plan armed — one action per absorbable surface,
+   every probability zero, so the injector is consulted on every spawn,
+   dispatch and verify but never fires. Simulated cycles must be
+   bit-identical (a plan that cannot fire must not perturb the machine),
+   and the disabled path (a single [match] on [None]) is covered a
+   fortiori by the armed bound. Min-of-k over interleaved reps, as in
+   TRACEG. *)
+let faultg () =
+  section "FAULTG  Fault-subsystem guard: no plan vs benign armed plan";
+  let module Plan = Mssp_faults.Plan in
+  let p = prepare (W.find "vecsum") in
+  let cfg = with_slaves 4 in
+  let benign =
+    Plan.make
+      (List.map
+         (fun s -> Plan.action s ~seed:1 ~p:0.0)
+         Plan.absorbable_surfaces)
+  in
+  let run_off () = run ~config:cfg p in
+  let run_armed () = run ~config:{ cfg with Config.faults = Some benign } p in
+  let time f =
+    Gc.major ();
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  ignore (run_off () : M.result);
+  ignore (run_armed () : M.result);
+  let reps = 9 in
+  let best_off = ref infinity and best_armed = ref infinity in
+  let cycles_off = ref 0 and cycles_armed = ref 0 in
+  for _ = 1 to reps do
+    let t, r = time run_off in
+    assert_correct p r;
+    cycles_off := r.M.stats.M.cycles;
+    if t < !best_off then best_off := t;
+    let t, r = time run_armed in
+    assert_correct p r;
+    cycles_armed := r.M.stats.M.cycles;
+    if r.M.stats.M.faults_injected <> 0 then
+      failwith "FAULTG: a p = 0 action fired";
+    if t < !best_armed then best_armed := t
+  done;
+  if !cycles_off <> !cycles_armed then
+    failwith
+      (Printf.sprintf
+         "FAULTG: an unfired plan changed the simulation (%d cycles off, %d armed)"
+         !cycles_off !cycles_armed);
+  let overhead = (!best_armed -. !best_off) /. !best_off in
+  note "plan off: %.4fs   benign armed: %.4fs   overhead: %+.1f%%  (budget 2%%)"
+    !best_off !best_armed (overhead *. 100.);
+  Harness.fault_guard :=
+    Some { fg_off_s = !best_off; fg_armed_s = !best_armed };
+  if overhead > 0.02 then
+    failwith
+      (Printf.sprintf
+         "FAULTG: fault-subsystem overhead %.1f%% exceeds the 2%% budget"
+         (overhead *. 100.))
+
 (* --- POOLG: host-pool speedup guard ----------------------------------- *)
 
 (* The domain pool's wall-clock contract, enforced under `make
@@ -915,4 +978,4 @@ let all : (string * (unit -> unit)) list =
 (* opt-in experiments: run only when named on the command line, never
    part of the default everything sweep *)
 let extras : (string * (unit -> unit)) list =
-  [ ("E1s", e1s); ("TRACEG", traceg); ("POOLG", poolg) ]
+  [ ("E1s", e1s); ("TRACEG", traceg); ("FAULTG", faultg); ("POOLG", poolg) ]

@@ -120,6 +120,14 @@ type pool_guard = {
 
 let pool_guard : pool_guard option ref = ref None
 
+(* FAULTG's measured wall clocks, picked up by the bench --json writer *)
+type fault_guard = {
+  fg_off_s : float;  (** no plan compiled in ([Config.faults = None]) *)
+  fg_armed_s : float;  (** benign plan compiled in, every action at p = 0 *)
+}
+
+let fault_guard : fault_guard option ref = ref None
+
 let section title =
   (match String.index_opt title ' ' with
   | Some i -> current_section := String.sub title 0 i

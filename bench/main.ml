@@ -127,8 +127,25 @@ let () =
               ] );
         ]
     in
+    let fault_guard =
+      match !Harness.fault_guard with
+      | None -> []
+      | Some g ->
+        [
+          ( "fault_guard",
+            Obj
+              [
+                ("off_wall_clock_s", Float g.Harness.fg_off_s);
+                ("armed_wall_clock_s", Float g.Harness.fg_armed_s);
+                ( "overhead",
+                  Float
+                    ((g.Harness.fg_armed_s -. g.Harness.fg_off_s)
+                    /. g.Harness.fg_off_s) );
+              ] );
+        ]
+    in
     write_file file
       (Obj
          ([ ("experiments", List experiments); ("micro", List micro) ]
-         @ pool_guard));
+         @ pool_guard @ fault_guard));
     Printf.printf "\n  [json report written to %s]\n" file

@@ -10,6 +10,7 @@
      exec               assemble and run a .s file sequentially
      formal             run the formal-model checks (safety, refinement)
      fuzz               differential fuzzing: SEQ vs MSSP grid vs formal models
+     audit              resilience audit: fault surface x intensity matrix
 
    Examples:
      mssp_sim list
@@ -176,6 +177,8 @@ let run_cmd =
       | M.Halted -> "halted"
       | M.Cycle_limit -> "cycle limit"
       | M.Squash_limit -> "squash limit"
+      | M.Recovery_fuel -> "recovery fuel exhausted"
+      | M.Livelock snap -> Format.asprintf "%a" M.pp_livelock snap
       | M.Wedged -> "WEDGED (bug)");
     Printf.printf "mean task size:   %.1f\n" (M.mean_task_size r);
     Printf.printf "mean live-ins:    %.1f\n" (M.mean_live_ins r);
@@ -488,13 +491,21 @@ let fuzz_cmd =
                independently seeded shards (shard w runs with seed + w); \
                any parallel finding prints its exact --jobs 1 replay line.")
   in
-  let run seed count size budget out save quiet trace jobs =
+  let faults_flag =
+    Arg.(value & flag & info [ "faults" ]
+         ~doc:"Program x plan fuzzing: derive an always-absorbable fault \
+               plan from each program seed and judge on the fault-plan \
+               grid instead of the standard one (the invariant is that \
+               the final architected state still equals SEQ); failing \
+               witnesses shrink over both the program and the plan.")
+  in
+  let run seed count size budget out save quiet trace jobs faults =
     let module Driver = Mssp_fuzz.Driver in
     let module Oracle = Mssp_fuzz.Oracle in
     let log = if quiet then fun _ -> () else print_endline in
     let r =
       Driver.campaign ~seed ~count ~size ~shrink_budget:budget ?out ~save
-        ~trace ~log ~jobs ()
+        ~trace ~log ~jobs ~faults ()
     in
     Printf.printf
       "fuzz: %d programs (%d skipped), %d machine runs compared, %d divergence(s)\n"
@@ -527,7 +538,97 @@ let fuzz_cmd =
           grid and the formal models; failures are shrunk to minimal repros")
     Term.(
       const run $ seed_arg $ count_arg $ size_arg $ budget_arg $ out_arg
-      $ save_arg $ quiet_arg $ trace_flag $ jobs_arg)
+      $ save_arg $ quiet_arg $ trace_flag $ jobs_arg $ faults_flag)
+
+(* --- audit --- *)
+
+let audit_cmd =
+  let module Plan = Mssp_faults.Plan in
+  let seed_arg =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N"
+         ~doc:"Fault-plan PRNG seed (the whole matrix is deterministic in \
+               it).")
+  in
+  let watchdog_arg =
+    Arg.(value & opt int 100_000 & info [ "watchdog" ] ~docv:"CYCLES"
+         ~doc:"Per-task watchdog for the stall rows (a bare stall is not \
+               absorbable).")
+  in
+  let intensities = [ 0.1; 0.5; 1.0 ] in
+  let run name size slaves task_size seed watchdog pool =
+    let _, program, d = prepare name size false in
+    let baseline = B.sequential ~also_load:[ d.Distill.distilled ] program in
+    let base_cfg =
+      { (config ?pool slaves task_size false true) with
+        Config.liveness_window = Some 5_000_000 }
+    in
+    let clean = M.run ~config:base_cfg d in
+    let policy = { Plan.default_policy with Plan.watchdog_cycles = Some watchdog } in
+    let plan_of actions = Plan.make ~policy actions in
+    let divergences = ref 0 in
+    let cells = ref 0 in
+    let cell plan =
+      incr cells;
+      let r = M.run ~config:{ base_cfg with Config.faults = Some plan } d in
+      let survived =
+        r.M.stop = M.Halted
+        && Full.equal_observable baseline.B.state r.M.arch
+        && r.M.refinement_violations = 0
+      in
+      if survived then
+        Printf.sprintf "ok %4df %5.2fx" r.M.stats.M.faults_injected
+          (float_of_int r.M.stats.M.cycles
+          /. float_of_int (max 1 clean.M.stats.M.cycles))
+      else begin
+        incr divergences;
+        match r.M.stop with
+        | M.Halted -> "DIVERGED"
+        | stop -> "DIVERGED (" ^ M.stop_string stop ^ ")"
+      end
+    in
+    let surface_row s =
+      Plan.surface_name s
+      :: List.mapi
+           (fun i p -> cell (plan_of [ Plan.action s ~seed:(seed + i) ~p ]))
+           intensities
+    in
+    let combined_row =
+      "combined"
+      :: List.map
+           (fun p ->
+             cell
+               (plan_of
+                  (List.mapi
+                     (fun k s -> Plan.action s ~seed:(seed + (31 * k)) ~p)
+                     Plan.absorbable_surfaces)))
+           intensities
+    in
+    let rows = List.map surface_row Plan.absorbable_surfaces @ [ combined_row ] in
+    Printf.printf "resilience audit: %s (size %d), %d slaves, clean %d cycles\n"
+      name
+      (match size with Some s -> s | None -> (W.find name).W.ref_size)
+      slaves clean.M.stats.M.cycles;
+    Printf.printf
+      "each cell: one fault plan at that intensity; ok = halted, state \
+       equals SEQ,\nzero refinement violations (faults count, slowdown vs \
+       clean)\n\n";
+    print_string
+      (Table.render
+         ~header:("surface \\ p" :: List.map (Printf.sprintf "%.1f") intensities)
+         rows);
+    Printf.printf "\nsurvival: %d/%d cells absorbed\n" (!cells - !divergences)
+      !cells;
+    if !divergences > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Resilience audit: a fault surface x intensity matrix over one \
+          benchmark; every cell must be absorbed (final state equals SEQ) \
+          or the audit fails")
+    Term.(
+      const run $ bench_arg $ size_arg $ slaves_arg $ task_size_arg $ seed_arg
+      $ watchdog_arg $ pool_arg)
 
 (* --- maude --- *)
 
@@ -569,4 +670,4 @@ let () =
   let info = Cmd.info "mssp_sim" ~version:"1.0" ~doc in
   exit (Cmd.eval (Cmd.group info
     [ list_cmd; seq_cmd; distill_cmd; run_cmd; trace_cmd; compare_cmd;
-      exec_cmd; cc_cmd; formal_cmd; fuzz_cmd; maude_cmd ]))
+      exec_cmd; cc_cmd; formal_cmd; fuzz_cmd; audit_cmd; maude_cmd ]))

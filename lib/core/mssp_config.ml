@@ -44,6 +44,10 @@ type t = {
   dual_burst : int;
   fault_injection : (int * float) option;
   chaos_commit : (int * float) option;
+  faults : Mssp_faults.Plan.t option;
+  liveness_window : int option;
+  adaptive_backoff : bool;
+  quarantine_after : int;
   record_tasks : bool;
   tracer : Mssp_trace.Trace.t option;
   pool : int option;
@@ -68,6 +72,10 @@ let default =
     dual_burst = 5_000;
     fault_injection = None;
     chaos_commit = None;
+    faults = None;
+    liveness_window = None;
+    adaptive_backoff = false;
+    quarantine_after = 0;
     record_tasks = true;
     tracer = None;
     pool = None;
@@ -87,6 +95,8 @@ let pp fmt c =
      isolated: %b, control-only: %b, refinement check: %b@,\
      dual mode: %b (trigger %d, burst %d)@,\
      fault injection: %s, chaos commit: %s@,\
+     fault plan: %s, liveness window: %s@,\
+     adaptive backoff: %b, quarantine after: %s@,\
      master chunk: %d, max cycles: %d, max squashes: %d@,\
      recovery fuel: %d, tracing: %s, pool: %s@]"
     c.slaves c.max_in_flight c.task_size c.task_budget c.isolated_slaves
@@ -98,6 +108,16 @@ let pp fmt c =
     (match c.chaos_commit with
     | None -> "off"
     | Some (seed, p) -> Printf.sprintf "seed %d, p=%g" seed p)
+    (match c.faults with
+    | None -> "off"
+    | Some plan -> Mssp_faults.Plan.to_string plan)
+    (match c.liveness_window with
+    | None -> "off"
+    | Some n -> string_of_int n)
+    c.adaptive_backoff
+    (match c.quarantine_after with
+    | 0 -> "off"
+    | n -> string_of_int n)
     c.master_chunk c.max_cycles c.max_squashes c.recovery_fuel
     (match c.tracer with None -> "off" | Some _ -> "on")
     (match c.pool with

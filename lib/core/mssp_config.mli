@@ -67,7 +67,14 @@ type t = {
       (** [(seed, p)]: corrupt one live-in binding of a checkpoint with
           probability [p] — soft-error injection into the speculative
           domain. Verification must absorb every such fault; only
-          squash rates may move. *)
+          squash rates may move.
+
+          Documented alias: the machine compiles this knob to a
+          one-action [Live_in_corrupt] fault plan
+          ({!Mssp_faults.Plan.of_legacy}) whose PRNG stream and
+          corruption pattern are bit-identical to the historical
+          implementation — existing tests, corpus replays and golden
+          traces are unaffected. New code should prefer {!faults}. *)
   chaos_commit : (int * float) option;
       (** [(seed, p)]: {e deliberately corrupt} one committed memory
           live-out in architected state with probability [p] per commit
@@ -75,7 +82,42 @@ type t = {
           [fault_injection] (which the machine must absorb), this breaks
           the machine itself; it exists solely so the differential
           fuzzer's mutation smoke test can prove the oracle detects and
-          shrinks a real commit-rule bug. Never set it outside tests. *)
+          shrinks a real commit-rule bug. Never set it outside tests.
+
+          Like [fault_injection], internally a one-action
+          ([Commit_corrupt]) fault plan with a bit-identical stream. *)
+  faults : Mssp_faults.Plan.t option;
+      (** the fault-plan subsystem ({!Mssp_faults.Plan}): a seeded
+          schedule of typed fault actions against the speculative
+          domain (live-in corruption, checkpoint drop/delay with
+          master-side retry+backoff, slave stall under a per-task
+          watchdog, transient verify errors, memory bit-flips).
+          [None] (the default) compiles every injection site down to
+          one predictable branch — zero cost, bit-identical behavior
+          (guarded by FAULTG in perf-smoke). Legacy [fault_injection] /
+          [chaos_commit] knobs are appended to this plan as quiet
+          alias actions. *)
+  liveness_window : int option;
+      (** machine-level bounded-progress watchdog: [Some n] checks
+          every [n] cycles that the run made progress (a commit, squash
+          or recovery segment) since the previous check and stops with
+          a structured [Livelock] (carrying a window/slave/master
+          snapshot) when it did not — never a silent hang. [None] (the
+          default) schedules nothing. Set [n] well above the largest
+          honest commit-to-commit gap (task latency, recovery segment
+          length), or healthy-but-slow runs are reported as livelocked. *)
+  adaptive_backoff : bool;
+      (** adaptive degradation of dual mode: each consecutive fruitless
+          sequential burst doubles the next burst's length (capped at
+          64x [dual_burst]), backing off re-engagement of speculation
+          under persistent fault pressure. Off by default. *)
+  quarantine_after : int;
+      (** per-slave quarantine under an active fault plan: a slave
+          whose tasks are squashed at the window head this many times
+          in a row (with no intervening commit of one of its tasks) is
+          benched for the rest of the run — except the last healthy
+          slave, which is never benched. [0] (the default) disables
+          quarantine; it only engages when [faults] is set. *)
   record_tasks : bool;  (** keep per-task size/live-in lists in stats *)
   tracer : Mssp_trace.Trace.t option;
       (** structured event bus ({!Mssp_trace.Trace}): [Some t] makes the
@@ -100,9 +142,10 @@ type t = {
   max_squashes : int;  (** hard stop *)
   recovery_fuel : int;
       (** instruction bound on a single non-speculative recovery segment;
-          a segment that exhausts it stops the machine with [Cycle_limit]
-          rather than replaying forever (e.g. a recovery that lands in an
-          infinite loop with no task entry in it) *)
+          a segment that exhausts it stops the machine with the
+          structured [Recovery_fuel] reason rather than replaying
+          forever (e.g. a recovery that lands in an infinite loop with
+          no task entry in it) *)
   timing : timing;
 }
 

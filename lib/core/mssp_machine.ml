@@ -11,11 +11,15 @@ module Sim = Mssp_sim_engine.Sim
 module Hierarchy = Mssp_cache.Cache.Hierarchy
 module Trace = Mssp_trace.Trace
 module Pool = Mssp_exec.Pool
+module Fplan = Mssp_faults.Plan
+module Inject = Mssp_faults.Injector
 
 type squash_reason =
   | Live_in_mismatch
   | Task_failed of Task.fail_reason
   | Master_dead
+  | Checkpoint_lost
+  | Stalled
 
 type stats = {
   mutable cycles : int;
@@ -35,6 +39,10 @@ type stats = {
       (** instructions retired in dual-mode sequential bursts (a subset
           of [recovery_instructions]) *)
   mutable faults_injected : int;
+  mutable spawn_retries : int;
+  mutable verify_retries : int;
+  mutable watchdog_squashes : int;
+  mutable slaves_quarantined : int;
   mutable live_ins_checked : int;
   mutable live_outs_committed : int;
   mutable slave_busy_cycles : int;
@@ -59,6 +67,10 @@ let fresh_stats () =
     sequential_bursts = 0;
     sequential_instructions = 0;
     faults_injected = 0;
+    spawn_retries = 0;
+    verify_retries = 0;
+    watchdog_squashes = 0;
+    slaves_quarantined = 0;
     live_ins_checked = 0;
     live_outs_committed = 0;
     slave_busy_cycles = 0;
@@ -78,14 +90,42 @@ let trace_reason = function
   | Task_failed (Task.Io_speculative c) ->
     Trace.Speculative_io (Cell.show c)
   | Master_dead -> Trace.Master_dead
+  | Checkpoint_lost -> Trace.Checkpoint_lost
+  | Stalled -> Trace.Watchdog_stall
 
-type stop_reason = Halted | Cycle_limit | Squash_limit | Wedged
+type livelock_snapshot = {
+  ll_cycle : int;
+  ll_window : int;
+  ll_busy_slaves : int;
+  ll_quarantined : int;
+  ll_master : string;
+  ll_head_task : int option;
+}
+
+type stop_reason =
+  | Halted
+  | Cycle_limit
+  | Squash_limit
+  | Recovery_fuel
+  | Livelock of livelock_snapshot
+  | Wedged
 
 let stop_string = function
   | Halted -> "halted"
   | Cycle_limit -> "cycle_limit"
   | Squash_limit -> "squash_limit"
+  | Recovery_fuel -> "recovery_fuel"
+  | Livelock _ -> "livelock"
   | Wedged -> "wedged"
+
+let pp_livelock fmt s =
+  Format.fprintf fmt
+    "livelock at cycle %d: window %d, %d busy slave(s), %d quarantined, \
+     master %s%s"
+    s.ll_cycle s.ll_window s.ll_busy_slaves s.ll_quarantined s.ll_master
+    (match s.ll_head_task with
+    | Some id -> Printf.sprintf ", head task %d" id
+    | None -> "")
 
 type result = {
   arch : Full.t;
@@ -108,6 +148,15 @@ type checkpoint = {
   mutable cp_end_known : bool;
   mutable cp_task : Task.t option;
   mutable cp_finished : bool;
+  cp_extra : int;
+      (** extra spawn-path latency from fault-plan delivery faults
+          (checkpoint delay, drop retries with backoff) *)
+  mutable cp_slave : int;  (** slave it was dispatched to, [-1] before *)
+  mutable cp_verify_attempts : int;
+      (** transient verify errors already retried for this task *)
+  mutable cp_deferred : bool;
+      (** a verify retry is scheduled; the commit unit must not
+          re-examine the head until it fires *)
 }
 
 type master = {
@@ -156,9 +205,15 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
         Hierarchy.make_shared ~l1:t.l1 ~lat:t.lat ~l2:master_cache ())
   in
   let slave_free = Array.make cfg.slaves true in
+  (* per-slave quarantine state: a benched slave is never assigned again *)
+  let quarantined = Array.make cfg.slaves false in
+  let slave_streak = Array.make cfg.slaves 0 in
+  let healthy_slaves = ref cfg.slaves in
   let find_free_slave () =
     let rec go i =
-      if i = cfg.slaves then None else if slave_free.(i) then Some i else go (i + 1)
+      if i = cfg.slaves then None
+      else if slave_free.(i) && not quarantined.(i) then Some i
+      else go (i + 1)
     in
     go 0
   in
@@ -179,58 +234,6 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
   Full.set_pc master.m_state d.distilled.entry;
   let entry_set = Hashtbl.create 16 in
   List.iter (fun e -> Hashtbl.replace entry_set e ()) d.task_entries;
-  (* soft-error injection into checkpoints: a deterministic PRNG decides,
-     per spawn, whether to corrupt one live-in binding *)
-  let fault_rng =
-    match cfg.fault_injection with
-    | None -> None
-    | Some (seed, p) ->
-      let state = ref ((seed lxor 0x9E3779B9) land max_int) in
-      Some
-        (fun () ->
-          state := ((!state * 25214903917) + 11) land ((1 lsl 48) - 1);
-          float_of_int (!state lsr 16) /. float_of_int (1 lsl 32) < p)
-  in
-  let maybe_corrupt cp_id li =
-    match fault_rng with
-    | Some flip when flip () && not (Fragment.is_empty li) ->
-      let bindings = Fragment.to_list li in
-      let c, v = List.nth bindings (cp_id mod List.length bindings) in
-      stats.faults_injected <- stats.faults_injected + 1;
-      Fragment.add c (v lxor 0x5A5A5A5A) li
-    | Some _ | None -> li
-  in
-  (* chaos_commit: the DELIBERATELY broken verify/commit unit. After a
-     verified commit, corrupt one committed memory live-out in
-     architected state — the machine bug the differential fuzzer's
-     mutation smoke test must catch (and shrink). *)
-  let chaos_rng =
-    match cfg.chaos_commit with
-    | None -> None
-    | Some (seed, p) ->
-      let state = ref ((seed lxor 0xB5297A4D) land max_int) in
-      Some
-        (fun () ->
-          state := ((!state * 25214903917) + 11) land ((1 lsl 48) - 1);
-          float_of_int (!state lsr 16) /. float_of_int (1 lsl 32) < p)
-  in
-  let maybe_chaos_commit cp_id task =
-    match chaos_rng with
-    | Some flip when flip () -> (
-      let mems =
-        Fragment.fold
-          (fun c v acc -> if Cell.is_mem c then (c, v) :: acc else acc)
-          (Task.writes_fragment task) []
-      in
-      match mems with
-      | [] -> ()
-      | l ->
-        let c, v = List.nth l (cp_id mod List.length l) in
-        Full.set arch c (v lxor 0x2A))
-    | Some _ | None -> ()
-  in
-  (* dual-mode: squashes with no commit in between *)
-  let fruitless_squashes = ref 0 in
   (* The event bus. Every emission site is guarded by [if tracing then],
      so a disabled run pays exactly one predictable branch per would-be
      event and never allocates one. *)
@@ -239,6 +242,97 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
     | None -> (false, fun (_ : Trace.event) -> ())
     | Some tr -> (true, Trace.emit tr)
   in
+  (* The fault subsystem. A [Mssp_faults.Plan.t] is compiled into one
+     injector whose per-surface PRNG streams drive every fault site; the
+     legacy [fault_injection] / [chaos_commit] pairs become quiet alias
+     actions with bit-identical streams ([Plan.of_legacy]). [inj = None]
+     (no plan, no legacy knobs) makes every site below a single
+     predictable branch — zero cost, guarded by FAULTG in perf-smoke. *)
+  let inj =
+    let legacy =
+      Fplan.of_legacy ~fault_injection:cfg.fault_injection
+        ~chaos_commit:cfg.chaos_commit
+    in
+    match (legacy, cfg.faults) with
+    | None, None -> None
+    | Some p, None | None, Some p -> Some (Inject.make p)
+    | Some l, Some p -> Some (Inject.make (Fplan.merge l p))
+  in
+  let policy =
+    match inj with Some i -> Inject.policy i | None -> Fplan.default_policy
+  in
+  let fault_event a surface task =
+    stats.faults_injected <- stats.faults_injected + 1;
+    if tracing && not a.Fplan.quiet then
+      temit (Trace.Fault { cycle = Sim.now sim; surface; task })
+  in
+  (* Checkpoint live-in faults, applied at spawn: [Live_in_corrupt]
+     xors one binding (the legacy soft-error model, stream preserved),
+     [Mem_bit_flip] flips one bit of one memory binding. Both land in
+     the speculative domain only — verification must absorb them. *)
+  let maybe_corrupt cp_id li =
+    match inj with
+    | None -> li
+    | Some i ->
+      let li =
+        match Inject.fire i Fplan.Live_in_corrupt ~cycle:(Sim.now sim) with
+        | Some a when not (Fragment.is_empty li) ->
+          let bindings = Fragment.to_list li in
+          let c, v = List.nth bindings (cp_id mod List.length bindings) in
+          fault_event a "live_in_corrupt" (Some cp_id);
+          Fragment.add c (v lxor 0x5A5A5A5A) li
+        | Some _ | None -> li
+      in
+      (match Inject.fire i Fplan.Mem_bit_flip ~cycle:(Sim.now sim) with
+      | Some a -> (
+        let mems =
+          Fragment.fold
+            (fun c v acc -> if Cell.is_mem c then (c, v) :: acc else acc)
+            li []
+        in
+        match mems with
+        | [] -> li
+        | l ->
+          let c, v = List.nth l (cp_id mod List.length l) in
+          let bit =
+            (if a.Fplan.magnitude > 0 then a.Fplan.magnitude else cp_id)
+            mod 62
+          in
+          fault_event a "mem_bit_flip" (Some cp_id);
+          Fragment.add c (v lxor (1 lsl bit)) li)
+      | None -> li)
+  in
+  (* chaos_commit / [Commit_corrupt]: the DELIBERATELY broken
+     verify/commit unit. After a verified commit, corrupt one committed
+     memory live-out in architected state — the machine bug the
+     differential fuzzer's mutation smoke test must catch (and shrink).
+     The one non-absorbable surface. *)
+  let maybe_chaos_commit cp_id task =
+    match inj with
+    | None -> ()
+    | Some i -> (
+      match Inject.fire i Fplan.Commit_corrupt ~cycle:(Sim.now sim) with
+      | Some a -> (
+        let mems =
+          Fragment.fold
+            (fun c v acc -> if Cell.is_mem c then (c, v) :: acc else acc)
+            (Task.writes_fragment task) []
+        in
+        match mems with
+        | [] -> ()
+        | l ->
+          let c, v = List.nth l (cp_id mod List.length l) in
+          fault_event a "commit_corrupt" (Some cp_id);
+          Full.set arch c (v lxor 0x2A))
+      | None -> ())
+  in
+  (* dual-mode: squashes with no commit in between *)
+  let fruitless_squashes = ref 0 in
+  (* adaptive degradation: consecutive sequential bursts with no commit
+     in between double the next burst (capped at 64x) *)
+  let burst_streak = ref 0 in
+  (* per-slave quarantine: consecutive head squashes of a slave's tasks *)
+  let quarantine_on = cfg.quarantine_after > 0 && inj <> None in
   (* Host-parallel slave execution. A task body is a pure function of
      its checkpoint + the (frozen-during-dispatch) architected state:
      PR 1's COW image and flat journals made it side-effect-free, so it
@@ -410,6 +504,38 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
       | Exec.Halted | Exec.Fault _ -> `Dead
       | Exec.Missing _ -> assert false)
   in
+  (* Spawn-path delivery faults: [Checkpoint_delay] adds latency to the
+     checkpoint transfer; [Checkpoint_drop] models message loss — the
+     master re-sends with exponential backoff up to [spawn_retries]
+     attempts, then gives up ([`Lost]) and falls back to recovery. *)
+  let spawn_path_faults () =
+    match inj with
+    | None -> `Proceed 0
+    | Some i ->
+      let delay =
+        match Inject.fire i Fplan.Checkpoint_delay ~cycle:(Sim.now sim) with
+        | Some a ->
+          fault_event a "checkpoint_delay" (Some !next_cp_id);
+          if a.Fplan.magnitude > 0 then a.Fplan.magnitude
+          else 4 * t.spawn_latency
+        | None -> 0
+      in
+      if not (Inject.has i Fplan.Checkpoint_drop) then `Proceed delay
+      else begin
+        let rec attempt k acc =
+          match Inject.fire i Fplan.Checkpoint_drop ~cycle:(Sim.now sim) with
+          | None -> `Proceed (delay + acc)
+          | Some a ->
+            fault_event a "checkpoint_drop" (Some !next_cp_id);
+            if k >= policy.Fplan.spawn_retries then `Lost
+            else begin
+              stats.spawn_retries <- stats.spawn_retries + 1;
+              attempt (k + 1) (acc + (policy.Fplan.spawn_backoff * (1 lsl k)))
+            end
+        in
+        attempt 0 0
+      end
+  in
   (* Forward declarations: the component processes call each other. *)
   let rec master_run () =
     if master.m_dead || master.m_waiting then ()
@@ -473,38 +599,48 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
       master.m_waiting <- true;
       master.m_pending <- Some (e, li)
     end
-    else begin
-      spawn e li;
-      master_run ()
-    end
+    else if spawn e li then master_run ()
   and spawn e li =
-    let li = maybe_corrupt !next_cp_id li in
-    let cp =
-      {
-        cp_id = !next_cp_id;
-        cp_entry = e;
-        cp_live_in = li;
-        cp_end = None;
-        cp_end_occurrence = 1;
-        cp_end_known = false;
-        cp_task = None;
-        cp_finished = false;
-      }
-    in
-    incr next_cp_id;
-    stats.tasks_spawned <- stats.tasks_spawned + 1;
-    if tracing then begin
-      temit (Trace.Fork { cycle = Sim.now sim; task = cp.cp_id; entry = e });
-      (* the prediction as the slave will see it: post fault injection.
-         The fragment is persistent and shared with the checkpoint, so
-         this emission is O(1) — no per-binding rendering here *)
-      temit
-        (Trace.Predict
-           { cycle = Sim.now sim; task = cp.cp_id; live_in = cp.cp_live_in })
-    end;
-    Queue.add cp window;
-    last_cp := Some cp;
-    try_start_tasks ()
+    (* Returns false when the checkpoint was lost on the spawn path:
+       [start_squash] already bumped the epoch and the master must not
+       be driven further by this (stale) event. *)
+    match spawn_path_faults () with
+    | `Lost ->
+      start_squash Checkpoint_lost;
+      false
+    | `Proceed extra ->
+      let li = maybe_corrupt !next_cp_id li in
+      let cp =
+        {
+          cp_id = !next_cp_id;
+          cp_entry = e;
+          cp_live_in = li;
+          cp_end = None;
+          cp_end_occurrence = 1;
+          cp_end_known = false;
+          cp_task = None;
+          cp_finished = false;
+          cp_extra = extra;
+          cp_slave = -1;
+          cp_verify_attempts = 0;
+          cp_deferred = false;
+        }
+      in
+      incr next_cp_id;
+      stats.tasks_spawned <- stats.tasks_spawned + 1;
+      if tracing then begin
+        temit (Trace.Fork { cycle = Sim.now sim; task = cp.cp_id; entry = e });
+        (* the prediction as the slave will see it: post fault injection.
+           The fragment is persistent and shared with the checkpoint, so
+           this emission is O(1) — no per-binding rendering here *)
+        temit
+          (Trace.Predict
+             { cycle = Sim.now sim; task = cp.cp_id; live_in = cp.cp_live_in })
+      end;
+      Queue.add cp window;
+      last_cp := Some cp;
+      try_start_tasks ();
+      true
   and on_master_dead () =
     (match !last_cp with
     | Some cp when not cp.cp_end_known ->
@@ -526,6 +662,7 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
           | None -> ()
           | Some s ->
             slave_free.(s) <- false;
+            cp.cp_slave <- s;
             let task =
               Task.make ~id:cp.cp_id ~start_pc:cp.cp_entry ~end_pc:cp.cp_end
                 ~end_occurrence:cp.cp_end_occurrence ~budget:cfg.task_budget
@@ -553,28 +690,70 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
               (Trace.Slave_start
                  { cycle = Sim.now sim; task = cp.cp_id; slave = s });
           let total =
-            t.spawn_latency + (t.slave_base * task.Task.executed) + cost
+            t.spawn_latency + cp.cp_extra
+            + (t.slave_base * task.Task.executed)
+            + cost
           in
           stats.slave_busy_cycles <- stats.slave_busy_cycles + total;
-          Sim.schedule sim ~delay:total
-            (epoch_guarded (fun () ->
-                 cp.cp_finished <- true;
-                 if tracing then
-                   temit
-                     (Trace.Slave_finish
-                        {
-                          cycle = Sim.now sim;
-                          task = cp.cp_id;
-                          slave = s;
-                          executed = task.Task.executed;
-                          ok =
-                            (match task.Task.status with
-                            | Task.Complete _ -> true
-                            | Task.Running | Task.Failed _ -> false);
-                        });
-                 slave_free.(s) <- true;
-                 try_start_tasks ();
-                 commit_kick ())))
+          let stalled =
+            match inj with
+            | None -> false
+            | Some i -> (
+              match Inject.fire i Fplan.Slave_stall ~cycle:(Sim.now sim) with
+              | Some a ->
+                fault_event a "slave_stall" (Some cp.cp_id);
+                true
+              | None -> false)
+          in
+          if stalled then
+            (* the completion message never arrives: park a no-op past
+               the horizon so the run hangs (to the cycle limit) unless
+               a watchdog or the liveness layer intervenes *)
+            Sim.schedule sim
+              ~delay:(cfg.max_cycles + 1)
+              (epoch_guarded (fun () -> ()))
+          else
+            Sim.schedule sim ~delay:total
+              (epoch_guarded (fun () ->
+                   cp.cp_finished <- true;
+                   if tracing then
+                     temit
+                       (Trace.Slave_finish
+                          {
+                            cycle = Sim.now sim;
+                            task = cp.cp_id;
+                            slave = s;
+                            executed = task.Task.executed;
+                            ok =
+                              (match task.Task.status with
+                              | Task.Complete _ -> true
+                              | Task.Running | Task.Failed _ -> false);
+                          });
+                   slave_free.(s) <- true;
+                   try_start_tasks ();
+                   commit_kick ()));
+          (* per-task cycle watchdog: a task not finished after
+             [watchdog_cycles] is declared stalled — squash and
+             re-dispatch via recovery. Squash-stale via the epoch guard;
+             honest completions land first and mark [cp_finished]. *)
+          match policy.Fplan.watchdog_cycles with
+          | Some w when inj <> None ->
+            Sim.schedule sim ~delay:w
+              (epoch_guarded (fun () ->
+                   if not cp.cp_finished then begin
+                     stats.watchdog_squashes <- stats.watchdog_squashes + 1;
+                     if tracing then
+                       temit
+                         (Trace.Watchdog
+                            {
+                              cycle = Sim.now sim;
+                              task = cp.cp_id;
+                              slave = s;
+                              waited = w;
+                            });
+                     start_squash ~task:cp.cp_id ~slave:s Stalled
+                   end))
+          | Some _ | None -> ())
         batch costs
   (* --- verify/commit unit ------------------------------------------ *)
   and commit_kick () =
@@ -589,7 +768,8 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
       match Queue.peek_opt window with
       | None -> if master.m_dead then start_squash Master_dead else ()
       | Some cp ->
-      if not cp.cp_finished then ()
+      if (not cp.cp_finished) || cp.cp_deferred then ()
+      else if transient_verify_fault cp then ()
       else begin
         let task = Option.get cp.cp_task in
         let n_live_ins = Task.live_in_size task in
@@ -630,6 +810,9 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
           maybe_chaos_commit cp.cp_id task;
           let n_outs = Task.live_out_size task in
           fruitless_squashes := 0;
+          burst_streak := 0;
+          if quarantine_on && cp.cp_slave >= 0 then
+            slave_streak.(cp.cp_slave) <- 0;
           if tracing then
             temit
               (Trace.Commit
@@ -673,9 +856,33 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
             | Task.Failed r -> Task_failed r
             | Task.Running -> assert false
           in
-          start_squash ~task:cp.cp_id reason
+          start_squash ~task:cp.cp_id ~slave:cp.cp_slave reason
         end
       end
+  (* Transient verification-unit error: the check is retried after an
+     exponential backoff, up to [verify_retries] times per task; the
+     head is held ([cp_deferred]) so no same-instant kick re-rolls. *)
+  and transient_verify_fault cp =
+    match inj with
+    | None -> false
+    | Some _ when cp.cp_verify_attempts >= policy.Fplan.verify_retries ->
+      false
+    | Some i -> (
+      match Inject.fire i Fplan.Verify_transient ~cycle:(Sim.now sim) with
+      | Some a ->
+        fault_event a "verify_transient" (Some cp.cp_id);
+        stats.verify_retries <- stats.verify_retries + 1;
+        let backoff =
+          policy.Fplan.verify_backoff * (1 lsl cp.cp_verify_attempts)
+        in
+        cp.cp_verify_attempts <- cp.cp_verify_attempts + 1;
+        cp.cp_deferred <- true;
+        Sim.schedule sim ~delay:(max 1 backoff)
+          (epoch_guarded (fun () ->
+               cp.cp_deferred <- false;
+               commit_head ()));
+        true
+      | None -> false)
   and wake_master () =
     if master.m_waiting then begin
       master.m_waiting <- false;
@@ -686,20 +893,42 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
           master.m_waiting <- true;
           master.m_pending <- Some (e, li)
         end
-        else begin
-          spawn e li;
-          master_run ()
-        end
+        else if spawn e li then master_run ()
       | None -> master_run ()
     end
   (* --- squash and recovery ----------------------------------------- *)
-  and start_squash ?task reason =
+  and start_squash ?task ?slave reason =
     stats.squashes <- stats.squashes + 1;
     (match reason with
     | Live_in_mismatch -> stats.squash_mismatch <- stats.squash_mismatch + 1
-    | Task_failed _ ->
+    | Task_failed _ | Checkpoint_lost | Stalled ->
       stats.squash_task_failed <- stats.squash_task_failed + 1
     | Master_dead -> stats.squash_master_dead <- stats.squash_master_dead + 1);
+    (* adaptive degradation: a slave whose tasks keep getting squashed
+       (no commit of its work in between) is benched — but never the
+       last healthy one *)
+    (if quarantine_on then
+       match slave with
+       | Some s when s >= 0 ->
+         slave_streak.(s) <- slave_streak.(s) + 1;
+         if
+           slave_streak.(s) >= cfg.quarantine_after
+           && (not quarantined.(s))
+           && !healthy_slaves > 1
+         then begin
+           quarantined.(s) <- true;
+           decr healthy_slaves;
+           stats.slaves_quarantined <- stats.slaves_quarantined + 1;
+           if tracing then
+             temit
+               (Trace.Quarantine
+                  {
+                    cycle = Sim.now sim;
+                    slave = s;
+                    squashes = slave_streak.(s);
+                  })
+         end
+       | Some _ | None -> ());
     (* the Squash event rides with the stats bump, not with the
        recovery: even a squash that trips [max_squashes] (and therefore
        never recovers) is attributed in the stream *)
@@ -737,7 +966,16 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
     let min_steps =
       if cfg.dual_mode && !fruitless_squashes >= cfg.dual_trigger then begin
         stats.sequential_bursts <- stats.sequential_bursts + 1;
-        cfg.dual_burst
+        (* adaptive degradation: consecutive fruitless bursts double the
+           next one (capped at 64x), backing off re-engagement of
+           speculation under persistent fault pressure *)
+        let burst =
+          if cfg.adaptive_backoff then
+            cfg.dual_burst * (1 lsl min 6 !burst_streak)
+          else cfg.dual_burst
+        in
+        incr burst_streak;
+        burst
       end
       else 0
     in
@@ -781,7 +1019,7 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
       (* the program halted (or faulted) during recovery: done *)
       Sim.schedule sim ~delay:recovery_cycles
         (guarded (fun () -> halt_machine Halted))
-    | `Fuel -> halt_machine Cycle_limit
+    | `Fuel -> halt_machine Recovery_fuel
     | `At_entry -> (
       let e = Full.pc arch in
       match Distill.distilled_entry_for d e with
@@ -803,6 +1041,66 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
           (epoch_guarded master_run))
   in
 
+  (* Machine-level liveness layer: every [liveness_window] cycles, check
+     that the run made progress (a commit, squash or recovery segment)
+     since the previous check; if not, stop with a structured [Livelock]
+     carrying a diagnostic snapshot — never a silent hang. [None]
+     schedules nothing at all, preserving bit-identical event counts. *)
+  (match cfg.liveness_window with
+  | None -> ()
+  | Some n ->
+    let n = max 1 n in
+    let last = ref (-1, -1, -1) in
+    let rec tick () =
+      let cur =
+        (stats.tasks_committed, stats.squashes, stats.recovery_segments)
+      in
+      if cur = !last then begin
+        let busy =
+          Array.fold_left
+            (fun acc free -> if free then acc else acc + 1)
+            0 slave_free
+        in
+        let quar =
+          Array.fold_left
+            (fun acc q -> if q then acc + 1 else acc)
+            0 quarantined
+        in
+        let snap =
+          {
+            ll_cycle = Sim.now sim;
+            ll_window = Queue.length window;
+            ll_busy_slaves = busy;
+            ll_quarantined = quar;
+            ll_master =
+              (if master.m_dead then "dead"
+               else if master.m_waiting then "waiting"
+               else "running");
+            ll_head_task =
+              (match Queue.peek_opt window with
+              | Some cp -> Some cp.cp_id
+              | None -> None);
+          }
+        in
+        if tracing then
+          temit
+            (Trace.Livelock
+               {
+                 cycle = snap.ll_cycle;
+                 window = snap.ll_window;
+                 busy_slaves = busy;
+                 quarantined = quar;
+                 master = snap.ll_master;
+                 head_task = snap.ll_head_task;
+               });
+        halt_machine (Livelock snap)
+      end
+      else begin
+        last := cur;
+        Sim.schedule sim ~delay:n (guarded tick)
+      end
+    in
+    Sim.schedule sim ~delay:n (guarded tick));
   (* kick off *)
   Sim.schedule sim ~delay:0 (guarded master_run);
   (match Sim.run ~limit:cfg.max_cycles sim with
@@ -883,10 +1181,14 @@ let pp_stats fmt s =
      instructions committed via tasks: %d (+%d recovery)@,\
      squashes: %d (mismatch %d, failed %d, master-dead %d)@,\
      sequential bursts: %d (%d instructions), faults injected: %d@,\
+     fault handling: %d spawn retries, %d verify retries, %d watchdog \
+     squashes, %d slaves quarantined@,\
      live-ins checked: %d, live-outs committed: %d@,\
      slave busy cycles: %d@]"
     s.cycles s.master_instructions s.tasks_spawned s.tasks_committed
     s.tasks_discarded s.instructions_committed s.recovery_instructions
     s.squashes s.squash_mismatch s.squash_task_failed s.squash_master_dead
     s.sequential_bursts s.sequential_instructions s.faults_injected
-    s.live_ins_checked s.live_outs_committed s.slave_busy_cycles
+    s.spawn_retries s.verify_retries s.watchdog_squashes
+    s.slaves_quarantined s.live_ins_checked s.live_outs_committed
+    s.slave_busy_cycles

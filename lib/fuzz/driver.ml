@@ -1,9 +1,11 @@
 module Wl_util = Mssp_workload.Wl_util
+module Fplan = Mssp_faults.Plan
 
 type finding = {
   program_seed : int;
   program : Mssp_isa.Program.t;
   shrunk : Mssp_isa.Program.t;
+  plan : Fplan.t option;
   failures : Oracle.failure list;
   repro_path : string option;
   trace_path : string option;
@@ -16,8 +18,8 @@ type report = {
   findings : finding list;
 }
 
-let run_serial ?grid ?fuel ~size ~shrink_budget ~out ~save ~trace ~log ~seed
-    ~count () =
+let run_serial ?grid ?fuel ~faults ~size ~shrink_budget ~out ~save ~trace ~log
+    ~seed ~count () =
   let rng = Wl_util.lcg (seed lxor 0x6C078965) in
   let skipped = ref 0 in
   let runs = ref 0 in
@@ -26,6 +28,15 @@ let run_serial ?grid ?fuel ~size ~shrink_budget ~out ~save ~trace ~log ~seed
     let program_seed = (rng () lxor i) land 0x3FFFFFFF in
     let sz = if size > 0 then size else 6 + (program_seed mod 19) in
     let p = Gen.generate ~seed:program_seed ~size:sz () in
+    (* program x plan fuzzing: the plan is a function of the program
+       seed, so the one-line replay (seed -> program + plan) still
+       holds; the plan grid replaces the standard one *)
+    let plan0 = if faults then Some (Gen.plan ~seed:program_seed) else None in
+    let grid =
+      match plan0 with
+      | Some pl -> Some (Oracle.plan_grid ~plan:pl ())
+      | None -> grid
+    in
     match Oracle.check ?grid ?fuel ~formal_seed:program_seed p with
     | Oracle.Passed n ->
       runs := !runs + n;
@@ -57,14 +68,37 @@ let run_serial ?grid ?fuel ~size ~shrink_budget ~out ~save ~trace ~log ~seed
                  (fun (f : Oracle.failure) ->
                    Printf.sprintf "[%s] %s" f.Oracle.point f.Oracle.reason)
                  failures)));
-      let shrunk =
-        Shrink.minimize ~budget:shrink_budget
-          ~failing:(Oracle.failing ?grid ?fuel)
-          p
+      let shrunk, shrunk_plan =
+        match plan0 with
+        | None ->
+          ( Shrink.minimize ~budget:shrink_budget
+              ~failing:(Oracle.failing ?grid ?fuel)
+              p,
+            None )
+        | Some pl ->
+          (* shrink over BOTH coordinates: the witness is a program x
+             plan pair, and either side alone may be reducible *)
+          let s, sp =
+            Shrink.minimize_pair ~budget:shrink_budget
+              ~failing:(fun prog c ->
+                Oracle.failing ~grid:(Oracle.plan_grid ~plan:c ()) ?fuel prog)
+              (p, pl)
+          in
+          (s, Some sp)
       in
       log
-        (Printf.sprintf "  shrunk %d -> %d instructions"
-           (Shrink.instructions p) (Shrink.instructions shrunk));
+        (Printf.sprintf "  shrunk %d -> %d instructions%s"
+           (Shrink.instructions p) (Shrink.instructions shrunk)
+           (match (plan0, shrunk_plan) with
+           | Some pl, Some sp ->
+             Printf.sprintf ", plan %.1f -> %.1f" (Shrink.plan_weight pl)
+               (Shrink.plan_weight sp)
+           | _ -> ""));
+      let grid =
+        match shrunk_plan with
+        | Some sp -> Some (Oracle.plan_grid ~plan:sp ())
+        | None -> grid
+      in
       (* with tracing on, re-run the shrunk witness under the event bus:
          the trail that explains the divergence ships with the repro *)
       let traced =
@@ -96,6 +130,13 @@ let run_serial ?grid ?fuel ~size ~shrink_budget ~out ~save ~trace ~log ~seed
                 Printf.sprintf "shrunk from %d to %d instructions"
                   (Shrink.instructions p) (Shrink.instructions shrunk);
               ]
+              @ (match shrunk_plan with
+                | None -> []
+                | Some sp ->
+                  [
+                    Printf.sprintf "fault plan (shrunk): %s"
+                      (Fplan.to_string sp);
+                  ])
               @ List.map
                   (fun (f : Oracle.failure) ->
                     Printf.sprintf "diverged at [%s]: %s" f.Oracle.point
@@ -120,7 +161,15 @@ let run_serial ?grid ?fuel ~size ~shrink_budget ~out ~save ~trace ~log ~seed
         | _ -> None
       in
       findings :=
-        { program_seed; program = p; shrunk; failures; repro_path; trace_path }
+        {
+          program_seed;
+          program = p;
+          shrunk;
+          plan = shrunk_plan;
+          failures;
+          repro_path;
+          trace_path;
+        }
         :: !findings
   done;
   {
@@ -130,11 +179,12 @@ let run_serial ?grid ?fuel ~size ~shrink_budget ~out ~save ~trace ~log ~seed
     findings = List.rev !findings;
   }
 
-let campaign ?grid ?fuel ?(size = 0) ?(shrink_budget = 500) ?out ?(save = 0)
-    ?(trace = false) ?(log = fun _ -> ()) ?(jobs = 1) ~seed ~count () =
+let campaign ?grid ?fuel ?(faults = false) ?(size = 0) ?(shrink_budget = 500)
+    ?out ?(save = 0) ?(trace = false) ?(log = fun _ -> ()) ?(jobs = 1) ~seed
+    ~count () =
   if jobs <= 1 || count <= 1 then
-    run_serial ?grid ?fuel ~size ~shrink_budget ~out ~save ~trace ~log ~seed
-      ~count ()
+    run_serial ?grid ?fuel ~faults ~size ~shrink_budget ~out ~save ~trace ~log
+      ~seed ~count ()
   else begin
     let jobs = min jobs count in
     (* Each shard is an independent serial campaign seeded with the
@@ -159,7 +209,7 @@ let campaign ?grid ?fuel ?(size = 0) ?(shrink_budget = 500) ?out ?(save = 0)
             Buffer.add_char buf '\n'
           in
           let r =
-            run_serial ?grid ?fuel ~size ~shrink_budget ~out
+            run_serial ?grid ?fuel ~faults ~size ~shrink_budget ~out
               ~save:(if w = 0 then save else 0)
               ~trace ~log:shard_log ~seed:(seed + w) ~count:cw ()
           in

@@ -20,6 +20,9 @@ type finding = {
   program_seed : int;
   program : Mssp_isa.Program.t;  (** as generated *)
   shrunk : Mssp_isa.Program.t;  (** minimized witness *)
+  plan : Mssp_faults.Plan.t option;
+      (** fault-plan fuzzing only: the jointly minimized plan
+          coordinate of the witness ({!Shrink.minimize_pair}) *)
   failures : Oracle.failure list;  (** of the original program *)
   repro_path : string option;  (** where the shrunk witness was saved *)
   trace_path : string option;
@@ -37,6 +40,7 @@ type report = {
 val campaign :
   ?grid:Oracle.point list ->
   ?fuel:int ->
+  ?faults:bool ->
   ?size:int ->
   ?shrink_budget:int ->
   ?out:string ->
@@ -48,8 +52,13 @@ val campaign :
   count:int ->
   unit ->
   report
-(** [size] (default 0 = vary per program in [6, 24]) fixes the shape
-    count; [shrink_budget] (default 500) bounds predicate evaluations
+(** [faults] (default false) switches to program x plan fuzzing: each
+    iteration derives an always-absorbable fault plan from the program
+    seed ({!Gen.plan}), judges the program on {!Oracle.plan_grid}
+    instead of [grid], and shrinks failing witnesses over both
+    coordinates; [size] (default 0 = vary per program in [6, 24]) fixes
+    the shape count; [shrink_budget] (default 500) bounds predicate
+    evaluations
     per finding; [out] enables corpus persistence; [save] (default 0)
     additionally writes the first [save] {e passing} programs into [out]
     as corpus seeds, so interesting generated programs are replayed as

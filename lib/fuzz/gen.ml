@@ -188,3 +188,43 @@ let generate ?(weights = default_weights) ~seed ~size () =
   done;
   Dsl.halt b;
   Dsl.build ~entry:"main" b ()
+
+(* Fault-plan arbitrary: a deterministic, always-absorbable plan — 1 to
+   4 actions over the absorbable surfaces, varied probabilities,
+   occasional cycle windows and magnitudes, and a generous per-task
+   watchdog so stall plans stay absorbable in bounded time. Paired with
+   [generate] this gives program x plan fuzzing: the oracle's invariant
+   is that any such plan only moves stats and cycles, never the final
+   architected state. *)
+module Fplan = Mssp_faults.Plan
+
+let plan ~seed =
+  let rng = Wl_util.lcg (seed lxor 0x51AFE5) in
+  let surfaces = Array.of_list Fplan.absorbable_surfaces in
+  let ps = [| 0.1; 0.25; 0.5; 1.0 |] in
+  let n = 1 + (rng () mod 4) in
+  let actions =
+    List.init n (fun k ->
+        let surface = surfaces.(rng () mod Array.length surfaces) in
+        let p = ps.(rng () mod Array.length ps) in
+        (* a stalled task only progresses by recovery once its watchdog
+           fires, so near-certain stalls degrade the run to [min_steps]
+           instructions per watchdog window — absorbable but far too slow
+           for a fuzz budget; keep generated stalls occasional *)
+        let p = if surface = Fplan.Slave_stall then Float.min p 0.25 else p in
+        let window =
+          if rng () mod 4 = 0 then begin
+            let lo = rng () mod 100_000 in
+            Some (lo, lo + 1_000 + (rng () mod 1_000_000))
+          end
+          else None
+        in
+        let magnitude =
+          if rng () mod 3 = 0 then 1 + (rng () mod 61) else 0
+        in
+        Fplan.action ?window ~magnitude surface ~seed:(seed + (31 * k)) ~p)
+  in
+  let policy =
+    { Fplan.default_policy with Fplan.watchdog_cycles = Some 5_000 }
+  in
+  Fplan.make ~policy actions

@@ -47,3 +47,12 @@ val generate :
   ?weights:weights -> seed:int -> size:int -> unit -> Mssp_isa.Program.t
 (** [generate ~seed ~size ()] is a deterministic function of its arguments;
     [size] counts top-level shapes (as in {!Mssp_workload.Synthetic}). *)
+
+val plan : seed:int -> Mssp_faults.Plan.t
+(** Fault-plan arbitrary for program x plan fuzzing: a deterministic
+    function of [seed] producing an {e always-absorbable} plan — 1 to 4
+    actions over {!Mssp_faults.Plan.absorbable_surfaces} with varied
+    probabilities, occasional cycle windows/magnitudes, and a per-task
+    watchdog armed (so stall plans terminate in bounded time). The
+    oracle's invariant for any such plan: final architected state
+    identical to SEQ; only stats and cycles move. *)

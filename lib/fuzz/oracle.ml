@@ -97,6 +97,34 @@ let chaos_point ~seed ~p =
     config = { base_config with Config.chaos_commit = Some (seed, p) };
   }
 
+(* Program x plan fuzzing: the plan under a plain machine, and under the
+   full adaptive-degradation stack (dual mode with exponential burst
+   backoff, per-slave quarantine, liveness watchdog). The honest control
+   point rides along so a program-only divergence is attributed to the
+   program, not the plan. *)
+let plan_grid ~plan () =
+  [
+    { name = "honest"; distiller = Honest; config = base_config };
+    {
+      name = "honest-plan";
+      distiller = Honest;
+      config = { base_config with Config.faults = Some plan };
+    };
+    {
+      name = "plan-degraded";
+      distiller = Honest;
+      config =
+        {
+          base_config with
+          Config.faults = Some plan;
+          dual_mode = true;
+          adaptive_backoff = true;
+          quarantine_after = 2;
+          liveness_window = Some 50_000_000;
+        };
+    };
+  ]
+
 let packages p profile point =
   match point.distiller with
   | Honest -> [ ("", Distill.distill p profile) ]
@@ -131,6 +159,9 @@ let check_package ~fuel point subname (d : Distill.t) =
   | M.Halted -> ()
   | M.Cycle_limit -> fail "machine stopped on the cycle limit"
   | M.Squash_limit -> fail "machine stopped on the squash limit"
+  | M.Recovery_fuel -> fail "machine exhausted its recovery fuel"
+  | M.Livelock snap ->
+    fail "machine livelocked: %s" (Format.asprintf "%a" M.pp_livelock snap)
   | M.Wedged -> fail "machine wedged (event queue drained early)");
   if r.M.stop = M.Halted then begin
     (match Full.diff_observable seq.Machine.state r.M.arch with

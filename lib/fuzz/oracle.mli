@@ -48,6 +48,15 @@ val chaos_point : seed:int -> p:float -> point
     ([Mssp_config.chaos_commit]): the mutation smoke test proving the
     oracle catches a buggy machine. Never part of {!default_grid}. *)
 
+val plan_grid : plan:Mssp_faults.Plan.t -> unit -> point list
+(** The program x plan grid: an honest control point, the plan on a
+    plain machine, and the plan under the full adaptive-degradation
+    stack (dual mode + exponential burst backoff + quarantine + liveness
+    watchdog). For an {e absorbable} plan every point must agree with
+    SEQ — only stats and cycles may move; feeding a non-absorbable plan
+    (e.g. with a [Commit_corrupt] action) here is the fault-plan
+    mutation smoke test. *)
+
 val check :
   ?grid:point list ->
   ?fuel:int ->

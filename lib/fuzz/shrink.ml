@@ -115,3 +115,85 @@ let minimize ?(budget = 2000) ~failing p =
       | None -> p
   in
   go p
+
+(* --- program x plan shrinking ---------------------------------------- *)
+
+module Fplan = Mssp_faults.Plan
+
+(* Strictly decreasing measure over plans: dropping an action, clearing
+   a window, zeroing a magnitude and halving a probability all reduce
+   it, so the plan-shrink loop terminates without a fuel counter. *)
+let plan_weight (plan : Fplan.t) =
+  List.fold_left
+    (fun acc (a : Fplan.action) ->
+      acc +. 4.
+      +. (if a.Fplan.window <> None then 1. else 0.)
+      +. (if a.Fplan.magnitude <> 0 then 1. else 0.)
+      +. a.Fplan.p)
+    0. plan.Fplan.actions
+
+let remake (plan : Fplan.t) actions = Fplan.make ~policy:plan.Fplan.policy actions
+
+let rebuild ?window ?magnitude ?p (a : Fplan.action) =
+  let window = match window with Some w -> w | None -> a.Fplan.window in
+  let magnitude =
+    match magnitude with Some m -> m | None -> a.Fplan.magnitude
+  in
+  let p = match p with Some p -> p | None -> a.Fplan.p in
+  Fplan.action ?window ~magnitude a.Fplan.surface ~seed:a.Fplan.seed ~p
+
+let plan_candidates (plan : Fplan.t) =
+  let actions = Array.of_list plan.Fplan.actions in
+  let n = Array.length actions in
+  let out = ref [] in
+  let push c = out := c :: !out in
+  (* drop one action *)
+  for i = n - 1 downto 0 do
+    push
+      (remake plan
+         (List.filteri (fun j _ -> j <> i) plan.Fplan.actions))
+  done;
+  (* per-action simplifications: clear window, zero magnitude, halve p *)
+  let with_action i a' =
+    remake plan (List.mapi (fun j a -> if j = i then a' else a) plan.Fplan.actions)
+  in
+  for i = n - 1 downto 0 do
+    let a = actions.(i) in
+    if a.Fplan.window <> None then
+      push (with_action i (rebuild ~window:None a));
+    if a.Fplan.magnitude <> 0 then
+      push (with_action i (rebuild ~magnitude:0 a));
+    if a.Fplan.p > 0.05 then
+      push (with_action i (rebuild ~p:(a.Fplan.p /. 2.) a))
+  done;
+  List.rev !out
+
+let minimize_pair ?(budget = 2000) ~failing (p, plan) =
+  let calls = ref 0 in
+  let try_one prog pl =
+    if !calls >= budget then false
+    else begin
+      incr calls;
+      failing prog pl
+    end
+  in
+  (* Alternate: greedily shrink the program against the current plan,
+     then the plan against the current program, until neither side can
+     shrink (or the budget runs out). Plan candidates are accepted only
+     on a strict [plan_weight] decrease, so the loop terminates. *)
+  let rec go prog plan =
+    if !calls >= budget then (prog, plan)
+    else
+      match List.find_opt (fun c -> try_one c plan) (candidates prog) with
+      | Some smaller -> go smaller plan
+      | None -> (
+        let w = plan_weight plan in
+        match
+          List.find_opt
+            (fun c -> plan_weight c < w && try_one prog c)
+            (plan_candidates plan)
+        with
+        | Some simpler -> go prog simpler
+        | None -> (prog, plan))
+  in
+  go p plan

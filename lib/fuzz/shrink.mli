@@ -35,3 +35,24 @@ val minimize :
     until none does or [budget] predicate evaluations (default 2000)
     are spent. The argument is assumed failing; the result still fails
     (or is the argument itself). *)
+
+val plan_weight : Mssp_faults.Plan.t -> float
+(** Plan-side size measure: per action, a constant plus flags for a
+    window and a magnitude plus the probability. Every
+    {!plan_candidates} move strictly reduces it. *)
+
+val plan_candidates : Mssp_faults.Plan.t -> Mssp_faults.Plan.t list
+(** One-step plan simplifications: drop one action; clear one action's
+    window; zero one magnitude; halve one probability. Action PRNG
+    seeds are untouched, so surviving actions fire identically — the
+    plan analogue of "shrinking never moves instructions". *)
+
+val minimize_pair :
+  ?budget:int ->
+  failing:(Mssp_isa.Program.t -> Mssp_faults.Plan.t -> bool) ->
+  Mssp_isa.Program.t * Mssp_faults.Plan.t ->
+  Mssp_isa.Program.t * Mssp_faults.Plan.t
+(** Shrink a failing program x plan pair over both coordinates:
+    greedily shrink the program against the current plan, then the plan
+    against the current program, alternating to a joint fixpoint (or
+    the shared [budget] of predicate evaluations). *)

@@ -149,7 +149,8 @@ let test_recovery_fuel_exhaustion () =
   (* recovery lands in an infinite loop with no task entry in it (the
      dead master forks nothing, so there are no entries at all): the
      segment must burn exactly [recovery_fuel] instructions and stop the
-     machine cleanly with [Cycle_limit] instead of replaying forever *)
+     machine cleanly with the structured [Recovery_fuel] reason instead
+     of replaying forever (or masquerading as a cycle-limit stop) *)
   let spin =
     let b = Dsl.create () in
     Dsl.li b t0 1;
@@ -161,7 +162,7 @@ let test_recovery_fuel_exhaustion () =
   let fuel = 5_000 in
   let cfg = { checking_config with Config.recovery_fuel = fuel } in
   let r = M.run ~config:cfg (Adversary.dead_master spin) in
-  check "stopped cleanly, not hung" true (r.M.stop = M.Cycle_limit);
+  check "stopped cleanly, not hung" true (r.M.stop = M.Recovery_fuel);
   check_int "segment burned exactly its fuel" fuel
     r.M.stats.M.recovery_instructions;
   check_int "a single recovery segment" 1 r.M.stats.M.recovery_segments;

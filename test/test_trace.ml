@@ -1,6 +1,7 @@
 (* The golden-trace harness: the structured event bus is pinned down by
-   - four committed golden traces (vecsum, listwalk, a garbage
-     adversarial master, a deliberately broken chaos-commit run) that
+   - five committed golden traces (vecsum, listwalk, a garbage
+     adversarial master, a deliberately broken chaos-commit run and a
+     benign always-absorbed fault plan) that
      every [dune runtest] replays and structurally diffs
      ([PROMOTE_GOLDEN=1] / `make promote-golden` rewrites them);
    - the acceptance criterion of the tracing subsystem: a fold over the
@@ -39,13 +40,14 @@ let distill_bench name ~size ~train =
   let profile = Profile.collect (b.W.program ~size:train) in
   Distill.distill program profile
 
-(* --- the four golden workloads ---------------------------------------
+(* --- the five golden workloads ---------------------------------------
 
    Deterministic by construction: fixed benchmarks, fixed sizes, fixed
    configurations, and an event-driven simulator with no hidden
    randomness. Two well-behaved runs, one adversarial master (master
-   death + task-budget attribution) and one deliberately broken commit
-   unit (commit-then-mismatch churn). *)
+   death + task-budget attribution), one deliberately broken commit
+   unit (commit-then-mismatch churn) and one benign fault plan (every
+   fault absorbed; pins the fault/watchdog event serialization). *)
 
 let base2 = Config.with_slaves 2 Config.default
 
@@ -81,6 +83,32 @@ let golden_cases_at pool =
           ~config:
             { base2 with Config.task_size = 25; chaos_commit = Some (3, 0.5) }
           (distill_bench "qsort" ~size:60 ~train:30) );
+    (* a benign, always-absorbed fault plan: pins the serialization of
+       the Fault / Watchdog / Quarantine event variants and the
+       watchdog-stall squash reason — the run still commits a final
+       state equal to SEQ *)
+    ( "fault_plan",
+      fun () ->
+        let module Plan = Mssp_faults.Plan in
+        let plan =
+          Plan.make
+            ~policy:
+              { Plan.default_policy with Plan.watchdog_cycles = Some 2_000 }
+            [
+              Plan.action Plan.Live_in_corrupt ~seed:5 ~p:0.5;
+              Plan.action Plan.Verify_transient ~seed:7 ~p:0.25;
+              Plan.action Plan.Slave_stall ~seed:9 ~p:0.1;
+            ]
+        in
+        run_traced
+          ~config:
+            {
+              base2 with
+              Config.task_size = 20;
+              faults = Some plan;
+              quarantine_after = 3;
+            }
+          (distill_bench "vecsum" ~size:160 ~train:40) );
   ]
 
 let golden_cases = golden_cases_at None
