@@ -128,6 +128,16 @@ type fault_guard = {
 
 let fault_guard : fault_guard option ref = ref None
 
+(* SBLKG's measurements, picked up by the bench --json writer *)
+type sblk_guard = {
+  sg_cycles : int;  (** MSSP vecsum cycles — bit-identical in both modes *)
+  sg_instrs : int;  (** straight-line micro retired instructions *)
+  sg_on_s : float;  (** straight-line micro wall clock, engine on *)
+  sg_off_s : float;  (** engine off (single-step reference) *)
+}
+
+let sblk_guard : sblk_guard option ref = ref None
+
 let section title =
   (match String.index_opt title ' ' with
   | Some i -> current_section := String.sub title 0 i

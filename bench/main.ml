@@ -110,6 +110,32 @@ let () =
           Obj [ ("name", String name); ("ns_per_run", Float ns) ])
         micro_results
     in
+    (* the superblock throughput pair reports instructions/second — a
+       rate, not a ns/run estimate — so it gets its own row shape *)
+    let micro =
+      micro
+      @
+      match !Micro.throughput with
+      | None -> []
+      | Some t ->
+        [
+          Obj
+            [
+              ("name", String "seq straight-line (superblock)");
+              ("instructions_per_sec", Float t.Micro.ips_sblk);
+            ];
+          Obj
+            [
+              ("name", String "seq straight-line (single-step)");
+              ("instructions_per_sec", Float t.Micro.ips_step);
+            ];
+          Obj
+            [
+              ("name", String "seq straight-line superblock speedup");
+              ("ratio", Float (t.Micro.ips_sblk /. t.Micro.ips_step));
+            ];
+        ]
+    in
     let pool_guard =
       match !Harness.pool_guard with
       | None -> []
@@ -144,8 +170,27 @@ let () =
               ] );
         ]
     in
+    let sblk_guard =
+      match !Harness.sblk_guard with
+      | None -> []
+      | Some g ->
+        let ips t = float_of_int g.Harness.sg_instrs /. t in
+        [
+          ( "sblk_guard",
+            Obj
+              [
+                ("mssp_cycles", Int g.Harness.sg_cycles);
+                ("micro_instructions", Int g.Harness.sg_instrs);
+                ("on_wall_clock_s", Float g.Harness.sg_on_s);
+                ("off_wall_clock_s", Float g.Harness.sg_off_s);
+                ("on_instructions_per_sec", Float (ips g.Harness.sg_on_s));
+                ("off_instructions_per_sec", Float (ips g.Harness.sg_off_s));
+                ("speedup", Float (g.Harness.sg_off_s /. g.Harness.sg_on_s));
+              ] );
+        ]
+    in
     write_file file
       (Obj
          ([ ("experiments", List experiments); ("micro", List micro) ]
-         @ pool_guard @ fault_guard));
+         @ pool_guard @ fault_guard @ sblk_guard));
     Printf.printf "\n  [json report written to %s]\n" file

@@ -210,6 +210,70 @@ let test_run_trace_ring =
            ~config:{ trace_cfg with Mcfg.tracer = Some tr }
            traced_prepared))
 
+(* --- superblock throughput: the straight-line interpreter micro ------
+
+   The workload the pre-decoded engine exists for: a hot loop whose body
+   is one long straight-line region (64 ALU ops per trip), so nearly
+   every dynamic instruction executes from inside a cached block. The
+   [instructions_per_sec] pair below is the headline number the SBLKG
+   guard and BENCH_mssp.json report; block-off runs the same program
+   through the single-step reference loop. *)
+
+let straightline_trips = 2048
+
+let straightline_program =
+  let b = Mssp_asm.Dsl.create () in
+  Mssp_asm.Dsl.li b Mssp_asm.Regs.t0 straightline_trips;
+  Mssp_asm.Dsl.label b "head";
+  for _ = 1 to 64 do
+    Mssp_asm.Dsl.alui b Instr.Add Mssp_asm.Regs.t1 Mssp_asm.Regs.t1 3
+  done;
+  Mssp_asm.Dsl.alui b Instr.Sub Mssp_asm.Regs.t0 Mssp_asm.Regs.t0 1;
+  Mssp_asm.Dsl.br b Instr.Gt Mssp_asm.Regs.t0 Mssp_asm.Regs.zero "head";
+  Mssp_asm.Dsl.halt b;
+  Mssp_asm.Dsl.build b ()
+
+(* li + trips * (64 ALU + sub + br); Halt does not retire *)
+let straightline_instrs = 1 + (straightline_trips * 66)
+
+(* one timed run; returns wall seconds, checks the run was the run *)
+let run_straightline ~superblock () =
+  let m = Machine.of_program ~superblock straightline_program in
+  let t0 = Unix.gettimeofday () in
+  (match Machine.run m with
+  | Machine.Halted -> ()
+  | _ -> failwith "straight-line micro did not halt");
+  let dt = Unix.gettimeofday () -. t0 in
+  if m.Machine.instructions <> straightline_instrs then
+    failwith "straight-line micro retired the wrong instruction count";
+  dt
+
+type throughput = { ips_sblk : float; ips_step : float }
+
+(* filled by [run]; the --json writer turns it into micro rows *)
+let throughput : throughput option ref = ref None
+
+let measure_throughput () =
+  let best_on = ref infinity and best_off = ref infinity in
+  ignore (run_straightline ~superblock:true () : float);
+  ignore (run_straightline ~superblock:false () : float);
+  for _ = 1 to 9 do
+    Gc.major ();
+    let t = run_straightline ~superblock:true () in
+    if t < !best_on then best_on := t;
+    let t = run_straightline ~superblock:false () in
+    if t < !best_off then best_off := t
+  done;
+  let ips t = float_of_int straightline_instrs /. t in
+  let r = { ips_sblk = ips !best_on; ips_step = ips !best_off } in
+  throughput := Some r;
+  Printf.printf
+    "\n\
+    \  straight-line micro (%d instrs): %.1f M instrs/s superblock, %.1f M \
+     single-step  (%.2fx)\n"
+    straightline_instrs (r.ips_sblk /. 1e6) (r.ips_step /. 1e6)
+    (r.ips_sblk /. r.ips_step)
+
 let tests =
   Test.make_grouped ~name:"mssp hot paths"
     [
@@ -283,4 +347,5 @@ let run () =
       (off /. 1e3) (ring /. 1e3)
       ((ring -. off) /. off *. 100.)
   | _ -> ());
+  measure_throughput ();
   estimates

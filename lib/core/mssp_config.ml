@@ -51,6 +51,7 @@ type t = {
   record_tasks : bool;
   tracer : Mssp_trace.Trace.t option;
   pool : int option;
+  superblock : bool;
   master_chunk : int;
   max_cycles : int;
   max_squashes : int;
@@ -79,6 +80,7 @@ let default =
     record_tasks = true;
     tracer = None;
     pool = None;
+    superblock = Mssp_seq.Sblock.default_enabled;
     master_chunk = 1_000_000;
     max_cycles = 2_000_000_000;
     max_squashes = 1_000_000;
@@ -98,7 +100,7 @@ let pp fmt c =
      fault plan: %s, liveness window: %s@,\
      adaptive backoff: %b, quarantine after: %s@,\
      master chunk: %d, max cycles: %d, max squashes: %d@,\
-     recovery fuel: %d, tracing: %s, pool: %s@]"
+     recovery fuel: %d, tracing: %s, pool: %s, superblock: %b@]"
     c.slaves c.max_in_flight c.task_size c.task_budget c.isolated_slaves
     c.control_only_master c.verify_refinement c.dual_mode c.dual_trigger
     c.dual_burst
@@ -124,3 +126,4 @@ let pp fmt c =
     | None -> "env"
     | Some 0 -> "off"
     | Some n -> string_of_int n)
+    c.superblock

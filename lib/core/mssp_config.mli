@@ -134,6 +134,15 @@ type t = {
           cycles, stats, squash attribution or traces — runs are
           bit-identical at every size (enforced by tests and the CI
           pool leg). *)
+  superblock : bool;
+      (** pre-decoded superblock fast paths ([true] by default, or the
+          [MSSP_SBLK] environment variable's verdict,
+          {!Mssp_seq.Sblock.default_enabled}): recovery segments run
+          through the block engine and the master and slaves decode
+          fetched words via pre-decoded program images. Like [pool],
+          this {e never} changes simulated cycles, stats, squash
+          attribution or traces — runs are bit-identical either way
+          (enforced by tests and the SBLKG bench guard). *)
   master_chunk : int;
       (** run-away guard: a master producing no fork for this many
           instructions is stopped (execution continues correctly via

@@ -5,6 +5,8 @@ module Instr = Mssp_isa.Instr
 module Reg = Mssp_isa.Reg
 module Seq_machine = Mssp_seq.Machine
 module Exec = Mssp_seq.Exec
+module Sblock = Mssp_seq.Sblock
+module Program = Mssp_isa.Program
 module Task = Mssp_task.Task
 module Distill = Mssp_distill.Distill
 module Sim = Mssp_sim_engine.Sim
@@ -234,6 +236,39 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
   Full.set_pc master.m_state d.distilled.entry;
   let entry_set = Hashtbl.create 16 in
   List.iter (fun e -> Hashtbl.replace entry_set e ()) d.task_entries;
+  let at_entry pc = Hashtbl.mem entry_set pc in
+  (* Superblock fast paths ([cfg.superblock]): recovery segments run
+     through a persistent block engine over [arch], and the master and
+     slaves decode fetched words through pre-decoded images of both
+     programs. Like the domain pool, these are pure engine choices —
+     cycles, stats, squash attribution and traces are bit-identical
+     either way (differential tests + the SBLKG bench guard). *)
+  let image_decode =
+    if cfg.superblock then
+      Some
+        (Program.image_decoder
+           [ Program.decode_all d.distilled; Program.decode_all d.original ])
+    else None
+  in
+  let master_decode =
+    match image_decode with Some dec -> dec | None -> Exec.default_decode
+  in
+  (* Created at the first recovery segment — [arch] only becomes the
+     engine's execution state then; until that point no blocks exist and
+     no store notifications are needed. *)
+  let recovery_engine =
+    lazy (Sblock.create ~images:[ d.original; d.distilled ] ())
+  in
+  let engine_live () = cfg.superblock && Lazy.is_val recovery_engine in
+  (* Every store into [arch] performed outside the engine (task commits,
+     chaos corruption) must reach the block cache's invalidation probe,
+     or a block over self-modified code could go stale across recovery
+     segments. *)
+  let note_arch_cell c _v =
+    match c with
+    | Cell.Mem a -> Sblock.note_store (Lazy.force recovery_engine) a
+    | Cell.Pc | Cell.Reg _ -> ()
+  in
   (* The event bus. Every emission site is guarded by [if tracing then],
      so a disabled run pays exactly one predictable branch per would-be
      event and never allocates one. *)
@@ -323,7 +358,8 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
         | l ->
           let c, v = List.nth l (cp_id mod List.length l) in
           fault_event a "commit_corrupt" (Some cp_id);
-          Full.set arch c (v lxor 0x2A))
+          Full.set arch c (v lxor 0x2A);
+          if engine_live () then note_arch_cell c 0)
       | None -> ())
   in
   (* dual-mode: squashes with no commit in between *)
@@ -491,13 +527,16 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
       | None -> pc0
     in
     let word = Full.get_mem master.m_state pc in
-    match Instr.decode_cached word with
+    match master_decode ~pc ~word with
     | None -> `Dead
     | Some Instr.Halt -> `Dead
     | Some (Instr.Fork e) -> `Fork e
     | Some _ -> (
       master_cost := t.master_base;
-      match Exec.step ~read:master_read ~write:master_write with
+      match
+        Exec.step_with ~decode:master_decode ~read:master_read
+          ~write:master_write
+      with
       | Exec.Stepped ->
         stats.master_instructions <- stats.master_instructions + 1;
         `Cost !master_cost
@@ -668,6 +707,11 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
                 ~end_occurrence:cp.cp_end_occurrence ~budget:cfg.task_budget
                 ~live_in:cp.cp_live_in
             in
+            let task =
+              match image_decode with
+              | Some dec -> Task.with_decode dec task
+              | None -> task
+            in
             cp.cp_task <- Some task;
             rev_batch := (cp, s, task) :: !rev_batch)
       window;
@@ -807,6 +851,7 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
           (* the memoization hit: superimpose the live-outs *)
           ignore (Queue.pop window : checkpoint);
           Task.commit_into task arch;
+          if engine_live () then Task.iter_writes note_arch_cell task;
           maybe_chaos_commit cp.cp_id task;
           let n_outs = Task.live_out_size task in
           fruitless_squashes := 0;
@@ -980,39 +1025,39 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
       else 0
     in
     let from_pc = Full.pc arch in
-    let m = Seq_machine.of_state arch in
-    let steps = ref 0 in
-    let fuel = cfg.recovery_fuel in
-    let rec go () =
-      if !steps >= fuel then `Fuel
-      else if Seq_machine.step m then begin
-        incr steps;
-        if !steps >= min_steps && Hashtbl.mem entry_set (Full.pc arch) then
-          `At_entry
-        else go ()
-      end
-      else `Stopped
+    (* Engine path: the persistent block cache over [arch] survives
+       across segments (commits/chaos report their stores into it), so
+       later segments re-dispatch warm blocks. The single-step path is
+       the reference this must stay bit-identical to. *)
+    let m =
+      if cfg.superblock then
+        Seq_machine.of_state ~superblock:true
+          ~engine:(Lazy.force recovery_engine) arch
+      else Seq_machine.of_state ~superblock:false arch
     in
-    let outcome = go () in
+    let outcome =
+      Seq_machine.run_until m ~fuel:cfg.recovery_fuel ~min_steps ~at:at_entry
+    in
+    let steps = m.Seq_machine.instructions in
     stats.recovery_segments <- stats.recovery_segments + 1;
-    stats.recovery_instructions <- stats.recovery_instructions + !steps;
+    stats.recovery_instructions <- stats.recovery_instructions + steps;
     stats.sequential_instructions <-
-      stats.sequential_instructions + min !steps min_steps;
+      stats.sequential_instructions + min steps min_steps;
     if tracing then
       temit
         (Trace.Recovery
            {
              cycle = Sim.now sim;
-             instructions = !steps;
+             instructions = steps;
              from_pc;
              to_pc = Full.pc arch;
              loads = m.Seq_machine.loads;
              stores = m.Seq_machine.stores;
              burst = min_steps > 0;
            });
-    advance_shadow !steps;
+    advance_shadow steps;
     let recovery_cycles =
-      !steps * (t.slave_base + t.recovery_per_instr)
+      steps * (t.slave_base + t.recovery_per_instr)
     in
     match outcome with
     | `Stopped ->

@@ -149,17 +149,20 @@ let global ~size () =
       if have < want then spawn_workers t (want - have));
   t
 
+(* computed eagerly at module init: a [lazy] here would be forced
+   concurrently by worker domains (any run with [pool = None] inside a
+   pooled job), and plain lazies are not domain-safe — concurrent
+   forcing raises [CamlinternalLazy.Undefined] *)
 let env_size =
   let v =
-    lazy
-      (match Sys.getenv_opt "MSSP_POOL" with
-      | None -> 0
-      | Some s -> (
-        match int_of_string_opt (String.trim s) with
-        | Some n when n >= 0 -> n
-        | Some _ | None -> 0))
+    match Sys.getenv_opt "MSSP_POOL" with
+    | None -> 0
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 0 -> n
+      | Some _ | None -> 0)
   in
-  fun () -> Lazy.force v
+  fun () -> v
 
 let effective = function Some n -> max 0 n | None -> env_size ()
 

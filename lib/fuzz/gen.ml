@@ -16,6 +16,7 @@ type weights = {
   shared_acc : int;
   early_halt : int;
   runaway : int;
+  smc : int;
 }
 
 let default_weights =
@@ -31,6 +32,7 @@ let default_weights =
     shared_acc = 8;
     early_halt = 3;
     runaway = 3;
+    smc = 4;
   }
 
 (* Mirror Full.t's geometry without depending on mssp_state: 4096 pages
@@ -157,6 +159,34 @@ let generate ?(weights = default_weights) ~seed ~size () =
   in
   let emit_call () = Dsl.call b "leaf" in
   let emit_out () = Dsl.out b (pick scratch_regs) in
+  (* Self-modifying code: a two-trip loop whose body starts with a
+     labeled patch slot; the first trip overwrites the slot's word with
+     a different (valid) instruction, so the second trip executes the
+     patched one. Exercises the superblock engine's store invalidation
+     (SEQ oracle and recovery both fetch through it) and slaves' fetch
+     of their own buffered code stores. *)
+  let emit_smc () =
+    let l = fresh "smc" in
+    let patch = fresh "patch" in
+    let patched =
+      pick
+        [|
+          Instr.Alui (Instr.Add, t2, t2, 7);
+          Instr.Alui (Instr.Xor, t3, t3, 1);
+          Instr.Alu (Instr.Add, t4, t4, t4);
+          Instr.Nop;
+        |]
+    in
+    Dsl.li b s5 2;
+    Dsl.label b l;
+    Dsl.label b patch;
+    Dsl.nop b;
+    Dsl.la b s6 patch;
+    Dsl.li b s7 (Instr.encode patched);
+    Dsl.st b s7 s6 0;
+    Dsl.alui b Instr.Sub s5 s5 1;
+    Dsl.br b Instr.Gt s5 zero l
+  in
   let table =
     [|
       (weights.alu, emit_alu);
@@ -170,6 +200,7 @@ let generate ?(weights = default_weights) ~seed ~size () =
       (weights.shared_acc, emit_shared_acc);
       (weights.early_halt, emit_early_halt);
       (weights.runaway, emit_runaway);
+      (weights.smc, emit_smc);
     |]
   in
   let total = Array.fold_left (fun n (w, _) -> n + max 0 w) 0 table in

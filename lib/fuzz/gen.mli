@@ -20,7 +20,11 @@
       program, so some tasks complete with [Program_halted] mid-stream;
     - {e runaway loops}: trip counts large enough to blow the per-task
       budget ([Budget_exhausted] squashes) while still terminating under
-      the sequential fuel.
+      the sequential fuel;
+    - {e self-modifying code}: loops that patch an instruction word in
+      their own body and re-execute it, so pre-decoded block caches (the
+      superblock engine) must invalidate and slaves must fetch their own
+      buffered code stores.
 
     Every shape is bounded, so generated programs halt unless a
     data-dependent early [Halt] race makes them halt {e sooner} — the
@@ -39,6 +43,7 @@ type weights = {
   shared_acc : int;  (** read-modify-write of one shared cell *)
   early_halt : int;  (** data-dependent mid-program [Halt] *)
   runaway : int;  (** budget-blowing (but terminating) loops *)
+  smc : int;  (** loops that patch their own body, then re-enter it *)
 }
 
 val default_weights : weights

@@ -251,23 +251,39 @@ let decode w =
     else None
 
 (* Decoding is referentially transparent, so a memo keyed by the word
-   itself is always sound; it turns the fetch path's field extraction
-   into one hash lookup. Bounded to keep adversarial garbage from
-   growing it without limit. The table is domain-local: task bodies
-   decode on pool workers concurrently with the event loop, and a
-   shared Hashtbl would race on resize — per-domain tables memoize the
-   same pure function, so results cannot differ across domains. *)
-let decode_cache_key : (int, t option) Hashtbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Hashtbl.create 4096)
+   itself is always sound. A direct-mapped table (two parallel arrays:
+   tag word, memoized result) replaces the previous bounded Hashtbl: a
+   collision evicts the old entry instead of silently ceasing to cache
+   once a cap is reached, so large fuzz programs never degrade to cold
+   decode — every recently fetched word stays memoized. Slots start as
+   the valid entry (0, decode 0), so an uninitialized tag can never
+   produce a wrong hit. The table is domain-local: task bodies decode
+   on pool workers concurrently with the event loop, and shared arrays
+   would race on publication — per-domain tables memoize the same pure
+   function, so results cannot differ across domains. (Hot engines
+   bypass this path entirely via [Program.decode_all] images.) *)
+let decode_slot_bits = 14
+let decode_slots = 1 lsl decode_slot_bits
+let decode_slot_mask = decode_slots - 1
+
+let decode_cache_key : (int array * t option array) Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      (Array.make decode_slots 0, Array.make decode_slots (decode 0)))
+
+let decode_slot w =
+  (w lxor (w lsr decode_slot_bits) lxor (w lsr 31) lxor (w lsr 45))
+  land decode_slot_mask
 
 let decode_cached w =
-  let decode_cache = Domain.DLS.get decode_cache_key in
-  match Hashtbl.find_opt decode_cache w with
-  | Some r -> r
-  | None ->
+  let tags, results = Domain.DLS.get decode_cache_key in
+  let slot = decode_slot w in
+  if Array.unsafe_get tags slot = w then Array.unsafe_get results slot
+  else begin
     let r = decode w in
-    if Hashtbl.length decode_cache < 65536 then Hashtbl.add decode_cache w r;
+    Array.unsafe_set tags slot w;
+    Array.unsafe_set results slot r;
     r
+  end
 
 let reads ~pc:_ i =
   match i with

@@ -111,10 +111,13 @@ val decode : int -> t option
     raises. Round-trip: [decode (encode i) = Some i] for encodable [i]. *)
 
 val decode_cached : int -> t option
-(** {!decode} through a global memo table keyed by the word value.
-    Decoding is pure, so the cache can never go stale (self-modifying
-    code included: a different word is a different key). This is the
-    simulators' fetch path. *)
+(** {!decode} through a per-domain direct-mapped memo keyed by the word
+    value. Decoding is pure, so the memo can never go stale
+    (self-modifying code included: a different word is a different
+    key), and a collision evicts rather than bypasses — there is no
+    entry cap past which caching silently stops. This is the generic
+    fetch path; hot engines pre-decode whole programs instead
+    ([Program.decode_all]). *)
 
 val reads : pc:int -> t -> [ `Reg of Reg.t | `Mem_at of Reg.t * int ] list
 (** Register and memory operands read by an instruction, excluding the PC

@@ -19,6 +19,50 @@ let instr_at p addr =
 
 let symbol p name = List.assoc name p.symbols
 
+(* Pre-decoded image: the per-program decode cache. Both arrays are
+   indexed by [pc - base]; [words] holds the encodings the loader wrote
+   into memory, so a fetched word can be validated against the image
+   with one compare before the pre-decoded instruction is reused. *)
+type image = {
+  i_base : int;
+  i_words : int array;
+  i_instrs : Instr.t array;
+}
+
+let decode_all p =
+  {
+    i_base = p.base;
+    i_words = Array.map Instr.encode p.code;
+    i_instrs = Array.copy p.code;
+  }
+
+let image_base img = img.i_base
+let image_limit img = img.i_base + Array.length img.i_words
+
+let image_decode img ~pc ~word =
+  let i = pc - img.i_base in
+  if i >= 0 && i < Array.length img.i_words && Array.unsafe_get img.i_words i = word
+  then Some (Array.unsafe_get img.i_instrs i)
+  else Instr.decode_cached word
+
+let image_decoder = function
+  | [] -> fun ~pc:_ ~word -> Instr.decode_cached word
+  | [ img ] -> fun ~pc ~word -> image_decode img ~pc ~word
+  | imgs ->
+    fun ~pc ~word ->
+      let rec probe = function
+        | [] -> Instr.decode_cached word
+        | img :: rest ->
+          let i = pc - img.i_base in
+          if
+            i >= 0
+            && i < Array.length img.i_words
+            && Array.unsafe_get img.i_words i = word
+          then Some (Array.unsafe_get img.i_instrs i)
+          else probe rest
+      in
+      probe imgs
+
 let pp fmt p =
   let label_of = Hashtbl.create 16 in
   List.iter (fun (name, addr) -> Hashtbl.replace label_of addr name) p.symbols;

@@ -39,5 +39,41 @@ val instr_at : t -> int -> Instr.t option
 val symbol : t -> string -> int
 (** Address of a label. @raise Not_found if absent. *)
 
+(** {1 Pre-decoded images}
+
+    The per-program decode cache: both arrays are indexed by
+    [pc - base], sized exactly to the program — no cap, no hashing, no
+    silent degradation on large fuzz programs. Execution engines fetch a
+    word from memory and validate it against [i_words] with one compare;
+    a match reuses the pre-decoded instruction, a mismatch (the program
+    modified its own code, or the PC left the image) falls back to
+    {!Instr.decode_cached}. The word compare is what keeps pre-decode
+    sound under self-modifying code: fetch still goes through memory. *)
+
+type image = {
+  i_base : int;  (** address of [i_words.(0)] *)
+  i_words : int array;  (** encodings the loader wrote into memory *)
+  i_instrs : Instr.t array;  (** [decode i_words.(i)], pre-computed *)
+}
+
+val decode_all : t -> image
+(** Pre-decode the whole code image. *)
+
+val image_base : image -> int
+val image_limit : image -> int
+(** One past the last pre-decoded address. *)
+
+val image_decode : image -> pc:int -> word:int -> Instr.t option
+(** Decode [word] fetched at [pc]: the pre-decoded instruction when
+    [pc] is inside the image and the word matches the image's encoding,
+    otherwise [Instr.decode_cached word]. Always agrees with
+    [Instr.decode word]. *)
+
+val image_decoder :
+  image list -> pc:int -> word:int -> Instr.t option
+(** Compose images (e.g. original + distilled, both loaded in memory)
+    into one decode function; falls back to {!Instr.decode_cached}
+    outside every image. *)
+
 val pp : Format.formatter -> t -> unit
 (** Disassembly listing with addresses and symbols. *)

@@ -74,6 +74,10 @@ let record_load t pc value =
 let collect ?(fuel = 100_000_000) p =
   let t = create () in
   let m = Machine.of_program p in
+  (* the profiler single-steps (it inspects state between instructions),
+     but its per-instruction peek can still decode through the
+     pre-decoded image *)
+  let peek_decode = Mssp_isa.Program.image_decoder [ Mssp_isa.Program.decode_all p ] in
   (* address -> (store site, dynamic index of the store) for the value
      currently live at that address *)
   let last_store : (int, int * int) Hashtbl.t = Hashtbl.create 1024 in
@@ -81,7 +85,7 @@ let collect ?(fuel = 100_000_000) p =
     if remaining = 0 then t.stop <- Some Machine.Out_of_fuel
     else begin
       let pc = Full.pc m.state in
-      let instr = Instr.decode_cached (Full.get_mem m.state pc) in
+      let instr = peek_decode ~pc ~word:(Full.get_mem m.state pc) in
       (* effective address uses pre-step register values *)
       let eff_addr rs1 off = Full.get_reg m.state rs1 + off in
       let pre_addr =

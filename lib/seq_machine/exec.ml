@@ -19,25 +19,21 @@ let pp_outcome fmt = function
 
 exception Unavailable of Cell.t
 
-(* Instruction execution proper. In every instruction case all reads are
-   performed before the first write, so a [Missing] abort leaves no
-   partial writes behind — which lets writes go straight to the [write]
-   callback, in retirement order, with no per-instruction write list. *)
-let step_exn ~read ~write =
+(* Instruction execution proper, on an already fetched and decoded
+   instruction. In every instruction case all reads are performed before
+   the first write, so a [Missing] abort leaves no partial writes behind
+   — which lets writes go straight to the [write] callback, in
+   retirement order, with no per-instruction write list. *)
+let exec_decoded_exn ~read ~write ~pc instr =
   let read_cell c = match read c with Some v -> v | None -> raise (Unavailable c) in
   let read_reg r = if Reg.equal r Reg.zero then 0 else read_cell (Cell.Reg r) in
-  let pc = read_cell Cell.Pc in
-  let word = read_cell (Cell.Mem pc) in
-  match Instr.decode_cached word with
-  | None -> Fault (Undecodable { pc; word })
-  | Some instr ->
-    let write_reg r v =
-      if not (Reg.equal r Reg.zero) then write (Cell.Reg r) v
-    in
-    let write_mem a v = write (Cell.Mem a) v in
-    let goto target = write Cell.Pc target in
-    let finish () = Stepped in
-    (match instr with
+  let write_reg r v =
+    if not (Reg.equal r Reg.zero) then write (Cell.Reg r) v
+  in
+  let write_mem a v = write (Cell.Mem a) v in
+  let goto target = write Cell.Pc target in
+  let finish () = Stepped in
+  (match instr with
     | Instr.Halt -> Halted
     | Instr.Nop | Instr.Fork _ ->
       goto (pc + 1);
@@ -95,8 +91,25 @@ let step_exn ~read ~write =
       goto (pc + 1);
       finish ())
 
-let step ~read ~write =
-  try step_exn ~read ~write with Unavailable c -> Missing c
+let default_decode ~pc:_ ~word = Instr.decode_cached word
+
+(* Fetch/decode, then execute: the read order every observer sees is
+   PC, then the instruction cell [Mem pc], then operands. *)
+let step_exn ~decode ~read ~write =
+  let read_cell c = match read c with Some v -> v | None -> raise (Unavailable c) in
+  let pc = read_cell Cell.Pc in
+  let word = read_cell (Cell.Mem pc) in
+  match decode ~pc ~word with
+  | None -> Fault (Undecodable { pc; word })
+  | Some instr -> exec_decoded_exn ~read ~write ~pc instr
+
+let step_with ~decode ~read ~write =
+  try step_exn ~decode ~read ~write with Unavailable c -> Missing c
+
+let step ~read ~write = step_with ~decode:default_decode ~read ~write
+
+let step_decoded ~read ~write ~pc instr =
+  try exec_decoded_exn ~read ~write ~pc instr with Unavailable c -> Missing c
 
 let delta ~read =
   let writes = ref Fragment.empty in

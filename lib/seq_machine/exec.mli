@@ -35,11 +35,40 @@ val step :
   read:(Mssp_state.Cell.t -> int option) ->
   write:(Mssp_state.Cell.t -> int -> unit) ->
   outcome
-(** Execute one instruction: fetch at the PC read through [read], decode,
-    evaluate, perform writes through [write] (including the PC update).
-    Reads of the hardwired zero register do not go through [read]; writes
-    to it are discarded before reaching [write]. All reads happen before
-    any write. *)
+(** Execute one instruction: fetch at the PC read through [read], decode
+    (via {!default_decode}), evaluate, perform writes through [write]
+    (including the PC update). Reads of the hardwired zero register do
+    not go through [read]; writes to it are discarded before reaching
+    [write]. All reads happen before any write. *)
+
+val step_with :
+  decode:(pc:int -> word:int -> Mssp_isa.Instr.t option) ->
+  read:(Mssp_state.Cell.t -> int option) ->
+  write:(Mssp_state.Cell.t -> int -> unit) ->
+  outcome
+(** {!step} with a caller-supplied decoder: [decode] lets a hot caller
+    decode the fetched word through a pre-decoded program image
+    ([Program.image_decoder]); it must agree with [Instr.decode] — the
+    fetch itself still goes through [read], so the observable access
+    sequence is unchanged. *)
+
+val default_decode : pc:int -> word:int -> Mssp_isa.Instr.t option
+(** The generic decoder: [Instr.decode_cached word]. *)
+
+val step_decoded :
+  read:(Mssp_state.Cell.t -> int option) ->
+  write:(Mssp_state.Cell.t -> int -> unit) ->
+  pc:int ->
+  Mssp_isa.Instr.t ->
+  outcome
+(** The execute stage alone: run an already fetched-and-decoded
+    instruction at [pc]. The caller is responsible for having read the
+    PC and the instruction word through its own access path first (so
+    live-in recording and cost accounting see the fetch); operand reads
+    and all writes go through [read]/[write] exactly as in {!step}.
+    Never returns [Fault] (decode already succeeded). This is the one
+    implementation of instruction semantics — the superblock engine's
+    fallback and the slaves' pre-decoded fetch path both land here. *)
 
 val delta :
   read:(Mssp_state.Cell.t -> int option) ->
@@ -56,4 +85,18 @@ val observed_step :
 (** Like {!step}, but also returns the cells read with the values obtained
     (in access order, including PC and the fetched instruction cell) and
     the fragment of writes performed. This is how slaves record live-ins
-    and accumulate live-outs. *)
+    and accumulate live-outs.
+
+    The access order is part of the executor's contract, per
+    instruction: [Pc] first, then the instruction cell [Mem pc], then
+    operands in the order of {!step}'s semantics (e.g. [Ld]: base
+    register, then the loaded address; [St]: base, then the stored
+    register; [Out]: the register, then [Mem out_count]). This order is
+    {e per instruction} and does not change when an engine executes a
+    pre-decoded superblock: blocks replay the same per-instruction
+    fetch-then-operands sequence, and a checkpoint PC landing mid-block
+    simply starts the sequence at that instruction — a slave's first
+    three recorded reads are always [Pc], [Mem start_pc], then the first
+    instruction's operands, whether or not [start_pc] is a block head.
+    (Live-in journals are keyed stores, so only first-read values are
+    retained; the order contract is what makes "first" well defined.) *)

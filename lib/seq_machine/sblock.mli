@@ -1,0 +1,105 @@
+(** The superblock execution engine — the interpreter's pre-decoded fast
+    path.
+
+    A {e superblock} is a straight-line region of code: it extends
+    {e through} conditional branches (their fall-through continues the
+    region) and ends at a transfer that cannot fall through
+    ([Jmp]/[Jal]/[Jr]/[Jalr]/[Halt]), an undecodable word, or a length
+    cap. The engine decodes such a region once, from the words currently
+    in memory, into a flat instruction array, and executes whole blocks
+    per dispatch: the COW page lookup, per-word decode and PC write are
+    hoisted out of the per-instruction loop.
+
+    This is an {e optimization over}, not a departure from, the single
+    instruction semantics of {!Exec} (paper §4.1): block execution is
+    bit-identical to repeated {!Exec.step} — same final state, same
+    instruction/load/store counters (each instruction still charges its
+    fetch, the [Halt] fixed-point probe included), same stop ordering
+    (fuel before the instruction, [stop_at] after it, [stop_at] winning
+    at the boundary). The equivalence is enforced by differential tests
+    and the SBLKG bench guard rather than assumed.
+
+    {b Self-modifying code.} Fetch goes through memory, so pre-decoded
+    blocks can go stale. Every store executed by the engine — and every
+    external store the owner reports via {!note_store} — probes a
+    per-page table; a store into a page holding cached blocks drops all
+    blocks on that page, and if the engine is inside a block at that
+    moment it leaves the block after the store and re-dispatches from
+    fresh memory. Invalidation is page-granular (pages mirror
+    [Full]'s geometry), conservative and cheap: one array read per store
+    on the miss path. *)
+
+type block = { b_start : int; b_instrs : Mssp_isa.Instr.t array }
+
+type counters = {
+  mutable c_instructions : int;
+  mutable c_loads : int;
+  mutable c_stores : int;
+}
+(** Traffic charged by a {!run} call, with single-step parity: loads
+    count every memory read including instruction fetches, stores every
+    memory write. The caller folds these into its own accounting. *)
+
+val fresh_counters : unit -> counters
+
+type stop =
+  | Fuel  (** the per-call instruction budget ran out *)
+  | Stop_at  (** the [stop_at] predicate matched the next PC *)
+  | Halted
+  | Fault of Exec.fault
+
+type t
+
+val default_enabled : bool
+(** Whether engines are on by default in this process: [true] unless the
+    [MSSP_SBLK] environment variable is ["0"]/["false"]/["off"]/["no"]. *)
+
+val create : ?images:Mssp_isa.Program.t list -> unit -> t
+(** Fresh engine with an empty block cache. [images] (default none)
+    accelerate decode via {!Mssp_isa.Program.decode_all} and give warmed
+    block lookups an O(1) direct-mapped table over the images' address
+    span; blocks outside any image are still discovered and cached at
+    run time. The engine reads code through the state passed to {!run},
+    never through the images — they are a decode memo, validated
+    word-by-word, so they cannot go stale. *)
+
+val warm : t -> Mssp_state.Full.t -> unit
+(** Pre-build blocks at every static straight-line-region entry of the
+    engine's images (per {!Mssp_cfg.Cfg.superblock_starts}), reading the
+    words currently in [state]. Idempotent: only the first call does
+    work. Mid-region entries are discovered at run time. *)
+
+val note_store : t -> int -> unit
+(** Report a store to address [a] performed {e outside} the engine (a
+    task commit, fault-plan chaos, any direct [Full.set_mem] on the
+    state the engine executes): drops cached blocks on the stored-to
+    page. Required for correctness only when the engine persists across
+    such writes; stores executed by the engine itself are handled
+    internally. *)
+
+val run :
+  t ->
+  Mssp_state.Full.t ->
+  counters ->
+  fuel:int ->
+  min_steps:int ->
+  stop_at:(int -> bool) option ->
+  stop
+(** Run from the state's current PC until [Halt], a fault, [fuel]
+    retired instructions, or — after at least [min_steps] retirements —
+    an instruction whose successor PC satisfies [stop_at]. Stop
+    conditions replicate the single-step drivers exactly: fuel is
+    checked {e before} each instruction, [stop_at] {e after} each
+    retirement, and [stop_at] wins over fuel when both hold. On return
+    the architectural PC is in place and [ctr] holds this call's
+    traffic. *)
+
+val blocks_built : t -> int
+(** Lifetime count of blocks decoded (cache misses). *)
+
+val invalidations : t -> int
+(** Lifetime count of blocks dropped by store invalidation. *)
+
+val decoder : t -> pc:int -> word:int -> Mssp_isa.Instr.t option
+(** The engine's image-accelerated decode function (agrees with
+    [Instr.decode]); usable as {!Exec.step}'s [?decode]. *)

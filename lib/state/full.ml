@@ -52,12 +52,17 @@ let copy s =
   done;
   { pc = s.pc; regs = Array.copy s.regs; pages; overflow = Hashtbl.copy s.overflow }
 
-let pc s = s.pc
-let set_pc s v = s.pc <- v
-let get_reg s r = if Reg.equal r Reg.zero then 0 else s.regs.(Reg.to_int r)
+let[@inline] pc s = s.pc
+let[@inline] set_pc s v = s.pc <- v
 
-let set_reg s r v =
-  if not (Reg.equal r Reg.zero) then s.regs.(Reg.to_int r) <- v
+(* [Reg.t] is [private int]; comparing the coercion compiles to one
+   integer test, where [Reg.equal] (an alias of [Int.equal]) would cost
+   an indirect call on the interpreter's hottest path *)
+let[@inline] get_reg s r =
+  if (r : Reg.t :> int) = 0 then 0 else s.regs.((r :> int))
+
+let[@inline] set_reg s r v =
+  if (r : Reg.t :> int) <> 0 then s.regs.((r :> int)) <- v
 
 let get_mem s a =
   (* [lsr] sends negative addresses far past [table_pages], so one

@@ -39,6 +39,7 @@ type t = {
   writes : Journal.t;
   mutable executed : int;
   mutable status : status;
+  decode : pc:int -> word:int -> Mssp_isa.Instr.t option;
 }
 
 let make ~id ~start_pc ~end_pc ~end_occurrence ~budget ~live_in =
@@ -59,7 +60,10 @@ let make ~id ~start_pc ~end_pc ~end_occurrence ~budget ~live_in =
     writes = Journal.create ();
     executed = 0;
     status = Running;
+    decode = Exec.default_decode;
   }
+
+let with_decode decode t = { t with decode }
 
 type view = Isolated | Fallback of (Cell.t -> int)
 
@@ -154,7 +158,14 @@ let step_ctx t ctx =
     end
     else begin
       ctx.c_io := None;
-      let outcome = Exec.step ~read:ctx.c_read ~write:ctx.c_write in
+      (* [decode] only short-circuits decoding of the fetched word (via a
+         pre-decoded image); the fetch itself still goes through
+         [c_read], so live-in recording and the access hook see exactly
+         the single-step sequence — slaves stay on the lowest rung of the
+         superblock fallback ladder by design *)
+      let outcome =
+        Exec.step_with ~decode:t.decode ~read:ctx.c_read ~write:ctx.c_write
+      in
       (match !(ctx.c_io) with
       | Some c ->
         (* the instruction touched the I/O region: discard it (its buffered
@@ -212,6 +223,8 @@ let first_inconsistent t arch =
 
 (* the commit operation [S <- live_out(t)], straight from the journal *)
 let commit_into t arch = Journal.iter (fun c v -> Full.set arch c v) t.writes
+
+let iter_writes f t = Journal.iter f t.writes
 
 let pp fmt t =
   Format.fprintf fmt

@@ -61,6 +61,10 @@ type t = {
   writes : Journal.t;  (** live-outs (write buffer) *)
   mutable executed : int;  (** the paper's [k] — instructions so far *)
   mutable status : status;
+  decode : pc:int -> word:int -> Mssp_isa.Instr.t option;
+      (** decoder for fetched words (default {!Exec.default_decode});
+          a pre-decoded image decoder here short-circuits per-word
+          decode without changing the access sequence *)
 }
 
 val make :
@@ -74,6 +78,16 @@ val make :
 (** A fresh task ([⟨S_in, n, S_in, 0⟩] in the paper's tuple form). The
     [Pc ↦ start_pc] binding is added to [live_in] if absent — the task's
     start position is itself a live-in and is verified like any other. *)
+
+val with_decode : (pc:int -> word:int -> Mssp_isa.Instr.t option) -> t -> t
+(** A copy of a fresh task using the given decoder. [decode] must agree
+    with [Instr.decode]; the master passes an
+    {!Mssp_isa.Program.image_decoder} over the original and distilled
+    images when the superblock engine is enabled. Slaves deliberately
+    stay on single-step execution (no block engine): their reads must
+    land in the live-in journal cell by cell, in first-read order —
+    pre-decode is the only rung of the superblock fallback ladder they
+    can use. *)
 
 (** How reads outside the write buffer and live-in set are satisfied. *)
 type view =
@@ -121,6 +135,12 @@ val first_inconsistent :
 
 val commit_into : t -> Mssp_state.Full.t -> unit
 (** [commit_into t arch] superimposes the write buffer onto [arch] — the
-    commit operation [S ← live_out(t)]. *)
+    commit operation [S ← live_out(t)]. A caller keeping a superblock
+    engine over [arch] must report the committed memory cells to it
+    ({!Mssp_seq.Sblock.note_store}); {!iter_writes} enumerates them
+    without allocating a fragment. *)
+
+val iter_writes : (Mssp_state.Cell.t -> int -> unit) -> t -> unit
+(** Iterate the write buffer in journal order (allocation-free). *)
 
 val pp : Format.formatter -> t -> unit
