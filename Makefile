@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-csv bench-json perf-smoke promote-golden fuzz examples clean loc
+.PHONY: all build test bench bench-csv bench-json perf-smoke promote-golden fuzz fuzz-distill examples clean loc
 
 all: build
 
@@ -48,6 +48,12 @@ promote-golden:
 # finding prints its exact --jobs 1 replay line.
 fuzz:
 	dune exec -- mssp_sim fuzz --seed $${SEED:-1} --count $${COUNT:-500} --jobs $${JOBS:-4} --out fuzz/corpus
+
+# the pass-subset axis: each program judged on the distiller grid (empty
+# pipeline, every pass alone, a random valid subset — pass-checker on);
+# failing subset points dump per-pass diff artifacts to _distill_failures/
+fuzz-distill:
+	dune exec -- mssp_sim fuzz --distill-grid --seed $${SEED:-1} --count $${COUNT:-300} --jobs $${JOBS:-4} --out fuzz/corpus
 
 examples:
 	dune exec examples/quickstart.exe

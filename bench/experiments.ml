@@ -763,6 +763,67 @@ let e17 () =
   note "then flattens — but a deeper window also discards more work per";
   note "squash, so there is no benefit past a few times the slave count."
 
+(* --- E18: distiller pass ablation ------------------------------------ *)
+
+let e18 () =
+  section "E18  Pass ablation: what each distiller pass buys";
+  let module Pipeline = Mssp_distill.Pipeline in
+  let resolve names =
+    match Pipeline.resolve names with
+    | Ok ps -> ps
+    | Error e -> failwith e
+  in
+  let full = Pipeline.names (Pipeline.passes ()) in
+  let names = [ "vecsum"; "branchy"; "treesum"; "qsort" ] in
+  let benches = List.map W.find names in
+  (* drop one rewrite pass at a time; removing harden takes repair with
+     it (repair only un-hardens), compact stays so static sizes are
+     comparable, and promote is gated off by default options already *)
+  let ablations =
+    [
+      ("full", full);
+      ("-harden", List.filter (fun n -> n <> "harden" && n <> "repair") full);
+      ("-drop-stores", List.filter (fun n -> n <> "drop-stores") full);
+      ("-dead-writes", List.filter (fun n -> n <> "dead-writes") full);
+      ("-boundaries", List.filter (fun n -> n <> "boundaries") full);
+      ("none", [ "compact" ]);
+    ]
+  in
+  let prepared =
+    List.map
+      (fun (_, subset) ->
+        List.map (fun b -> prepare ~passes:(resolve subset) b) benches)
+      ablations
+  in
+  let runs =
+    chunk (List.length benches)
+      (checked_runs
+         (List.concat_map
+            (fun ps -> List.map (fun p -> (p, with_slaves 4)) ps)
+            prepared))
+  in
+  let rows =
+    List.map2
+      (fun ((label, _), ps) rs ->
+        let speedups = List.map2 (fun p r -> speedup p r) ps rs in
+        let dyn =
+          Stats.geomean
+            (List.map
+               (fun p -> Distill.dynamic_ratio p.distilled.Distill.stats)
+               ps)
+        in
+        label :: f2 (Stats.geomean speedups) :: f2 dyn
+        :: List.map f2 speedups)
+      (List.combine ablations prepared)
+      runs
+  in
+  print_table ~header:([ "pipeline"; "geomean"; "dyn ratio" ] @ names) rows;
+  note "every ablated package is re-verified against SEQ before its";
+  note "numbers print (absorbability: a weaker distiller only costs";
+  note "speed). Boundaries are load-bearing — one entry fork means one";
+  note "giant task and pure overhead; hardening and store removal";
+  note "shorten the master's dynamic path; 'none' is slower than SEQ."
+
 (* --- E1s: reduced-scale E1 for perf smoke runs ----------------------- *)
 
 (* E1 at a quarter of the reference inputs and a single slave count:
@@ -1094,7 +1155,7 @@ let all : (string * (unit -> unit)) list =
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
-    ("E17", e17);
+    ("E17", e17); ("E18", e18);
   ]
 
 (* opt-in experiments: run only when named on the command line, never

@@ -20,12 +20,12 @@ type prepared = {
   baseline : B.result;  (** sequential run, cycles + final state *)
 }
 
-let prepare ?options ?(scale = 1.0) (bench : W.benchmark) =
+let prepare ?options ?passes ?(scale = 1.0) (bench : W.benchmark) =
   let ref_size = max 1 (int_of_float (float_of_int bench.W.ref_size *. scale)) in
   let train = bench.W.program ~size:bench.W.train_size in
   let program = bench.W.program ~size:ref_size in
   let profile = Profile.collect train in
-  let distilled = Distill.distill ?options program profile in
+  let distilled = Distill.distill ?options ?passes program profile in
   let baseline =
     B.sequential ~also_load:[ distilled.Distill.distilled ] program
   in

@@ -24,6 +24,7 @@ module Full = Mssp_state.Full
 module Machine = Mssp_seq.Machine
 module Profile = Mssp_profile.Profile
 module Distill = Mssp_distill.Distill
+module Pipeline = Mssp_distill.Pipeline
 module M = Mssp_core.Mssp_machine
 module Config = Mssp_core.Mssp_config
 module B = Mssp_baseline.Baseline
@@ -128,21 +129,73 @@ let distill_cmd =
   let dump_arg =
     Arg.(value & flag & info [ "dump" ] ~doc:"Print both program listings.")
   in
-  let run name size dump no_distill =
-    let b, program, d = prepare name size no_distill in
-    ignore b;
+  let passes_arg =
+    let doc =
+      "Comma-separated pass names to run instead of the default pipeline \
+       (see the registry: harden, promote, drop-stores, repair, \
+       dead-writes, boundaries, compact). A list without a layout pass \
+       gets the identity layout appended."
+    in
+    Arg.(value & opt (some string) None & info [ "passes" ] ~docv:"LIST" ~doc)
+  in
+  let dump_passes_arg =
+    let doc =
+      "Write one before/after disassembly diff per executed pass plus \
+       pipeline.json under $(docv) (created if missing)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "dump-passes" ] ~docv:"DIR" ~doc)
+  in
+  let run name size dump no_distill passes dump_passes =
+    let b, size = resolve_bench name size in
+    let train = b.W.program ~size:b.W.train_size in
+    let program = b.W.program ~size in
+    let profile = Profile.collect train in
+    let options =
+      if no_distill then Distill.identity_options else Distill.default_options
+    in
+    let passes =
+      match passes with
+      | None -> Pipeline.passes ()
+      | Some s -> (
+        let names =
+          String.split_on_char ',' s |> List.map String.trim
+          |> List.filter (fun x -> x <> "")
+        in
+        match Pipeline.resolve names with
+        | Ok ps -> ps
+        | Error e ->
+          prerr_endline e;
+          exit 2)
+    in
+    let r = Pipeline.run ~options ~passes ~check:true program profile in
+    let d = Distill.of_result r in
     Format.printf "%a@." Distill.pp_stats d.Distill.stats;
     Printf.printf "task entries: %s\n"
       (String.concat ", "
          (List.map (Printf.sprintf "%#x") d.Distill.task_entries));
+    Format.printf "--- passes ---@.%a@." Pipeline.pp_pass_stats r;
     if dump then begin
       Format.printf "@.--- original ---@.%a@." Mssp_isa.Program.pp program;
       Format.printf "--- distilled ---@.%a@." Mssp_isa.Program.pp
         d.Distill.distilled
+    end;
+    Option.iter
+      (fun dir ->
+        let files = Pipeline.dump ~dir r in
+        Printf.printf "wrote %d pass artifact(s) under %s\n"
+          (List.length files) dir)
+      dump_passes;
+    if not (Pipeline.ok r) then begin
+      Format.eprintf "pass-checker: %d violation(s)@."
+        (List.length r.Pipeline.violations);
+      exit 1
     end
   in
   Cmd.v (Cmd.info "distill" ~doc:"Distill a benchmark and show statistics")
-    Term.(const run $ bench_arg $ size_arg $ dump_arg $ no_distill_arg)
+    Term.(
+      const run $ bench_arg $ size_arg $ dump_arg $ no_distill_arg
+      $ passes_arg $ dump_passes_arg)
 
 (* --- run --- *)
 
@@ -499,13 +552,22 @@ let fuzz_cmd =
                the final architected state still equals SEQ); failing \
                witnesses shrink over both the program and the plan.")
   in
-  let run seed count size budget out save quiet trace jobs faults =
+  let distill_grid_flag =
+    Arg.(value & flag & info [ "distill-grid" ]
+         ~doc:"Judge each program on the distiller pass-subset grid \
+               (every pass alone, the empty pipeline, a seed-derived \
+               random subset/order) with the pass-checker on; checker \
+               violations are divergences and failing subsets dump their \
+               per-pass artifacts under _distill_failures/.")
+  in
+  let run seed count size budget out save quiet trace jobs faults distill_grid
+      =
     let module Driver = Mssp_fuzz.Driver in
     let module Oracle = Mssp_fuzz.Oracle in
     let log = if quiet then fun _ -> () else print_endline in
     let r =
       Driver.campaign ~seed ~count ~size ~shrink_budget:budget ?out ~save
-        ~trace ~log ~jobs ~faults ()
+        ~trace ~log ~jobs ~faults ~distill_grid ()
     in
     Printf.printf
       "fuzz: %d programs (%d skipped), %d machine runs compared, %d divergence(s)\n"
@@ -538,7 +600,8 @@ let fuzz_cmd =
           grid and the formal models; failures are shrunk to minimal repros")
     Term.(
       const run $ seed_arg $ count_arg $ size_arg $ budget_arg $ out_arg
-      $ save_arg $ quiet_arg $ trace_flag $ jobs_arg $ faults_flag)
+      $ save_arg $ quiet_arg $ trace_flag $ jobs_arg $ faults_flag
+      $ distill_grid_flag)
 
 (* --- audit --- *)
 

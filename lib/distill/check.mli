@@ -1,0 +1,33 @@
+(** The pass-checker: structural invariants asserted after every
+    distiller pass and on the final package.
+
+    Distillation is unsound by design — the machine absorbs every wrong
+    prediction — so the checker does not verify semantic preservation. It
+    pins down the shape of what each pass may do (profile-justified
+    rewrites of the right instruction category only, stack stores
+    untouchable, stats accounting exactly for the observed diff) and the
+    structural contract the machine relies on (fork placement, entry/pc
+    map consistency, in-image control flow). *)
+
+type violation = { pass : string; invariant : string; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+val show : violation list -> string
+
+val after :
+  before:Mssp_isa.Instr.t array ->
+  Pass.state ->
+  Pass.t ->
+  Pass.pstat ->
+  violation list
+(** [after ~before st pass stat] checks one executed pass, where [before]
+    is a snapshot of the working code taken just before it ran and [st]
+    the state it produced. Rewrite passes are validated site-by-site
+    (broken mutation-testing passes against their honest counterpart's
+    rules); analysis passes must leave the code untouched; layout passes
+    are deferred to {!final}. *)
+
+val final : Pass.state -> violation list
+(** Whole-package checks on the laid-out distilled image: distilled base,
+    entry containment, task-entry/fork/entry-map agreement, pc-map
+    domain/range, and direct control flow staying inside the image. *)

@@ -1,11 +1,14 @@
-module Instr = Mssp_isa.Instr
+(* The distiller facade: a thin wrapper over the checked pass pipeline
+   (Pass / Check / Pipeline). The default pipeline applies the seed
+   transformations in their original order and is bit-identical to the
+   old monolithic distiller; this module just packages the pipeline's
+   final state into the [t] record the machine consumes and composes the
+   per-pass stats into the backward-compatible flat record. *)
+
 module Program = Mssp_isa.Program
-module Layout = Mssp_isa.Layout
-module Cfg = Mssp_cfg.Cfg
-module Regset = Mssp_cfg.Regset
 module Profile = Mssp_profile.Profile
 
-type options = {
+type options = Pass.options = {
   branch_bias_threshold : float;
   min_branch_count : int;
   promote_stable_loads : bool;
@@ -19,35 +22,8 @@ type options = {
   min_boundary_count : int;
 }
 
-let default_options =
-  {
-    branch_bias_threshold = 0.98;
-    min_branch_count = 8;
-    promote_stable_loads = false;
-    load_stability_threshold = 0.999;
-    min_load_count = 16;
-    remove_dead_writes = true;
-    remove_noncomm_stores = true;
-    store_comm_distance = 1000;
-    min_store_count = 8;
-    compact = true;
-    min_boundary_count = 4;
-  }
-
-let identity_options =
-  {
-    branch_bias_threshold = 2.0;
-    min_branch_count = max_int;
-    promote_stable_loads = false;
-    load_stability_threshold = 2.0;
-    min_load_count = max_int;
-    remove_dead_writes = false;
-    remove_noncomm_stores = false;
-    store_comm_distance = default_options.store_comm_distance;
-    min_store_count = default_options.min_store_count;
-    compact = false;
-    min_boundary_count = default_options.min_boundary_count;
-  }
+let default_options = Pass.default_options
+let identity_options = Pass.identity_options
 
 type stats = {
   original_static : int;
@@ -90,343 +66,70 @@ type t = {
   entry_map : (int, int) Hashtbl.t;
   pc_map : (int, int) Hashtbl.t;
   stats : stats;
+  pass_stats : Pass.pstat list;  (** per executed pass, execution order *)
 }
 
-(* --- phase 1: local instruction rewrites (hardening, promotion) --- *)
+let pp_pass_stats fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Format.fprintf fmt "@,";
+      Pass.pp_pstat fmt s)
+    t.pass_stats;
+  Format.fprintf fmt "@]"
 
-let rewrite_instructions options (p : Program.t) profile =
-  let hardened = ref [] and promoted = ref 0 and stores_removed = ref 0 in
-  let code =
-    Array.mapi
-      (fun i instr ->
-        let pc = p.base + i in
-        match instr with
-        | Instr.Br (_, _, _, off) -> (
-          match Profile.branch_bias profile pc with
-          | Some (dominant, freq)
-            when freq >= options.branch_bias_threshold
-                 && Profile.exec_count profile pc >= options.min_branch_count ->
-            let cold = if dominant then pc + 1 else pc + off in
-            hardened := (pc, instr, cold) :: !hardened;
-            if dominant then Instr.Jmp off else Instr.Nop
-          | Some _ | None -> instr)
-        | Instr.St (_, base, _)
-          when options.remove_noncomm_stores
-               && not (Mssp_isa.Reg.equal base Mssp_isa.Reg.sp) -> (
-          (* Stack stores are exempt no matter the measured distance: the
-             master consumes its own frames (saved links, spills), and a
-             long push-to-pop distance just means a long-running callee —
-             removing the push would wreck the master's own execution,
-             not merely a prediction. *)
-          match Profile.store_comm_distance profile pc with
-          | Some d
-            when d > options.store_comm_distance
-                 && Profile.exec_count profile pc >= options.min_store_count ->
-            incr stores_removed;
-            Instr.Nop
-          | Some _ | None -> instr)
-        | Instr.Ld _ when options.promote_stable_loads -> (
-          match (Instr.writes_reg instr, Profile.load_stability profile pc) with
-          | Some rd, Some (value, stability)
-            when stability >= options.load_stability_threshold
-                 && Profile.exec_count profile pc >= options.min_load_count
-                 && Instr.imm_fits value ->
-            incr promoted;
-            Instr.Li (rd, value)
-          | _, _ -> instr)
-        | _ -> instr)
-      p.code
+(* The flat stats record is derived by composing the per-pass records:
+   each counter is the sum over every pass that claims it, so custom
+   pipelines (repeated, reordered or omitted passes) still account
+   correctly. *)
+let counter_total pstats name =
+  List.fold_left (fun acc s -> acc + Pass.counter s name) 0 pstats
+
+let package (r : Pipeline.result) =
+  let st = r.Pipeline.state in
+  let l =
+    match st.Pass.layout with
+    | Some l -> l
+    | None -> assert false (* the driver always appends a layout *)
   in
-  (code, !hardened, !promoted, !stores_removed)
-
-(* Hardening repair: a branch may be pruned only if that loses no hot
-   code. If hot blocks (training count >= min_branch_count) become
-   unreachable in the hardened CFG, restore — one at a time — hardened
-   branches whose cold edge can reach the lost blocks in the original
-   CFG, until everything hot is back. Rarely-taken paths (error handling,
-   epilogues of single-run regions) stay pruned. *)
-let repair_hardening options (p : Program.t) profile code hardened =
-  let g_orig = Cfg.build p in
-  let orig_reaches_from pc =
-    (* block starts reachable in the original CFG from [pc]'s block *)
-    match Cfg.block_of_pc g_orig pc with
-    | None -> fun _ -> false
-    | Some b0 ->
-      let seen = Array.make (Array.length g_orig.Cfg.blocks) false in
-      let rec visit id =
-        if not seen.(id) then begin
-          seen.(id) <- true;
-          List.iter visit g_orig.Cfg.blocks.(id).Cfg.succs
-        end
-      in
-      visit b0.Cfg.id;
-      fun start ->
-        (match Cfg.block_of_pc g_orig start with
-        | Some b -> seen.(b.Cfg.id)
-        | None -> false)
-  in
-  let remaining = ref hardened in
-  let continue_ = ref true in
-  while !continue_ do
-    continue_ := false;
-    let transformed = Program.make ~base:p.base ~entry:p.entry code in
-    let g = Cfg.build transformed in
-    let reach = Cfg.reachable g in
-    let lost_hot =
-      Array.to_list g.Cfg.blocks
-      |> List.filter_map (fun (b : Cfg.block) ->
-             if
-               (not reach.(b.id))
-               && Profile.exec_count profile b.start
-                  >= options.min_branch_count
-             then Some b.start
-             else None)
-    in
-    if lost_hot <> [] then begin
-      (* restore the first hardened branch whose cold edge recovers some
-         lost hot block *)
-      let rec pick acc = function
-        | [] -> ()
-        | ((pc, orig, cold) as h) :: rest ->
-          let reaches = orig_reaches_from cold in
-          if List.exists reaches lost_hot then begin
-            code.(pc - p.base) <- orig;
-            remaining := List.rev_append acc rest;
-            continue_ := true
-          end
-          else pick (h :: acc) rest
-      in
-      pick [] !remaining
-    end
-  done;
-  List.length !remaining
-
-(* --- phase 2: dead register-write elimination ---
-   Iterated with liveness to a fixpoint (bounded) so chains of dead
-   definitions disappear. Only pure register-writing instructions are
-   candidates; stores, Out and control flow always survive. *)
-
-let is_pure_def = function
-  | Instr.Alu _ | Instr.Alui _ | Instr.Li _ | Instr.Ld _ -> true
-  | Instr.St _ | Instr.Br _ | Instr.Jmp _ | Instr.Jal _ | Instr.Jr _
-  | Instr.Jalr _ | Instr.Out _ | Instr.Fork _ | Instr.Halt | Instr.Nop ->
-    false
-
-let remove_dead_writes (p : Program.t) code =
-  let removed = ref 0 in
-  let changed = ref true in
-  let rounds = ref 0 in
-  while !changed && !rounds < 4 do
-    changed := false;
-    incr rounds;
-    let current = Program.make ~base:p.base ~entry:p.entry code in
-    let g = Cfg.build current in
-    let live = Cfg.liveness g in
-    let reach = Cfg.reachable g in
-    Array.iter
-      (fun (b : Cfg.block) ->
-        if reach.(b.id) then begin
-          let live_now = ref live.live_out.(b.id) in
-          for i = b.len - 1 downto 0 do
-            let off = b.start + i - p.base in
-            let instr = code.(off) in
-            (match (Instr.writes_reg instr, is_pure_def instr) with
-            | Some rd, true when not (Regset.mem rd !live_now) ->
-              code.(off) <- Instr.Nop;
-              incr removed;
-              changed := true
-            | _, _ -> ());
-            let instr = code.(off) in
-            live_now :=
-              Regset.union
-                (Regset.diff !live_now (Cfg.defs instr))
-                (Cfg.uses instr)
-          done
-        end)
-      g.blocks
-  done;
-  !removed
-
-(* --- phase 3: task-boundary selection ---
-   Candidates: hot loop headers, direct-call targets and the program
-   entry. Fork markers are cheap (the master paces actual checkpoints
-   with its task-size counter), so every candidate executed at least
-   [min_boundary_count] times on the training input is kept — denser
-   markers give the machine finer boundary choices. *)
-
-let select_boundaries options (p : Program.t) profile g =
-  let candidates = Hashtbl.create 32 in
-  let add pc =
-    if Program.in_code p pc && not (Hashtbl.mem candidates pc) then
-      Hashtbl.add candidates pc (max 1 (Profile.exec_count profile pc))
-  in
-  List.iter add (Cfg.back_edge_targets g);
-  Array.iteri
-    (fun i instr ->
-      match instr with
-      | Instr.Jal (_, off) -> add (p.base + i + off)
-      | _ -> ())
-    p.code;
-  Hashtbl.remove candidates p.entry;
-  let selected =
-    Hashtbl.fold
-      (fun pc count acc ->
-        if count >= options.min_boundary_count then pc :: acc else acc)
-      candidates [ p.entry ]
-  in
-  List.sort_uniq Int.compare selected
-
-(* --- phase 4: layout ---
-   Re-emit reachable blocks in original order at [Layout.distilled_base],
-   inserting [Fork] before task-entry blocks, optionally dropping [Nop]s,
-   then retarget all direct control flow. Unmappable targets go to a
-   shared trap ([Halt]) appended at the end: the master simply stops
-   helping if it gets there.
-
-   Calls need care: the master's *values* must predict original-program
-   values, so a distilled call must leave the ORIGINAL return address in
-   the link register (slaves will read it). [Jal rd, t] therefore becomes
-   [Li rd, orig_return; Jmp t'], and [Jalr rd, rs] becomes
-   [Li rd, orig_return; Jr rs]. Returns then jump to original-code
-   addresses; the machine's master-side PC map ([pc_map], covering every
-   retained block start) redirects such targets back into distilled
-   code. *)
-
-type emitted = {
-  orig_pc : int option;  (** original PC whose profile count this carries *)
-  mutable instr : Instr.t;
-  retarget : int option;  (** absolute original target to remap *)
-}
-
-let layout options (p : Program.t) code task_entries g reach =
-  let is_entry = Hashtbl.create 16 in
-  List.iter (fun e -> Hashtbl.replace is_entry e ()) task_entries;
-  let base = Layout.distilled_base in
-  let buffer = ref [] in
-  let count = ref 0 in
-  let new_addr_of = Hashtbl.create 64 in
-  let fork_addr_of = Hashtbl.create 16 in
-  let emit ?orig_pc ?retarget instr =
-    buffer := { orig_pc; instr; retarget } :: !buffer;
-    incr count
-  in
-  let blocks_dropped = ref 0 in
-  Array.iter
-    (fun (b : Cfg.block) ->
-      if not reach.(b.id) then incr blocks_dropped
-      else begin
-        Hashtbl.replace new_addr_of b.start (base + !count);
-        if Hashtbl.mem is_entry b.start then begin
-          Hashtbl.replace fork_addr_of b.start (base + !count);
-          emit ~orig_pc:b.start (Instr.Fork b.start)
-        end;
-        for i = 0 to b.len - 1 do
-          let orig_pc = b.start + i in
-          let instr = code.(orig_pc - p.base) in
-          match instr with
-          | Instr.Nop when options.compact -> ()
-          | Instr.Br (c, r1, r2, off) ->
-            emit ~orig_pc ~retarget:(orig_pc + off) (Instr.Br (c, r1, r2, 0))
-          | Instr.Jmp off -> emit ~orig_pc ~retarget:(orig_pc + off) (Instr.Jmp 0)
-          | Instr.Jal (rd, off) ->
-            if not (Mssp_isa.Reg.equal rd Mssp_isa.Reg.zero) then
-              emit ~orig_pc (Instr.Li (rd, orig_pc + 1));
-            emit ~orig_pc ~retarget:(orig_pc + off) (Instr.Jmp 0)
-          | Instr.Jalr (rd, rs) when not (Mssp_isa.Reg.equal rd rs) ->
-            if not (Mssp_isa.Reg.equal rd Mssp_isa.Reg.zero) then
-              emit ~orig_pc (Instr.Li (rd, orig_pc + 1));
-            emit ~orig_pc (Instr.Jr rs)
-          | _ -> emit ~orig_pc instr
-        done
-      end)
-    g.Cfg.blocks;
-  (* shared trap for unmappable control-flow targets *)
-  let trap_addr = base + !count in
-  emit Instr.Halt;
-  let emitted = Array.of_list (List.rev !buffer) in
-  let map_target t =
-    match Hashtbl.find_opt new_addr_of t with
-    | Some a -> a
-    | None -> trap_addr
-  in
-  (* retarget direct control flow *)
-  Array.iteri
-    (fun i e ->
-      match e.retarget with
-      | None -> ()
-      | Some orig_target -> (
-        let new_pc = base + i in
-        let off = map_target orig_target - new_pc in
-        match e.instr with
-        | Instr.Br (c, r1, r2, _) -> e.instr <- Instr.Br (c, r1, r2, off)
-        | Instr.Jmp _ -> e.instr <- Instr.Jmp off
-        | _ -> assert false))
-    emitted;
-  let distilled_code = Array.map (fun e -> e.instr) emitted in
-  let entry_map = Hashtbl.create 16 in
-  List.iter
-    (fun e ->
-      match Hashtbl.find_opt fork_addr_of e with
-      | Some a -> Hashtbl.replace entry_map e a
-      | None -> ())
-    task_entries;
-  let entry =
-    match Hashtbl.find_opt new_addr_of p.entry with
-    | Some a -> a
-    | None -> trap_addr
-  in
-  let distilled = Program.make ~base ~entry distilled_code in
-  (distilled, entry_map, new_addr_of, !blocks_dropped, emitted)
-
-let estimate_dynamic profile (emitted : emitted array) =
-  Array.fold_left
-    (fun acc e ->
-      match e.orig_pc with
-      | None -> acc
-      | Some pc -> (
-        match e.instr with
-        | Instr.Fork _ -> acc (* markers are free for the master *)
-        | _ -> acc + Profile.exec_count profile pc))
-    0 emitted
-
-let distill ?(options = default_options) (p : Program.t) profile =
-  let code, hardened, promoted, stores_removed =
-    rewrite_instructions options p profile
-  in
-  let hardened_kept = repair_hardening options p profile code hardened in
-  let dead_removed =
-    if options.remove_dead_writes then remove_dead_writes p code else 0
-  in
-  let transformed = Program.make ~base:p.base ~entry:p.entry code in
-  let g = Cfg.build transformed in
-  let reach = Cfg.reachable g in
-  (* boundaries are chosen on the original CFG so they name original PCs
-     that the original program actually reaches *)
-  let g_orig = Cfg.build p in
-  let task_entries = select_boundaries options p profile g_orig in
-  let distilled, entry_map, pc_map, blocks_dropped, emitted =
-    layout options p code task_entries g reach
-  in
-  (* entries that fell in unreachable distilled code have no fork: drop
-     them from the task-entry list so recovery never waits for them *)
   let task_entries =
-    List.filter (fun e -> Hashtbl.mem entry_map e) task_entries
+    match st.Pass.task_entries with Some e -> e | None -> assert false
   in
+  let pass_stats = List.rev st.Pass.pstats in
   let stats =
     {
-      original_static = Program.length p;
-      distilled_static = Program.length distilled;
+      original_static = Program.length st.Pass.original;
+      distilled_static = Program.length l.Pass.distilled;
       forks_inserted = List.length task_entries;
-      branches_hardened = hardened_kept;
-      loads_promoted = promoted;
-      dead_writes_removed = dead_removed;
-      stores_removed;
-      blocks_dropped;
-      estimated_dynamic_original = profile.Profile.dynamic_instructions;
-      estimated_dynamic_distilled = estimate_dynamic profile emitted;
+      branches_hardened = List.length st.Pass.hardened;
+      loads_promoted = counter_total pass_stats "loads_promoted";
+      dead_writes_removed = counter_total pass_stats "dead_writes_removed";
+      stores_removed = counter_total pass_stats "stores_removed";
+      blocks_dropped = l.Pass.blocks_dropped;
+      estimated_dynamic_original =
+        st.Pass.profile.Profile.dynamic_instructions;
+      estimated_dynamic_distilled = l.Pass.estimated_dynamic;
     }
   in
-  { original = p; distilled; task_entries; entry_map; pc_map; stats }
+  {
+    original = st.Pass.original;
+    distilled = l.Pass.distilled;
+    task_entries;
+    entry_map = l.Pass.entry_map;
+    pc_map = l.Pass.pc_map;
+    stats;
+    pass_stats;
+  }
 
+let distill ?options ?passes (p : Program.t) profile =
+  package (Pipeline.run ?options ?passes ~check:false p profile)
+
+let checked ?options ?passes (p : Program.t) profile =
+  let r = Pipeline.run ?options ?passes ~check:true p profile in
+  if Pipeline.ok r then Ok (package r)
+  else Error (Check.show r.Pipeline.violations)
+
+let of_result = package
+let is_pure_def = Pass.is_pure_def
 let distilled_entry_for t orig_pc = Hashtbl.find_opt t.entry_map orig_pc
 let is_task_entry t pc = Hashtbl.mem t.entry_map pc

@@ -7,42 +7,52 @@
     (verification catches every wrong prediction); they only have to be
     right often enough to be fast (paper §1–2).
 
+    Since PR 7 the distiller is a {e checked pass pipeline}: each
+    transformation is one named, independently-switchable {!Pass.t} with
+    a uniform signature over a shared distillation state, driven by
+    {!Pipeline.run}, which snapshots a diffable artifact per pass and
+    asserts structural invariants ({!Check}) after every step. This
+    module is the facade: the default pipeline reproduces the original
+    monolithic distiller bit-identically.
+
     Transformations, all profile-driven:
-    + {b Branch hardening}: a branch taken (or fallen through) with
-      frequency ≥ [branch_bias_threshold] on the training input becomes an
-      unconditional jump (or nothing), removing the test and the cold arm
-      from the master's path.
-    + {b Load-value promotion}: a load returning the same value with
-      frequency ≥ [load_stability_threshold] becomes [Li] of that value,
-      breaking the master's dependence on memory.
-    + {b Dead-write removal}: register writes never observed live
-      (liveness on the hardened CFG) become [Nop].
-    + {b Non-communicating store removal}: stores whose values were never
-      loaded back within [store_comm_distance] dynamic instructions on
-      the training input become [Nop] in the master's code — their
-      live-outs are produced by slaves anyway, and long-distance
-      communication flows through architected state, not through the
-      master's predictions. (If the reference input does read one back
-      sooner, the slave sees a stale value and verification squashes —
-      unsound-but-checked, like every other transformation here.)
-    + {b Compaction}: unreachable blocks and [Nop]s are dropped and the
-      survivors re-laid-out contiguously at
+    + {b Branch hardening} ([harden]): a branch taken (or fallen through)
+      with frequency ≥ [branch_bias_threshold] on the training input
+      becomes an unconditional jump (or nothing), removing the test and
+      the cold arm from the master's path. Paired with [repair], which
+      restores hardened branches whose pruned cold edge lost hot code.
+    + {b Load-value promotion} ([promote]): a load returning the same
+      value with frequency ≥ [load_stability_threshold] becomes [Li] of
+      that value, breaking the master's dependence on memory.
+    + {b Dead-write removal} ([dead-writes]): register writes never
+      observed live (liveness on the hardened CFG) become [Nop].
+    + {b Non-communicating store removal} ([drop-stores]): stores whose
+      values were never loaded back within [store_comm_distance] dynamic
+      instructions on the training input become [Nop] in the master's
+      code — their live-outs are produced by slaves anyway, and
+      long-distance communication flows through architected state, not
+      through the master's predictions. (If the reference input does read
+      one back sooner, the slave sees a stale value and verification
+      squashes — unsound-but-checked, like every other transformation
+      here.)
+    + {b Compaction} ([compact]): unreachable blocks and [Nop]s are
+      dropped and the survivors re-laid-out contiguously at
       {!Mssp_isa.Layout.distilled_base}, with all direct control-flow
       retargeted. (Indirect targets materialized as constants are {e not}
       rewritten — the master may wander into original code, which is
       functionally harmless; see DESIGN.md.)
-    + {b Task-boundary insertion}: [Fork orig_pc] markers are placed at
-      every hot loop header and function entry, plus the program entry,
-      so all useful work flows through slave tasks. Markers are cheap:
-      the {e master} paces actual checkpoint creation with its task-size
-      counter ([Mssp_config.task_size]), the moral equivalent of the
-      paper's loop unrolling for task sizing.
+    + {b Task-boundary insertion} ([boundaries]): [Fork orig_pc] markers
+      are placed at every hot loop header and function entry, plus the
+      program entry, so all useful work flows through slave tasks.
+      Markers are cheap: the {e master} paces actual checkpoint creation
+      with its task-size counter ([Mssp_config.task_size]), the moral
+      equivalent of the paper's loop unrolling for task sizing.
 
     The result also carries the {e entry map} (original task-entry PC →
     distilled PC of its [Fork]), which the machine uses to restart the
     master after a squash. *)
 
-type options = {
+type options = Pass.options = {
   branch_bias_threshold : float;
       (** harden branches with bias ≥ this; > 1.0 disables hardening *)
   min_branch_count : int;  (** never harden branches executed fewer times *)
@@ -108,10 +118,43 @@ type t = {
           original-code address, the machine redirects it through this
           map back into distilled code. *)
   stats : stats;
+      (** flat aggregate record, derived by composing [pass_stats] — one
+          counter summed over every pass that claims it, so custom
+          pipelines still account correctly *)
+  pass_stats : Pass.pstat list;  (** per executed pass, execution order *)
 }
 
 val distill :
-  ?options:options -> Mssp_isa.Program.t -> Mssp_profile.Profile.t -> t
+  ?options:options ->
+  ?passes:Pass.t list ->
+  Mssp_isa.Program.t ->
+  Mssp_profile.Profile.t ->
+  t
+(** [distill p profile] runs the pass pipeline ([?passes] defaults to
+    {!Pipeline.passes}, the seed distiller's order) without the checker.
+    Any pass subset/order yields a complete runnable package — the
+    driver appends an identity layout when the list carries no layout
+    pass. *)
+
+val checked :
+  ?options:options ->
+  ?passes:Pass.t list ->
+  Mssp_isa.Program.t ->
+  Mssp_profile.Profile.t ->
+  (t, string) Result.t
+(** Like {!distill}, with the {!Check} pass-checker on: [Error] renders
+    every violated invariant. The fuzz distill-grid and the mutation
+    smoke tests run through this. *)
+
+val of_result : Pipeline.result -> t
+(** Package a pipeline result (e.g. after {!Pipeline.run} with artifact
+    dumping) into the machine-facing record. *)
+
+val pp_pass_stats : Format.formatter -> t -> unit
+(** Per-pass stats table (one {!Pass.pp_pstat} line per executed pass). *)
+
+val is_pure_def : Mssp_isa.Instr.t -> bool
+(** Re-export of {!Pass.is_pure_def}. *)
 
 val distilled_entry_for : t -> int -> int option
 (** Distilled PC (of the [Fork]) for an original task-entry PC. *)

@@ -1,0 +1,264 @@
+(* The pass-pipeline driver: runs a list of named passes over one
+   distillation state, snapshots a diffable before/after artifact per
+   pass, runs the pass-checker after every step, and guarantees a
+   complete package by appending an identity layout when the pipeline
+   carries no layout pass of its own. *)
+
+module Instr = Mssp_isa.Instr
+module Program = Mssp_isa.Program
+
+(* --- registry ------------------------------------------------------ *)
+
+let passes () =
+  [
+    Pass.harden;
+    Pass.promote;
+    Pass.drop_stores;
+    Pass.repair;
+    Pass.dead_writes;
+    Pass.boundaries;
+    Pass.compact;
+  ]
+
+let broken () = [ Pass.broken_harden; Pass.broken_stores; Pass.broken_forks ]
+let registry () = passes () @ broken ()
+let names ps = List.map (fun (p : Pass.t) -> p.Pass.name) ps
+
+let find name =
+  List.find_opt (fun (p : Pass.t) -> String.equal p.Pass.name name) (registry ())
+
+let resolve names =
+  let missing =
+    List.filter (fun n -> Option.is_none (find n)) names
+  in
+  if missing <> [] then
+    Error
+      (Format.asprintf "unknown pass(es): %s (known: %s)"
+         (String.concat ", " missing)
+         (String.concat ", " (List.map (fun (p : Pass.t) -> p.Pass.name)
+            (registry ()))))
+  else Ok (List.map (fun n -> Option.get (find n)) names)
+
+(* --- artifacts ----------------------------------------------------- *)
+
+type artifact = {
+  index : int;
+  pass : Pass.t;
+  stat : Pass.pstat;
+  violations : Check.violation list;
+  before_listing : string;
+  after_listing : string;
+}
+
+type result = {
+  state : Pass.state;
+  artifacts : artifact list;  (** execution order, incl. appended layout *)
+  violations : Check.violation list;  (** per-pass then final, flattened *)
+}
+
+let ok r = r.violations = []
+
+let render_code (p : Program.t) code =
+  Format.asprintf "%a"
+    Program.pp
+    (Program.make ~base:p.Program.base ~entry:p.Program.entry
+       (Array.copy code))
+
+let render_program p = Format.asprintf "%a" Program.pp p
+
+(* Plain LCS line diff, unified-ish: changed lines prefixed with -/+,
+   unchanged runs elided down to a one-line marker. Listings here are at
+   most a few thousand lines; fall back to a whole-file dump if the
+   quadratic table would be silly. *)
+let diff_lines before after =
+  let a = Array.of_list before and b = Array.of_list after in
+  let n = Array.length a and m = Array.length b in
+  if n * m > 4_000_000 then
+    [ Printf.sprintf "@ listings too large to diff (%d/%d lines)" n m ]
+  else begin
+    let lcs = Array.make_matrix (n + 1) (m + 1) 0 in
+    for i = n - 1 downto 0 do
+      for j = m - 1 downto 0 do
+        lcs.(i).(j) <-
+          (if String.equal a.(i) b.(j) then 1 + lcs.(i + 1).(j + 1)
+           else max lcs.(i + 1).(j) lcs.(i).(j + 1))
+      done
+    done;
+    let out = ref [] in
+    let same = ref 0 in
+    let flush_same () =
+      if !same > 0 then out := Printf.sprintf "@ %d unchanged" !same :: !out;
+      same := 0
+    in
+    let rec walk i j =
+      if i < n && j < m && String.equal a.(i) b.(j) then begin
+        incr same;
+        walk (i + 1) (j + 1)
+      end
+      else if i < n && (j = m || lcs.(i + 1).(j) >= lcs.(i).(j + 1)) then begin
+        flush_same ();
+        out := ("-" ^ a.(i)) :: !out;
+        walk (i + 1) j
+      end
+      else if j < m then begin
+        flush_same ();
+        out := ("+" ^ b.(j)) :: !out;
+        walk i (j + 1)
+      end
+    in
+    walk 0 0;
+    flush_same ();
+    List.rev !out
+  end
+
+let artifact_diff (a : artifact) =
+  let split s = String.split_on_char '\n' s in
+  let header =
+    [
+      Printf.sprintf "--- before %s" a.pass.Pass.name;
+      Printf.sprintf "+++ after  %s (%s)" a.pass.Pass.name
+        (Format.asprintf "%a" Pass.pp_pstat a.stat);
+    ]
+  in
+  let body = diff_lines (split a.before_listing) (split a.after_listing) in
+  let violations =
+    List.map
+      (fun v -> Format.asprintf "! %a" Check.pp_violation v)
+      a.violations
+  in
+  String.concat "\n" (header @ violations @ body) ^ "\n"
+
+(* --- driver -------------------------------------------------------- *)
+
+let run ?options ?passes:(ps = passes ()) ?(check = true) p profile =
+  let exec (st, arts, idx) (pass : Pass.t) =
+    let before = Array.copy st.Pass.code in
+    let before_listing = render_code st.Pass.original before in
+    let st', stat = pass.Pass.apply st in
+    let st' = { st' with Pass.pstats = stat :: st'.Pass.pstats } in
+    let violations = if check then Check.after ~before st' pass stat else [] in
+    let after_listing =
+      match (pass.Pass.kind, st'.Pass.layout) with
+      | Pass.Layout, Some l -> render_program l.Pass.distilled
+      | _ -> render_code st'.Pass.original st'.Pass.code
+    in
+    let art =
+      { index = idx; pass; stat; violations; before_listing; after_listing }
+    in
+    (st', art :: arts, idx + 1)
+  in
+  let st = Pass.init ?options p profile in
+  let st, arts, idx = List.fold_left exec (st, [], 0) ps in
+  (* a pipeline with no layout pass still yields a complete package *)
+  let st, arts, _ =
+    if st.Pass.layout = None then exec (st, arts, idx) Pass.finish_layout
+    else (st, arts, idx)
+  in
+  let artifacts = List.rev arts in
+  let per_pass = List.concat_map (fun (a : artifact) -> a.violations) artifacts in
+  let final_vs = if check then Check.final st else [] in
+  { state = st; artifacts; violations = per_pass @ final_vs }
+
+(* --- per-pass stats table ------------------------------------------ *)
+
+let pp_pass_stats fmt r =
+  Format.fprintf fmt "@[<v>";
+  List.iteri
+    (fun i (a : artifact) ->
+      if i > 0 then Format.fprintf fmt "@,";
+      Format.fprintf fmt "%2d  %a" a.index Pass.pp_pstat a.stat;
+      List.iter
+        (fun v -> Format.fprintf fmt "@,      ! %a" Check.pp_violation v)
+        a.violations)
+    r.artifacts;
+  Format.fprintf fmt "@]"
+
+(* --- JSON + diff dump ---------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let pass_json (a : artifact) =
+  let detail =
+    a.stat.Pass.detail
+    |> List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" (json_escape k) v)
+    |> String.concat ", "
+  in
+  let violations =
+    a.violations
+    |> List.map (fun v ->
+           Printf.sprintf "\"%s\""
+             (json_escape (Format.asprintf "%a" Check.pp_violation v)))
+    |> String.concat ", "
+  in
+  Printf.sprintf
+    "    { \"index\": %d, \"pass\": \"%s\", \"kind\": \"%s\", \"rewrites\": \
+     %d, \"detail\": { %s }, \"violations\": [ %s ] }"
+    a.index
+    (json_escape a.pass.Pass.name)
+    (match a.pass.Pass.kind with
+    | Pass.Rewrite -> "rewrite"
+    | Pass.Analysis -> "analysis"
+    | Pass.Layout -> "layout")
+    a.stat.Pass.rewrites detail violations
+
+let to_json r =
+  let st = r.state in
+  let summary =
+    match st.Pass.layout with
+    | None -> "null"
+    | Some l ->
+      Printf.sprintf
+        "{ \"original_static\": %d, \"distilled_static\": %d, \"forks\": %d, \
+         \"blocks_dropped\": %d, \"estimated_dynamic_original\": %d, \
+         \"estimated_dynamic_distilled\": %d }"
+        (Program.length st.Pass.original)
+        (Program.length l.Pass.distilled)
+        (match st.Pass.task_entries with Some e -> List.length e | None -> 0)
+        l.Pass.blocks_dropped
+        st.Pass.profile.Mssp_profile.Profile.dynamic_instructions
+        l.Pass.estimated_dynamic
+  in
+  Printf.sprintf
+    "{\n  \"passes\": [\n%s\n  ],\n  \"summary\": %s,\n  \"violations\": %d\n}\n"
+    (String.concat ",\n" (List.map pass_json r.artifacts))
+    summary
+    (List.length r.violations)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+  end
+
+let dump ~dir r =
+  mkdir_p dir;
+  let write name contents =
+    let path = Filename.concat dir name in
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    path
+  in
+  let diffs =
+    List.map
+      (fun (a : artifact) ->
+        write
+          (Printf.sprintf "%02d-%s.diff" a.index a.pass.Pass.name)
+          (artifact_diff a))
+      r.artifacts
+  in
+  let json = write "pipeline.json" (to_json r) in
+  diffs @ [ json ]

@@ -1,0 +1,73 @@
+(** The pass-pipeline driver.
+
+    Runs a list of named {!Pass.t}s over one distillation state,
+    snapshots a diffable before/after artifact per pass, runs the
+    {!Check} pass-checker after every step plus a final whole-package
+    check, and appends an identity layout when the pipeline carries no
+    layout pass — so every pass subset, in any order, yields a complete
+    package the machine can run (and absorb). *)
+
+val passes : unit -> Pass.t list
+(** The default pipeline, in the seed distiller's order:
+    harden, promote, drop-stores, repair, dead-writes, boundaries,
+    compact. Bit-identical to the monolithic seed distiller under every
+    option setting. *)
+
+val broken : unit -> Pass.t list
+(** The deliberately broken mutation-testing passes. Never in a default
+    pipeline. *)
+
+val registry : unit -> Pass.t list
+val names : Pass.t list -> string list
+val find : string -> Pass.t option
+
+val resolve : string list -> (Pass.t list, string) Result.t
+(** Look up passes by name; [Error] lists unknown names and the known
+    registry. *)
+
+(** One executed pass's artifact: its stats, any checker violations, and
+    the rendered before/after disassembly listings. *)
+type artifact = {
+  index : int;
+  pass : Pass.t;
+  stat : Pass.pstat;
+  violations : Check.violation list;
+  before_listing : string;
+  after_listing : string;
+}
+
+type result = {
+  state : Pass.state;
+  artifacts : artifact list;
+      (** execution order, including the appended layout if any *)
+  violations : Check.violation list;  (** per-pass then final, flattened *)
+}
+
+val ok : result -> bool
+(** no checker violations anywhere *)
+
+val run :
+  ?options:Pass.options ->
+  ?passes:Pass.t list ->
+  ?check:bool ->
+  Mssp_isa.Program.t ->
+  Mssp_profile.Profile.t ->
+  result
+(** [run p profile] executes the pipeline ([?passes] defaults to
+    {!passes}; [?check] defaults to [true]). The result always carries a
+    layout (the identity finisher is appended when needed). *)
+
+val artifact_diff : artifact -> string
+(** Unified-style disassembly diff for one pass (checker violations
+    inlined as [! ...] lines). *)
+
+val to_json : result -> string
+(** Per-pass JSON stats record (rewrites, named counters, violations)
+    plus a package summary. *)
+
+val pp_pass_stats : Format.formatter -> result -> unit
+(** Human-readable per-pass stats table. *)
+
+val dump : dir:string -> result -> string list
+(** Write one [NN-<pass>.diff] per executed pass plus [pipeline.json]
+    under [dir] (created if missing); returns the paths written. *)

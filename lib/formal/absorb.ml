@@ -1,0 +1,46 @@
+(* Absorbability: the formal statement the distiller pass-checker leans
+   on. The distiller only ever influences WHICH tasks get created and
+   WHAT values the master predicts for them — never what a verified
+   commit does. In the formal model that influence is invisible: a task
+   chain created at the architected frontier and committed in order
+   through the safety gate (Definition 6) reproduces the sequential
+   machine exactly, whatever guidance chose the chain. So any pass
+   pipeline — including a deliberately broken one — is absorbable: the
+   worst a bad distiller can do is cost performance.
+
+   [check] executes that statement on an instance: chain abstract tasks
+   over the ORIGINAL program at the given cut points, require each to be
+   safe for the state it commits against, and require the folded commits
+   to equal [seq]. *)
+
+let check ?(fuel = 100_000) ?(lengths = [ 2; 3; 5; 8 ]) p =
+  if List.exists (fun n -> n <= 0) lengths then
+    invalid_arg "Absorb.check: task lengths must be positive";
+  let s0 = Seq_model.complete_of_program ~fuel p in
+  (* the chain: each task is created at the frontier its predecessor
+     commits — exactly where the machine forks after a verified commit *)
+  let rec chain s = function
+    | [] -> []
+    | n :: rest -> Abstract_task.make s n :: chain (Seq_model.seq s n) rest
+  in
+  let tasks = chain s0 lengths in
+  let total = List.fold_left ( + ) 0 lengths in
+  let rec commit_chain s = function
+    | [] -> Ok s
+    | t :: rest ->
+      let t = Abstract_task.evolve_fully t in
+      if Safety.safe t s then commit_chain (Safety.commit t s) rest
+      else
+        Error
+          (Format.asprintf
+             "task of %d instructions is unsafe for its creation state"
+             (Abstract_task.count t))
+  in
+  match commit_chain s0 tasks with
+  | Error _ as e -> e
+  | Ok final ->
+    if Seq_model.equal final (Seq_model.seq s0 total) then Ok ()
+    else Error "committed task chain diverges from seq"
+
+let holds ?fuel ?lengths p =
+  match check ?fuel ?lengths p with Ok () -> true | Error _ -> false

@@ -1,0 +1,24 @@
+(** Absorbability — the distiller pass-checker's formal entry point.
+
+    The distiller only influences {e which} tasks get created and
+    {e what} values the master predicts for them, never what a verified
+    commit does. Formally that influence is invisible: a task chain
+    created at the architected frontier and committed in order through
+    the safety gate (Definition 6) reproduces the sequential machine
+    exactly, whatever guidance chose the chain — so {e any} pass
+    pipeline, including a deliberately broken one, is absorbable; the
+    worst a bad distiller costs is performance. [check] executes that
+    statement on an instance over the {e original} program. *)
+
+val check :
+  ?fuel:int ->
+  ?lengths:int list ->
+  Mssp_isa.Program.t ->
+  (unit, string) Result.t
+(** [check p] builds the task chain cut at [lengths] (default
+    [[2; 3; 5; 8]], each > 0) from the completed initial fragment
+    (closed under [fuel] steps, default 100k), requires every task to be
+    {!Safety.safe} for the state it commits against, and requires the
+    folded commits to equal [Seq_model.seq] over the whole span. *)
+
+val holds : ?fuel:int -> ?lengths:int list -> Mssp_isa.Program.t -> bool

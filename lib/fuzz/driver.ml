@@ -18,8 +18,43 @@ type report = {
   findings : finding list;
 }
 
-let run_serial ?grid ?fuel ~faults ~size ~shrink_budget ~out ~save ~trace ~log
-    ~seed ~count () =
+(* On a distill-grid failure, dump the checked pipeline's diffable
+   artifacts (per-pass disassembly diff + pipeline.json) for every
+   failing pass-subset point of the shrunk witness — the distiller
+   counterpart of _trace_failures/, and what CI uploads. *)
+let dump_distill_artifacts ?fuel ~log shrunk grid failures =
+  let dir = "_distill_failures" in
+  let failed (pt : Oracle.point) =
+    List.exists
+      (fun (f : Oracle.failure) -> String.equal f.Oracle.point pt.Oracle.name)
+      failures
+  in
+  let profile =
+    Mssp_profile.Profile.collect ?fuel shrunk
+  in
+  List.iter
+    (fun (pt : Oracle.point) ->
+      match pt.Oracle.distiller with
+      | Oracle.Subset names when failed pt -> (
+        match Mssp_distill.Pipeline.resolve names with
+        | Error _ -> ()
+        | Ok passes ->
+          let r =
+            Mssp_distill.Pipeline.run ~check:true ~passes shrunk profile
+          in
+          let sub =
+            Filename.concat dir
+              (String.map (fun c -> if c = '/' then '-' else c) pt.Oracle.name)
+          in
+          let files = Mssp_distill.Pipeline.dump ~dir:sub r in
+          log
+            (Printf.sprintf "  wrote %d pass artifact(s) under %s"
+               (List.length files) sub))
+      | _ -> ())
+    grid
+
+let run_serial ?grid ?fuel ~faults ~distill ~size ~shrink_budget ~out ~save
+    ~trace ~log ~seed ~count () =
   let rng = Wl_util.lcg (seed lxor 0x6C078965) in
   let skipped = ref 0 in
   let runs = ref 0 in
@@ -30,12 +65,16 @@ let run_serial ?grid ?fuel ~faults ~size ~shrink_budget ~out ~save ~trace ~log
     let p = Gen.generate ~seed:program_seed ~size:sz () in
     (* program x plan fuzzing: the plan is a function of the program
        seed, so the one-line replay (seed -> program + plan) still
-       holds; the plan grid replaces the standard one *)
+       holds; the plan grid replaces the standard one. The distill grid
+       is seeded the same way: its random pass subset is a function of
+       the program seed. *)
     let plan0 = if faults then Some (Gen.plan ~seed:program_seed) else None in
     let grid =
       match plan0 with
       | Some pl -> Some (Oracle.plan_grid ~plan:pl ())
-      | None -> grid
+      | None ->
+        if distill then Some (Oracle.distill_grid ~seed:program_seed ())
+        else grid
     in
     match Oracle.check ?grid ?fuel ~formal_seed:program_seed p with
     | Oracle.Passed n ->
@@ -99,6 +138,10 @@ let run_serial ?grid ?fuel ~faults ~size ~shrink_budget ~out ~save ~trace ~log
         | Some sp -> Some (Oracle.plan_grid ~plan:sp ())
         | None -> grid
       in
+      if distill then
+        Option.iter
+          (fun g -> dump_distill_artifacts ?fuel ~log shrunk g failures)
+          grid;
       (* with tracing on, re-run the shrunk witness under the event bus:
          the trail that explains the divergence ships with the repro *)
       let traced =
@@ -179,12 +222,13 @@ let run_serial ?grid ?fuel ~faults ~size ~shrink_budget ~out ~save ~trace ~log
     findings = List.rev !findings;
   }
 
-let campaign ?grid ?fuel ?(faults = false) ?(size = 0) ?(shrink_budget = 500)
-    ?out ?(save = 0) ?(trace = false) ?(log = fun _ -> ()) ?(jobs = 1) ~seed
-    ~count () =
+let campaign ?grid ?fuel ?(faults = false) ?(distill_grid = false) ?(size = 0)
+    ?(shrink_budget = 500) ?out ?(save = 0) ?(trace = false)
+    ?(log = fun _ -> ()) ?(jobs = 1) ~seed ~count () =
+  let distill = distill_grid in
   if jobs <= 1 || count <= 1 then
-    run_serial ?grid ?fuel ~faults ~size ~shrink_budget ~out ~save ~trace ~log
-      ~seed ~count ()
+    run_serial ?grid ?fuel ~faults ~distill ~size ~shrink_budget ~out ~save
+      ~trace ~log ~seed ~count ()
   else begin
     let jobs = min jobs count in
     (* Each shard is an independent serial campaign seeded with the
@@ -209,7 +253,7 @@ let campaign ?grid ?fuel ?(faults = false) ?(size = 0) ?(shrink_budget = 500)
             Buffer.add_char buf '\n'
           in
           let r =
-            run_serial ?grid ?fuel ~faults ~size ~shrink_budget ~out
+            run_serial ?grid ?fuel ~faults ~distill ~size ~shrink_budget ~out
               ~save:(if w = 0 then save else 0)
               ~trace ~log:shard_log ~seed:(seed + w) ~count:cw ()
           in

@@ -41,6 +41,7 @@ val campaign :
   ?grid:Oracle.point list ->
   ?fuel:int ->
   ?faults:bool ->
+  ?distill_grid:bool ->
   ?size:int ->
   ?shrink_budget:int ->
   ?out:string ->
@@ -56,7 +57,12 @@ val campaign :
     iteration derives an always-absorbable fault plan from the program
     seed ({!Gen.plan}), judges the program on {!Oracle.plan_grid}
     instead of [grid], and shrinks failing witnesses over both
-    coordinates; [size] (default 0 = vary per program in [6, 24]) fixes
+    coordinates; [distill_grid] (default false, ignored under [faults])
+    judges each program on {!Oracle.distill_grid} seeded by the program
+    seed — the pass-subset axis with the pass-checker on — and, on a
+    failing subset point, dumps the shrunk witness's per-pass diff +
+    JSON artifacts under [_distill_failures/] (the distiller counterpart
+    of trace trails); [size] (default 0 = vary per program in [6, 24]) fixes
     the shape count; [shrink_budget] (default 500) bounds predicate
     evaluations
     per finding; [out] enables corpus persistence; [save] (default 0)

@@ -15,7 +15,16 @@ type verdict =
   | Skipped of string
   | Failed of failure list
 
-type distiller = Honest | Aggressive | Identity | Adversaries | Amnesiac
+type distiller =
+  | Honest
+  | Aggressive
+  | Identity
+  | Adversaries
+  | Amnesiac
+  | Subset of string list
+      (** run the distiller pass pipeline restricted to exactly these
+          passes (in this order) with the pass-checker on: checker
+          violations are oracle failures *)
 
 type point = { name : string; distiller : distiller; config : Config.t }
 
@@ -90,6 +99,65 @@ let default_grid () =
     };
   ]
 
+(* --- the pass-subset axis ------------------------------------------ *)
+
+let switchable_passes =
+  [
+    "harden"; "promote"; "drop-stores"; "repair"; "dead-writes"; "boundaries";
+    "compact";
+  ]
+
+(* Permutation validity: [compact] consumes the working code, so it goes
+   last if present; [repair] prunes what [harden] did, so it follows
+   harden directly (anywhere else it is a no-op). Everything else
+   commutes freely — and even "invalid" orders would be absorbed; this
+   just keeps every generated point meaningful. *)
+let valid_order names =
+  let without n l = List.filter (fun x -> not (String.equal x n)) l in
+  let body = without "repair" (without "compact" names) in
+  let body =
+    if not (List.mem "repair" names) then body
+    else if List.mem "harden" body then
+      List.concat_map
+        (fun n -> if String.equal n "harden" then [ "harden"; "repair" ] else [ n ])
+        body
+    else body @ [ "repair" ]
+  in
+  body @ (if List.mem "compact" names then [ "compact" ] else [])
+
+(* Deterministic subset + permutation from a seed (same LCG family as the
+   driver's program seeds). *)
+let random_subset ~seed =
+  let state = ref (seed lxor 0x9E3779B9) in
+  let next () =
+    state := (!state * 1103515245) + 12345;
+    (!state lsr 7) land 0x3FFFFFFF
+  in
+  let chosen = List.filter (fun _ -> next () land 1 = 1) switchable_passes in
+  let keyed = List.map (fun n -> (next (), n)) chosen in
+  valid_order (List.map snd (List.sort compare keyed))
+
+(* The distill grid: honest control, the empty pipeline, every pass
+   alone, and a seed-derived random subset/order — all with the
+   pass-checker on, all still required to land on the SEQ state. *)
+let distill_grid ~seed () =
+  let subset name names =
+    { name = "passes/" ^ name; distiller = Subset names; config = base_config }
+  in
+  ({ name = "honest"; distiller = Honest; config = base_config }
+  :: subset "none" []
+  :: List.map (fun n -> subset n [ n ]) switchable_passes)
+  @ [ subset "random" (random_subset ~seed) ]
+
+(* A deliberately broken pass, alone in its pipeline: the pass-checker
+   must fail the point (mirrors [chaos_point] for the commit unit). *)
+let broken_pass_point name =
+  {
+    name = "distill-broken/" ^ name;
+    distiller = Subset [ name ];
+    config = base_config;
+  }
+
 let chaos_point ~seed ~p =
   {
     name = "chaos-commit";
@@ -125,15 +193,24 @@ let plan_grid ~plan () =
     };
   ]
 
-let packages p profile point =
+(* Packages are results: a [Subset] point runs the checked pass pipeline
+   and surfaces pass-checker violations as oracle failures (the package
+   never reaches the machine in that case). *)
+let packages p profile point :
+    (string * (Distill.t, string) Result.t) list =
   match point.distiller with
-  | Honest -> [ ("", Distill.distill p profile) ]
-  | Aggressive -> [ ("", Distill.distill ~options:aggressive_options p profile) ]
+  | Honest -> [ ("", Ok (Distill.distill p profile)) ]
+  | Aggressive ->
+    [ ("", Ok (Distill.distill ~options:aggressive_options p profile)) ]
   | Identity ->
-    [ ("", Distill.distill ~options:Distill.identity_options p profile) ]
-  | Adversaries -> List.map (fun (n, d) -> ("/" ^ n, d)) (Adversary.all p)
+    [ ("", Ok (Distill.distill ~options:Distill.identity_options p profile)) ]
+  | Adversaries -> List.map (fun (n, d) -> ("/" ^ n, Ok d)) (Adversary.all p)
   | Amnesiac ->
-    [ ("/amnesiac", Adversary.amnesiac (Distill.distill p profile)) ]
+    [ ("/amnesiac", Ok (Adversary.amnesiac (Distill.distill p profile))) ]
+  | Subset names -> (
+    match Mssp_distill.Pipeline.resolve names with
+    | Error e -> [ ("", Error e) ]
+    | Ok passes -> [ ("", Distill.checked ~passes p profile) ])
 
 (* The reference run over the same image MSSP starts from: both the
    original and the (package-specific) distilled program loaded, because
@@ -201,6 +278,12 @@ let check_package ~fuel point subname (d : Distill.t) =
   end;
   !fails
 
+let check_entry ~fuel point (subname, pkg) =
+  match pkg with
+  | Error e ->
+    [ { point = point.name ^ subname; reason = "pass-checker: " ^ e } ]
+  | Ok d -> check_package ~fuel point subname d
+
 (* The abstract-model layer, affordable only on small programs: fragment
    states replay the whole run per [seq] step. *)
 let formal_failures ~seed p ~seq_instructions =
@@ -219,6 +302,12 @@ let formal_failures ~seed p ~seq_instructions =
       fail "formal/lemma2" "evolved live-out <> seq s0 7";
     if not (Safety.safe (Abstract_task.make s0 5) s0) then
       fail "formal/theorem2" "task unsafe for its own creation state";
+    (* absorbability: the statement the distiller pass-checker leans on —
+       an in-order committed task chain over the original program lands
+       on seq, whatever guidance chose the chain *)
+    (match Mssp_formal.Absorb.check p with
+    | Ok () -> ()
+    | Error e -> fail "formal/absorb" e);
     let rec chain state = function
       | [] -> []
       | n :: rest ->
@@ -249,9 +338,9 @@ let check ?(grid = default_grid ()) ?(fuel = 5_000_000) ?(formal = true)
       List.concat_map
         (fun point ->
           List.concat_map
-            (fun (subname, d) ->
+            (fun entry ->
               incr runs;
-              check_package ~fuel point subname d)
+              check_entry ~fuel point entry)
             (packages p profile point))
         grid
     in
@@ -284,7 +373,18 @@ let trace_failure ?(grid = default_grid ()) ?(fuel = 5_000_000) p =
       | point :: rest ->
         let rec pkgs = function
           | [] -> points rest
-          | (subname, d) :: more -> (
+          | (subname, Error e) :: _ ->
+            (* no machine run to trace: the pass-checker already failed *)
+            Some
+              ( point.name ^ subname,
+                [],
+                [
+                  {
+                    point = point.name ^ subname;
+                    reason = "pass-checker: " ^ e;
+                  };
+                ] )
+          | (subname, Ok d) :: more -> (
             let tracer, events = Mssp_trace.Trace.recording () in
             let traced =
               {

@@ -32,7 +32,18 @@ type verdict =
           out of the oracle's scope, like [test_equivalence] *)
   | Failed of failure list
 
-type distiller = Honest | Aggressive | Identity | Adversaries | Amnesiac
+type distiller =
+  | Honest
+  | Aggressive
+  | Identity
+  | Adversaries
+  | Amnesiac
+  | Subset of string list
+      (** the distiller pass pipeline restricted to exactly these passes
+          (in this order, resolved via {!Mssp_distill.Pipeline.resolve}),
+          run with the pass-checker on: a checker violation is an oracle
+          failure with reason ["pass-checker: ..."] and the package never
+          reaches the machine *)
 
 type point = {
   name : string;
@@ -42,6 +53,29 @@ type point = {
 
 val default_grid : unit -> point list
 (** The standard ten-point grid described above. *)
+
+val switchable_passes : string list
+(** The seven named distiller passes the subset axis draws from. *)
+
+val valid_order : string list -> string list
+(** Normalize a pass-name list into a permutation-valid pipeline:
+    [compact] last if present, [repair] directly after [harden]. *)
+
+val random_subset : seed:int -> string list
+(** Deterministic random subset of {!switchable_passes} in a random
+    valid order — the [passes/random] grid point's pipeline. *)
+
+val distill_grid : seed:int -> unit -> point list
+(** The pass-subset grid: honest control, the empty pipeline, every
+    switchable pass alone, and a seed-derived random subset in a random
+    (valid) order — ten points, all checker-on, all required to land on
+    the SEQ state. *)
+
+val broken_pass_point : string -> point
+(** A grid point running one {e deliberately broken} pass
+    ({!Mssp_distill.Pipeline.broken}) alone: the distiller mutation
+    smoke test — the pass-checker must fail it. Never part of any
+    default grid. *)
 
 val chaos_point : seed:int -> p:float -> point
 (** A grid point whose verify/commit unit is {e deliberately broken}

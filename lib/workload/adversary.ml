@@ -39,6 +39,7 @@ let package (p : Program.t) (distilled : Program.t) =
     entry_map;
     pc_map;
     stats = dummy_stats p distilled;
+    pass_stats = [];
   }
 
 (** Distilled code is pseudo-random garbage words: the master faults

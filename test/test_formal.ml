@@ -491,6 +491,35 @@ let prop_seq_determinism =
       let s1 = minimal_live_in s2 n in
       Seq_model.deterministic s1 s2 ~n)
 
+(* --- absorbability: the distiller pass-checker's formal entry point --- *)
+
+module Absorb = Mssp_formal.Absorb
+
+let test_absorb_holds () =
+  (* a committed in-order task chain lands on seq whatever cut lengths
+     guidance chose — on the crafted loop and on synthetic programs *)
+  (match Absorb.check loop_program with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "loop program not absorbable: %s" e);
+  check "odd cut lengths too" true
+    (Absorb.holds ~lengths:[ 1; 7; 2 ] loop_program);
+  List.iter
+    (fun seed ->
+      let p = Synthetic.generate ~seed ~size:6 in
+      match Absorb.check p with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "seed %d not absorbable: %s" seed e)
+    [ 1; 2; 3 ]
+
+let test_absorb_rejects_bad_lengths () =
+  let p = Synthetic.generate ~seed:1 ~size:4 in
+  List.iter
+    (fun lengths ->
+      match Absorb.check ~lengths p with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "non-positive cut length accepted")
+    [ [ 0 ]; [ 3; -1 ] ]
+
 let () =
   Alcotest.run "formal"
     [
@@ -533,6 +562,13 @@ let () =
           Alcotest.test_case "stuttering refinement" `Quick
             test_iter2_stuttering_refines_iter1;
           Mssp_testkit.to_alcotest prop_iter2_refines_iter1_random;
+        ] );
+      ( "absorbability",
+        [
+          Alcotest.test_case "committed chains land on seq" `Quick
+            test_absorb_holds;
+          Alcotest.test_case "rejects non-positive cut lengths" `Quick
+            test_absorb_rejects_bad_lengths;
         ] );
       ( "maude export",
         [

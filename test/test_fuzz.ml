@@ -164,6 +164,80 @@ let test_chaos_commit_caught_and_shrunk () =
   Sys.remove path;
   Sys.rmdir dir
 
+(* --- the pass-subset axis ------------------------------------------ *)
+
+(* the distill grid (honest control + empty pipeline + every pass alone
+   + a random valid subset) agrees with SEQ on generated programs *)
+let test_distill_grid_clean () =
+  let rec go seed checked =
+    if checked >= 3 || seed > 20 then
+      check "distill grid judged at least 3 programs" true (checked >= 3)
+    else
+      let p = Gen.generate ~seed ~size:10 () in
+      match
+        Oracle.check ~formal:false ~grid:(Oracle.distill_grid ~seed ()) p
+      with
+      | Oracle.Passed n ->
+        check "every grid point ran" true (n >= 10);
+        go (seed + 1) (checked + 1)
+      | Oracle.Skipped _ -> go (seed + 1) checked
+      | Oracle.Failed fs ->
+        Alcotest.failf "seed %d: distill grid diverged: %s" seed
+          (pp_failures fs)
+  in
+  go 1 0
+
+(* the random-subset point is a deterministic function of its seed, so
+   campaign findings replay from the one-line seed *)
+let test_random_subset_deterministic () =
+  List.iter
+    (fun seed ->
+      let s1 = Oracle.random_subset ~seed in
+      let s2 = Oracle.random_subset ~seed in
+      check "same seed, same subset" true (s1 = s2);
+      List.iter
+        (fun n -> check "subset draws from the registry" true
+            (List.mem n Oracle.switchable_passes))
+        s1;
+      check "order is valid" true (Oracle.valid_order s1 = s1))
+    [ 0; 1; 7; 42; 1000 ]
+
+(* a deliberately broken pass must be rejected by the pass-checker at
+   the oracle level — the distiller's mutation smoke test. The material
+   (biased branches, communicating stores, a fork-carrying layout) is
+   searched for among generated programs, mirroring chaos-commit. *)
+let pass_checker_signature bad (fs : Oracle.failure list) =
+  fs <> []
+  && List.for_all
+       (fun (f : Oracle.failure) ->
+         contains f.Oracle.point bad && contains f.Oracle.reason "pass-checker")
+       fs
+
+let test_broken_pass_caught_by_oracle () =
+  List.iter
+    (fun bad ->
+      let grid = [ Oracle.broken_pass_point bad ] in
+      let rec find seed =
+        if seed > 40 then
+          Alcotest.failf "%s was never caught in 40 generated programs" bad
+        else
+          match Oracle.check ~formal:false ~grid (Gen.generate ~seed ~size:12 ()) with
+          | Oracle.Failed fs when pass_checker_signature bad fs -> ()
+          | Oracle.Failed fs ->
+            Alcotest.failf "%s: failure without the pass-checker signature: %s"
+              bad (pp_failures fs)
+          | Oracle.Passed _ | Oracle.Skipped _ -> find (seed + 1)
+      in
+      find 1)
+    [ "broken-harden"; "broken-stores"; "broken-forks" ]
+
+(* end-to-end: a small campaign on the pass-subset axis is clean *)
+let test_distill_campaign_smoke () =
+  let r = Driver.campaign ~distill_grid:true ~seed:7 ~count:2 () in
+  check_int "no findings on the sound distiller" 0
+    (List.length r.Driver.findings);
+  check "grid actually ran" true (r.Driver.runs > 0)
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -185,5 +259,16 @@ let () =
         [
           Alcotest.test_case "broken commit caught and shrunk" `Quick
             test_chaos_commit_caught_and_shrunk;
+          Alcotest.test_case "broken pass caught by the oracle" `Quick
+            test_broken_pass_caught_by_oracle;
+        ] );
+      ( "distill grid",
+        [
+          Alcotest.test_case "grid clean on generated programs" `Quick
+            test_distill_grid_clean;
+          Alcotest.test_case "random subset deterministic" `Quick
+            test_random_subset_deterministic;
+          Alcotest.test_case "campaign smoke" `Quick
+            test_distill_campaign_smoke;
         ] );
     ]
