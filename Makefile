@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-csv bench-json perf-smoke promote-golden fuzz fuzz-distill examples clean loc
+.PHONY: all build test bench bench-csv bench-json perf-smoke promote-golden fuzz fuzz-distill fuzz-predict examples clean loc
 
 all: build
 
@@ -25,7 +25,7 @@ bench-csv:
 # + the host-pool guard (serial and pooled E1 wall clocks land in the
 # pool_guard JSON object) + the superblock guard (sblk_guard object)
 bench-json:
-	dune exec bench/main.exe -- E1 micro TRACEG FAULTG POOLG SBLKG --json BENCH_mssp.json
+	dune exec bench/main.exe -- E1 micro TRACEG FAULTG POOLG SBLKG ADPTG --json BENCH_mssp.json
 
 # quick perf regression check: reduced-scale E1, the tracing-overhead
 # guard (event bus > 2% of a run's wall clock fails), the host-pool
@@ -54,6 +54,13 @@ fuzz:
 # failing subset points dump per-pass diff artifacts to _distill_failures/
 fuzz-distill:
 	dune exec -- mssp_sim fuzz --distill-grid --seed $${SEED:-1} --count $${COUNT:-300} --jobs $${JOBS:-4} --out fuzz/corpus
+
+# the predictor axis: each program judged on every live-in predictor
+# mode (plus the tournament under fault injection) — prediction only
+# guides speculation, so every mode must land bit-identical on SEQ;
+# failing modes dump stats + event trails to _predict_failures/
+fuzz-predict:
+	dune exec -- mssp_sim fuzz --predict-grid --seed $${SEED:-1} --count $${COUNT:-300} --jobs $${JOBS:-4} --out fuzz/corpus
 
 examples:
 	dune exec examples/quickstart.exe

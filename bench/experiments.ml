@@ -14,6 +14,8 @@ module Safety = Mssp_formal.Safety
 module Mssp_model = Mssp_formal.Mssp_model
 module Refinement = Mssp_formal.Refinement
 module Frag_exec = Mssp_seq.Frag_exec
+module Predict = Mssp_predict.Predict
+module Adapt = Mssp_core.Mssp_adapt
 
 let suite () = List.map (fun b -> prepare b) W.all
 
@@ -824,6 +826,121 @@ let e18 () =
   note "giant task and pure overhead; hardening and store removal";
   note "shorten the master's dynamic path; 'none' is slower than SEQ."
 
+(* --- E19: adaptive distillation + live-in prediction ------------------ *)
+
+(* One adaptation loop for a kernel: distill statically, run with the
+   tournament predictor on (warmed from the training profile), then
+   re-distill [rounds] times from each run's squash attribution and keep
+   the cheapest round. Every round executes a DIFFERENT distilled image,
+   so each is verified against a SEQ baseline loading that round's image
+   (final states are compared over all of observable memory). *)
+let adapt_bench ?(rounds = 1) name slaves =
+  let b = W.find name in
+  let train = b.W.program ~size:b.W.train_size in
+  let program = b.W.program ~size:b.W.ref_size in
+  let profile = Profile.collect train in
+  let config =
+    { (with_slaves slaves) with Config.predict = Predict.Tournament }
+  in
+  let a = Adapt.run ~rounds ~config program profile in
+  List.iter
+    (fun (rd : Adapt.round) ->
+      if rd.Adapt.result.M.stop <> M.Halted then
+        failwith
+          (Printf.sprintf "%s: adaptation round %d did not halt cleanly" name
+             rd.Adapt.index);
+      let bl =
+        B.sequential ~also_load:[ rd.Adapt.distilled.Distill.distilled ]
+          program
+      in
+      if not (Full.equal_observable bl.B.state rd.Adapt.result.M.arch) then
+        failwith
+          (Printf.sprintf "%s: adaptation round %d diverges from SEQ" name
+             rd.Adapt.index))
+    a.Adapt.rounds;
+  a
+
+let e19_kernels = [ "vecsum"; "fir"; "strmatch"; "rle"; "treesum"; "dijkstra" ]
+
+let e19 () =
+  section "E19  Adaptive distillation: squash feedback + live-in prediction";
+  let rows =
+    List.map
+      (fun name ->
+        let cell slaves =
+          let a = adapt_bench name slaves in
+          let s = Adapt.round_cycles (List.hd a.Adapt.rounds) in
+          let c = Adapt.round_cycles a.Adapt.best in
+          (a, s, c)
+        in
+        let _, s4, c4 = cell 4 in
+        let a8, s8, c8 = cell 8 in
+        let st = a8.Adapt.best.Adapt.result.M.stats in
+        [
+          name;
+          string_of_int s4;
+          string_of_int c4;
+          f2 (float_of_int s4 /. float_of_int c4);
+          string_of_int s8;
+          string_of_int c8;
+          f2 (float_of_int s8 /. float_of_int c8);
+          string_of_int a8.Adapt.best.Adapt.index;
+          Printf.sprintf "%d/%d" st.M.predict_hits st.M.predict_misses;
+        ])
+      e19_kernels
+  in
+  print_table
+    ~header:
+      [
+        "bench"; "static@4"; "adapt@4"; "x@4"; "static@8"; "adapt@8"; "x@8";
+        "round"; "hit/miss";
+      ]
+    rows;
+  note "static = round 0 (one distillation, tournament predictor on);";
+  note "adapt = best round after re-distilling from squash attribution";
+  note "(task split/merge + strongly-live elision; the master stops";
+  note "computing chains only verification-exempt reads consume and the";
+  note "predictor covers the residual live-in cells). Every round is";
+  note "re-verified against SEQ: adaptation only moves cycles."
+
+(* --- ADPTG: adaptation-loop guard ------------------------------------- *)
+
+(* The feedback loop must keep paying for itself: on the
+   prediction-friendly kernels the geomean of static-over-adaptive cycle
+   ratios at 8 slaves stays >= 1.15x. Deterministic simulated cycles —
+   no timers, no noise allowance. Fails the bench process (and
+   perf-smoke) when the loop stops earning its keep; best-of-rounds
+   makes < 1x impossible, so the budget polices the win, not safety. *)
+let adptg_kernels = [ "fir"; "rle"; "treesum"; "dijkstra" ]
+let adptg_budget = 1.15
+
+let adptg () =
+  section "ADPTG  Adaptation guard: the feedback loop keeps its speedup";
+  let kernels =
+    List.map
+      (fun name ->
+        let a = adapt_bench name 8 in
+        let s = Adapt.round_cycles (List.hd a.Adapt.rounds) in
+        let c = Adapt.round_cycles a.Adapt.best in
+        note "%-10s static %8d  adaptive %8d  (%.3fx, round %d)" name s c
+          (float_of_int s /. float_of_int c)
+          a.Adapt.best.Adapt.index;
+        (name, s, c))
+      adptg_kernels
+  in
+  let geomean =
+    Stats.geomean
+      (List.map (fun (_, s, c) -> float_of_int s /. float_of_int c) kernels)
+  in
+  note "geomean %.3fx (budget >= %.2fx)" geomean adptg_budget;
+  Harness.adapt_guard := Some { ag_kernels = kernels; ag_geomean = geomean };
+  if geomean < adptg_budget then
+    failwith
+      (Printf.sprintf
+         "ADPTG: adaptive distillation geomean %.3fx fell below the %.2fx \
+          budget"
+         geomean adptg_budget)
+
 (* --- E1s: reduced-scale E1 for perf smoke runs ----------------------- *)
 
 (* E1 at a quarter of the reference inputs and a single slave count:
@@ -1155,7 +1272,7 @@ let all : (string * (unit -> unit)) list =
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
-    ("E17", e17); ("E18", e18);
+    ("E17", e17); ("E18", e18); ("E19", e19);
   ]
 
 (* opt-in experiments: run only when named on the command line, never
@@ -1163,5 +1280,5 @@ let all : (string * (unit -> unit)) list =
 let extras : (string * (unit -> unit)) list =
   [
     ("E1s", e1s); ("TRACEG", traceg); ("FAULTG", faultg); ("POOLG", poolg);
-    ("SBLKG", sblkg);
+    ("SBLKG", sblkg); ("ADPTG", adptg);
   ]

@@ -138,6 +138,17 @@ type sblk_guard = {
 
 let sblk_guard : sblk_guard option ref = ref None
 
+(* ADPTG's measurements, picked up by the bench --json writer *)
+type adapt_guard = {
+  ag_kernels : (string * int * int) list;
+      (** per kernel: name, static (round 0) cycles, adaptive-best cycles
+          — both deterministic simulated cycle counts at 8 slaves with
+          the tournament predictor on *)
+  ag_geomean : float;  (** geomean of static / adaptive-best ratios *)
+}
+
+let adapt_guard : adapt_guard option ref = ref None
+
 let section title =
   (match String.index_opt title ' ' with
   | Some i -> current_section := String.sub title 0 i

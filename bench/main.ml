@@ -189,8 +189,32 @@ let () =
               ] );
         ]
     in
+    let adapt_guard =
+      match !Harness.adapt_guard with
+      | None -> []
+      | Some g ->
+        [
+          ( "adapt_guard",
+            Obj
+              [
+                ( "kernels",
+                  List
+                    (List.map
+                       (fun (name, s, c) ->
+                         Obj
+                           [
+                             ("name", String name);
+                             ("static_cycles", Int s);
+                             ("adaptive_cycles", Int c);
+                             ("ratio", Float (float_of_int s /. float_of_int c));
+                           ])
+                       g.Harness.ag_kernels) );
+                ("geomean", Float g.Harness.ag_geomean);
+              ] );
+        ]
+    in
     write_file file
       (Obj
          ([ ("experiments", List experiments); ("micro", List micro) ]
-         @ pool_guard @ fault_guard @ sblk_guard));
+         @ pool_guard @ fault_guard @ sblk_guard @ adapt_guard));
     Printf.printf "\n  [json report written to %s]\n" file

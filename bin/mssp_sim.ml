@@ -31,6 +31,8 @@ module B = Mssp_baseline.Baseline
 module W = Mssp_workload.Workload
 module Trace = Mssp_trace.Trace
 module Table = Mssp_metrics.Table
+module Predict = Mssp_predict.Predict
+module Adapt = Mssp_core.Mssp_adapt
 
 (* --- shared arguments --- *)
 
@@ -71,6 +73,33 @@ let pool_arg =
      — the pool buys host wall clock only."
   in
   Arg.(value & opt (some int) None & info [ "pool"; "jobs" ] ~docv:"N" ~doc)
+
+let predict_arg =
+  let mode_conv =
+    Arg.conv
+      ( (fun s ->
+          match Predict.mode_of_string s with
+          | Some m -> Ok m
+          | None -> Error (`Msg (Printf.sprintf "unknown predictor %S" s))),
+        Predict.pp_mode )
+  in
+  let doc =
+    "Live-in value predictor consulted at checkpoint construction: \
+     $(b,off), $(b,last-value), $(b,stride), $(b,context) or \
+     $(b,tournament). Warmed from the training profile. Wrong \
+     predictions only raise the squash rate; $(b,off) is bit-identical \
+     to a build without the predictor."
+  in
+  Arg.(value & opt mode_conv Predict.Off & info [ "predict" ] ~docv:"MODE" ~doc)
+
+let adapt_arg =
+  let doc =
+    "Re-distill $(docv) times between runs using the previous run's \
+     squash attribution (task split/merge plus strongly-live elision), \
+     then report the best round by simulated cycles. 0 disables the \
+     loop."
+  in
+  Arg.(value & opt int 0 & info [ "adapt" ] ~docv:"N" ~doc)
 
 let resolve_bench name size =
   let b = W.find name in
@@ -133,8 +162,8 @@ let distill_cmd =
     let doc =
       "Comma-separated pass names to run instead of the default pipeline \
        (see the registry: harden, promote, drop-stores, repair, \
-       dead-writes, boundaries, compact). A list without a layout pass \
-       gets the identity layout appended."
+       dead-writes, boundaries, split-merge, predict-elide, compact). A \
+       list without a layout pass gets the identity layout appended."
     in
     Arg.(value & opt (some string) None & info [ "passes" ] ~docv:"LIST" ~doc)
   in
@@ -205,14 +234,35 @@ let run_cmd =
          ~doc:"Record the structured event stream and print its first \
                $(docv) events (see `mssp_sim trace` for exports).")
   in
-  let run name size slaves task_size isolated verify no_distill trace pool =
-    let _, _, d = prepare name size no_distill in
+  let run name size slaves task_size isolated verify no_distill trace pool
+      predict adapt =
+    let b, size = resolve_bench name size in
+    let train = b.W.program ~size:b.W.train_size in
+    let program = b.W.program ~size in
+    let profile = Profile.collect train in
+    let options =
+      if no_distill then Distill.identity_options else Distill.default_options
+    in
     let collector = Option.map (fun _ -> Trace.recording ()) trace in
     let cfg =
       { (config ?pool slaves task_size isolated verify) with
-        Config.tracer = Option.map fst collector }
+        Config.tracer = Option.map fst collector;
+        predict;
+        predict_warmup =
+          (if predict = Predict.Off then []
+           else Predict.warmup_of_profile profile);
+      }
     in
-    let r = M.run ~config:cfg d in
+    let r =
+      if adapt <= 0 then M.run ~config:cfg (Distill.distill ~options program profile)
+      else begin
+        let a = Adapt.run ~rounds:adapt ~options ~config:cfg program profile in
+        Printf.printf "--- adaptation rounds ---\n";
+        List.iter (fun rd -> Format.printf "%a@." Adapt.pp_round rd) a.Adapt.rounds;
+        Printf.printf "best: round %d\n\n" a.Adapt.best.Adapt.index;
+        a.Adapt.best.Adapt.result
+      end
+    in
     (match (trace, collector) with
     | Some n, Some (_, events) ->
       let evs = events () in
@@ -244,7 +294,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run a benchmark under MSSP")
     Term.(
       const run $ bench_arg $ size_arg $ slaves_arg $ task_size_arg
-      $ isolated_arg $ verify_arg $ no_distill_arg $ trace_arg $ pool_arg)
+      $ isolated_arg $ verify_arg $ no_distill_arg $ trace_arg $ pool_arg
+      $ predict_arg $ adapt_arg)
 
 (* --- trace --- *)
 
@@ -560,14 +611,22 @@ let fuzz_cmd =
                violations are divergences and failing subsets dump their \
                per-pass artifacts under _distill_failures/.")
   in
+  let predict_grid_flag =
+    Arg.(value & flag & info [ "predict-grid" ]
+         ~doc:"Judge each program on the live-in predictor grid (every \
+               predictor mode plus the tournament under fault injection): \
+               prediction only guides speculation, so every mode must \
+               land bit-identical on the SEQ final state; failing modes \
+               dump stats + event trails under _predict_failures/.")
+  in
   let run seed count size budget out save quiet trace jobs faults distill_grid
-      =
+      predict_grid =
     let module Driver = Mssp_fuzz.Driver in
     let module Oracle = Mssp_fuzz.Oracle in
     let log = if quiet then fun _ -> () else print_endline in
     let r =
       Driver.campaign ~seed ~count ~size ~shrink_budget:budget ?out ~save
-        ~trace ~log ~jobs ~faults ~distill_grid ()
+        ~trace ~log ~jobs ~faults ~distill_grid ~predict_grid ()
     in
     Printf.printf
       "fuzz: %d programs (%d skipped), %d machine runs compared, %d divergence(s)\n"
@@ -601,7 +660,7 @@ let fuzz_cmd =
     Term.(
       const run $ seed_arg $ count_arg $ size_arg $ budget_arg $ out_arg
       $ save_arg $ quiet_arg $ trace_flag $ jobs_arg $ faults_flag
-      $ distill_grid_flag)
+      $ distill_grid_flag $ predict_grid_flag)
 
 (* --- audit --- *)
 

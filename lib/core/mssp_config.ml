@@ -49,6 +49,12 @@ type t = {
   adaptive_backoff : bool;
   quarantine_after : int;
   record_tasks : bool;
+  predict : Mssp_predict.Predict.mode;
+  predict_seed : int;
+  predict_warmup : (int * int list) list;
+      (** per-address observation streams replayed into the predictor
+          before the run ([Predict.warmup_of_profile]); ignored when
+          [predict] is [Off] *)
   tracer : Mssp_trace.Trace.t option;
   pool : int option;
   superblock : bool;
@@ -78,6 +84,9 @@ let default =
     adaptive_backoff = false;
     quarantine_after = 0;
     record_tasks = true;
+    predict = Mssp_predict.Predict.Off;
+    predict_seed = 0x5bd1e995;
+    predict_warmup = [];
     tracer = None;
     pool = None;
     superblock = Mssp_seq.Sblock.default_enabled;
@@ -99,6 +108,7 @@ let pp fmt c =
      fault injection: %s, chaos commit: %s@,\
      fault plan: %s, liveness window: %s@,\
      adaptive backoff: %b, quarantine after: %s@,\
+     predict: %s (seed %d, warmup %d cells)@,\
      master chunk: %d, max cycles: %d, max squashes: %d@,\
      recovery fuel: %d, tracing: %s, pool: %s, superblock: %b@]"
     c.slaves c.max_in_flight c.task_size c.task_budget c.isolated_slaves
@@ -120,6 +130,9 @@ let pp fmt c =
     (match c.quarantine_after with
     | 0 -> "off"
     | n -> string_of_int n)
+    (Mssp_predict.Predict.mode_to_string c.predict)
+    c.predict_seed
+    (List.length c.predict_warmup)
     c.master_chunk c.max_cycles c.max_squashes c.recovery_fuel
     (match c.tracer with None -> "off" | Some _ -> "on")
     (match c.pool with

@@ -119,6 +119,23 @@ type t = {
           slave, which is never benched. [0] (the default) disables
           quarantine; it only engages when [faults] is set. *)
   record_tasks : bool;  (** keep per-task size/live-in lists in stats *)
+  predict : Mssp_predict.Predict.mode;
+      (** live-in value predictor consulted at checkpoint construction
+          ({!Mssp_predict.Predict}): [Off] (the default) compiles every
+          consultation site down to one predictable branch — runs are
+          bit-identical to a predictor-free machine. Any other mode
+          refines each checkpoint's live-in fragment with per-cell
+          predictions trained online from verified first-reads; wrong
+          predictions only raise the squash rate, never the result
+          (verification absorbs them like any master misprediction). *)
+  predict_seed : int;
+      (** seed for the tournament selector's deterministic tie-breaking
+          — part of the simulated machine, so runs are bit-identical at
+          every pool size *)
+  predict_warmup : (int * int list) list;
+      (** per-address observation streams replayed into the predictor
+          before the run (see [Predict.warmup_of_profile]); ignored when
+          [predict] is [Off] *)
   tracer : Mssp_trace.Trace.t option;
       (** structured event bus ({!Mssp_trace.Trace}): [Some t] makes the
           machine emit the full task-lifecycle event stream into [t]'s

@@ -15,6 +15,7 @@ module Trace = Mssp_trace.Trace
 module Pool = Mssp_exec.Pool
 module Fplan = Mssp_faults.Plan
 module Inject = Mssp_faults.Injector
+module Predict = Mssp_predict.Predict
 
 type squash_reason =
   | Live_in_mismatch
@@ -47,6 +48,12 @@ type stats = {
   mutable slaves_quarantined : int;
   mutable live_ins_checked : int;
   mutable live_outs_committed : int;
+  mutable predict_hits : int;
+  mutable predict_misses : int;
+      (** per-cell value-prediction accuracy at verification, counted
+          only when a predictor is enabled ([config.predict]); both stay
+          0 — and every other field stays bit-identical — with
+          prediction off *)
   mutable slave_busy_cycles : int;
   mutable task_sizes : int list;
   mutable live_in_counts : int list;
@@ -75,6 +82,8 @@ let fresh_stats () =
     slaves_quarantined = 0;
     live_ins_checked = 0;
     live_outs_committed = 0;
+    predict_hits = 0;
+    predict_misses = 0;
     slave_busy_cycles = 0;
     task_sizes = [];
     live_in_counts = [];
@@ -143,6 +152,12 @@ type checkpoint = {
   cp_id : int;
   cp_entry : int;
   cp_live_in : Fragment.t;
+  cp_master_li : Fragment.t;
+      (** the master's own live-in prediction, before predictor
+          refinement and fault injection — what the master-confidence
+          attribution scores at verify time. The same fragment as
+          [cp_live_in] (shared reference, no cost) when no predictor is
+          refining *)
   mutable cp_end : int option;
   mutable cp_end_occurrence : int;
       (** which arrival at [cp_end] is the boundary: the master's count
@@ -222,6 +237,20 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
   let window : checkpoint Queue.t = Queue.create () in
   let last_cp = ref None in
   let next_cp_id = ref 0 in
+  (* The live-in value predictor. Consulted at checkpoint construction
+     ([spawn], before fault injection) and trained at verification time
+     from the actual architected values of the head task's first-reads —
+     both on the event-loop domain, so its state evolves identically at
+     every pool size. [Off] (the default) means no predictor object at
+     all: zero cost, bit-identical everything. *)
+  let predictor =
+    match cfg.predict with
+    | Predict.Off -> None
+    | m ->
+      let p = Predict.create ~seed:cfg.predict_seed m in
+      Predict.warm p cfg.predict_warmup;
+      Some p
+  in
   let master =
     {
       m_state = Full.copy arch;
@@ -648,12 +677,17 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
       start_squash Checkpoint_lost;
       false
     | `Proceed extra ->
+      let master_li = li in
+      let li =
+        match predictor with None -> li | Some p -> Predict.refine p li
+      in
       let li = maybe_corrupt !next_cp_id li in
       let cp =
         {
           cp_id = !next_cp_id;
           cp_entry = e;
           cp_live_in = li;
+          cp_master_li = master_li;
           cp_end = None;
           cp_end_occurrence = 1;
           cp_end_known = false;
@@ -847,6 +881,40 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
                  outcome;
                })
         end;
+        (* Value-prediction attribution and online training: every
+           recorded first-read is one per-cell prediction; its actual
+           value is what architected state holds right now (the task's
+           true start point, whether or not this task commits). *)
+        (match predictor with
+        | None -> ()
+        | Some p ->
+          let hits = ref 0 and misses = ref 0 in
+          Task.iter_reads
+            (fun c v ->
+              match c with
+              | Cell.Pc -> ()
+              | Cell.Reg _ | Cell.Mem _ ->
+                let actual = Full.get arch c in
+                (* score the incumbent first: how good was the master's
+                   own value for this cell (pre-refinement)? *)
+                (match Fragment.find_opt c cp.cp_master_li with
+                | Some supplied ->
+                  Predict.observe_master p c ~supplied ~actual
+                | None -> ());
+                Predict.observe p c actual;
+                if v = actual then incr hits else incr misses)
+            task;
+          stats.predict_hits <- stats.predict_hits + !hits;
+          stats.predict_misses <- stats.predict_misses + !misses;
+          if tracing then
+            temit
+              (Trace.Predict_outcome
+                 {
+                   cycle = Sim.now sim;
+                   task = cp.cp_id;
+                   hits = !hits;
+                   misses = !misses;
+                 }));
         if consistent then begin
           (* the memoization hit: superimpose the live-outs *)
           ignore (Queue.pop window : checkpoint);
@@ -1229,6 +1297,7 @@ let pp_stats fmt s =
      fault handling: %d spawn retries, %d verify retries, %d watchdog \
      squashes, %d slaves quarantined@,\
      live-ins checked: %d, live-outs committed: %d@,\
+     value prediction: %d hits, %d misses@,\
      slave busy cycles: %d@]"
     s.cycles s.master_instructions s.tasks_spawned s.tasks_committed
     s.tasks_discarded s.instructions_committed s.recovery_instructions
@@ -1236,4 +1305,4 @@ let pp_stats fmt s =
     s.sequential_bursts s.sequential_instructions s.faults_injected
     s.spawn_retries s.verify_retries s.watchdog_squashes
     s.slaves_quarantined s.live_ins_checked s.live_outs_committed
-    s.slave_busy_cycles
+    s.predict_hits s.predict_misses s.slave_busy_cycles

@@ -64,6 +64,10 @@ type stats = {
   mutable slaves_quarantined : int;  (** slaves benched by quarantine *)
   mutable live_ins_checked : int;
   mutable live_outs_committed : int;
+  mutable predict_hits : int;
+      (** recorded first-reads that matched architected state at
+          verification, over examined head tasks (predictor enabled) *)
+  mutable predict_misses : int;
   mutable slave_busy_cycles : int;
   mutable task_sizes : int list;  (** committed task lengths (if recorded) *)
   mutable live_in_counts : int list;  (** recorded live-ins per committed task *)

@@ -124,12 +124,25 @@ let check_dead_write (_st : Pass.state) pc before after =
           Instr.pp before )
   else None
 
+let check_elide (_st : Pass.state) pc before after =
+  if not (Instr.equal after Instr.Nop) then
+    Some
+      ( "predict-elide must produce a nop",
+        Format.asprintf "pc %d: emitted %a" pc Instr.pp after )
+  else if not (Pass.is_pure_def before && Instr.writes_reg before <> None) then
+    Some
+      ( "only pure register writes are elidable",
+        Format.asprintf "pc %d: %a has effects beyond its register write" pc
+          Instr.pp before )
+  else None
+
 let site_validator = function
   | "harden" | "broken-harden" -> Some check_harden
   | "promote" -> Some check_promote
   | "drop-stores" | "broken-stores" -> Some check_drop_store
   | "repair" -> Some check_repair
   | "dead-writes" -> Some check_dead_write
+  | "predict-elide" -> Some check_elide
   | _ -> None
 
 (* --- per-pass check ------------------------------------------------ *)

@@ -8,6 +8,12 @@
 module Program = Mssp_isa.Program
 module Profile = Mssp_profile.Profile
 
+type feedback = Pass.feedback = {
+  fb_squash_rate : float;
+  fb_target_size : int;
+  fb_elide : bool;
+}
+
 type options = Pass.options = {
   branch_bias_threshold : float;
   min_branch_count : int;
@@ -20,6 +26,7 @@ type options = Pass.options = {
   min_store_count : int;
   compact : bool;
   min_boundary_count : int;
+  feedback : feedback option;
 }
 
 let default_options = Pass.default_options

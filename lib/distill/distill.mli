@@ -52,6 +52,16 @@
     distilled PC of its [Fork]), which the machine uses to restart the
     master after a squash. *)
 
+type feedback = Pass.feedback = {
+  fb_squash_rate : float;  (** squashes per committed task, previous run *)
+  fb_target_size : int;  (** the machine's [task_size] *)
+  fb_elide : bool;  (** enable strongly-live elision ({!Pass.predict_elide}) *)
+}
+(** Measured feedback from a previous run of the same program: the input
+    of the adaptive passes ([split-merge], [predict-elide]) added in
+    PR 8. [options.feedback = None] keeps both passes identities — the
+    default pipeline's output is unchanged. *)
+
 type options = Pass.options = {
   branch_bias_threshold : float;
       (** harden branches with bias ≥ this; > 1.0 disables hardening *)
@@ -68,6 +78,9 @@ type options = Pass.options = {
   compact : bool;  (** drop unreachable code and [Nop]s, re-lay-out *)
   min_boundary_count : int;
       (** candidate boundaries executed fewer times are ignored *)
+  feedback : feedback option;
+      (** previous-run feedback driving the adaptive passes; [None] (the
+          default) makes them identities *)
 }
 
 val default_options : options

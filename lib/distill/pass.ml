@@ -5,6 +5,14 @@ module Cfg = Mssp_cfg.Cfg
 module Regset = Mssp_cfg.Regset
 module Profile = Mssp_profile.Profile
 
+type feedback = {
+  fb_squash_rate : float;
+  fb_target_size : int;
+  fb_elide : bool;
+}
+
+let split_threshold = 0.05
+
 type options = {
   branch_bias_threshold : float;
   min_branch_count : int;
@@ -17,6 +25,7 @@ type options = {
   min_store_count : int;
   compact : bool;
   min_boundary_count : int;
+  feedback : feedback option;
 }
 
 let default_options =
@@ -32,6 +41,7 @@ let default_options =
     min_store_count = 8;
     compact = true;
     min_boundary_count = 4;
+    feedback = None;
   }
 
 let identity_options =
@@ -47,6 +57,7 @@ let identity_options =
     min_store_count = default_options.min_store_count;
     compact = false;
     min_boundary_count = default_options.min_boundary_count;
+    feedback = None;
   }
 
 (* --- per-pass stats: one composable record per executed pass --- *)
@@ -431,6 +442,231 @@ let boundaries =
       "task-boundary insertion: mark hot loop headers, call targets and \
        the entry as fork points";
     kind = Analysis;
+    apply;
+  }
+
+(* --- adaptive split/merge of task boundaries ----------------------- *)
+
+(* The squash-attribution feedback loop's first half. With no feedback
+   the pass is the identity, so the default pipeline is unchanged. With
+   feedback from a previous run:
+
+   - High squash rate (> [split_threshold] squashes per commit): tasks
+     are going stale — re-admit EVERY boundary candidate (the
+     [boundaries] rule at [min_boundary_count = 1]) so the machine can
+     cut finer tasks and bound the damage of each mispredicted region.
+
+   - Low squash rate: the master's predictions hold, so the bottleneck
+     is the master itself. Drop high-frequency fork sites (observed
+     inter-arrival below the machine's task size): keeping a marker
+     inside a hot inner loop buys nothing — the machine skips it
+     anyway while pacing tasks — but removing it makes loop-carried
+     accumulator chains dead at every REMAINING boundary, which is what
+     lets [predict-elide] strip them from the master. If no revisited
+     marker survives the spacing rule, the widest-spaced one is kept:
+     a program whose only marker is its single hot loop header must not
+     degenerate to serial execution. *)
+
+let split_merge =
+  let apply st =
+    let { options; profile; original = p; _ } = st in
+    let entries =
+      match st.task_entries with Some l -> l | None -> [ p.entry ]
+    in
+    let merged = ref 0 and split = ref 0 in
+    let selected =
+      match options.feedback with
+      | None -> entries
+      | Some fb when fb.fb_squash_rate > split_threshold ->
+        (* split: the full candidate set, count threshold 1 *)
+        let g = Cfg.build p in
+        let candidates = Hashtbl.create 32 in
+        let add pc =
+          if Program.in_code p pc then Hashtbl.replace candidates pc ()
+        in
+        List.iter add (Cfg.back_edge_targets g);
+        Array.iteri
+          (fun i instr ->
+            match instr with
+            | Instr.Jal (_, off) -> add (p.base + i + off)
+            | _ -> ())
+          p.code;
+        let all = Hashtbl.fold (fun pc () acc -> pc :: acc) candidates [] in
+        let selected = List.sort_uniq Int.compare (p.entry :: (entries @ all)) in
+        split := List.length selected - List.length entries;
+        selected
+      | Some fb ->
+        (* merge: keep markers whose observed spacing can fill a task *)
+        let dyn = max 1 profile.Profile.dynamic_instructions in
+        let spacing e = dyn / max 1 (Profile.exec_count profile e) in
+        let others = List.filter (fun e -> e <> p.entry) entries in
+        let kept =
+          List.filter (fun e -> spacing e >= fb.fb_target_size) others
+        in
+        (* the highest-pc marker always survives a merge: everything the
+           master runs after its final fork is master-only work that no
+           slave absorbs, and exec-count spacing misjudges it — a marker
+           the original program reaches every loop iteration may still be
+           forked exactly once by the distilled master. Dropping it once
+           left a hardened tail spinning into the runaway guard. *)
+        let kept =
+          match List.rev others with
+          | [] -> kept
+          | last :: _ -> if List.mem last kept then kept else last :: kept
+        in
+        merged := List.length others - List.length kept;
+        List.sort_uniq Int.compare (p.entry :: kept)
+    in
+    ( { st with task_entries = Some selected },
+      {
+        pass = "split-merge";
+        rewrites = 0;
+        detail =
+          [
+            ("merged", !merged);
+            ("split", !split);
+            ("entries", List.length selected);
+          ];
+      } )
+  in
+  {
+    name = "split-merge";
+    doc =
+      "adaptive task sizing: resize the boundary set using a previous \
+       run's squash rate (identity without feedback)";
+    kind = Analysis;
+    apply;
+  }
+
+(* --- prediction-backed strong dead-write elision ------------------- *)
+
+(* The feedback loop's second half, and the pass that actually moves the
+   speedup plateau. [dead_writes] uses ordinary may-liveness, which can
+   never remove a loop-carried chain: [Add t1 t1 t3] keeps [t1] alive
+   through the back edge, so a reduction's accumulator survives in the
+   master forever — and the master's dynamic length stays ~the original's
+   on exactly the kernels slaves could run in parallel.
+
+   This pass uses STRONGLY-live (faint-variable) analysis instead: a
+   pure definition's uses are counted only when its own target register
+   is live. A self-sustaining chain whose value no effectful instruction
+   and no task boundary ever observes is then faint as a whole and
+   drops out of the master.
+
+   What must survive: (a) registers feeding effectful instructions —
+   stores, branches, jumps, Out (the transfer adds their uses
+   unconditionally); (b) registers a SLAVE may first-read at a task
+   boundary — seeded from the ORIGINAL program's liveness at every
+   retained task entry, because those are the live-ins verification
+   checks against the master's checkpoint. Everything else is
+   prediction material the machine will obtain from architected state
+   or the live-in predictor; a wrong call here costs squashes, never
+   correctness — unsound-but-checked like every other pass. Gated on
+   [feedback.fb_elide] (identity otherwise), because without a working
+   predictor/low squash rate the extra mispredictions are pure loss. *)
+
+let predict_elide =
+  let apply st =
+    let { options; original = p; code; _ } = st in
+    let removed = ref 0 in
+    (match options.feedback with
+    | Some fb when fb.fb_elide ->
+      let entries =
+        match st.task_entries with Some l -> l | None -> [ p.entry ]
+      in
+      (* per-entry seed: original-program live-in at the boundary *)
+      let g_orig = Cfg.build p in
+      let orig_live = Cfg.liveness g_orig in
+      let entry_seed_tbl = Hashtbl.create 16 in
+      List.iter
+        (fun e ->
+          let seed =
+            match Cfg.block_of_pc g_orig e with
+            | Some b when b.Cfg.start = e -> orig_live.Cfg.live_in.(b.Cfg.id)
+            | Some _ | None -> Regset.full
+          in
+          Hashtbl.replace entry_seed_tbl e seed)
+        entries;
+      let current = Program.make ~base:p.base ~entry:p.entry code in
+      let g = Cfg.build current in
+      let reach = Cfg.reachable g in
+      let nb = Array.length g.Cfg.blocks in
+      let live_in = Array.make nb Regset.empty in
+      let entry_seed (b : Cfg.block) =
+        match Hashtbl.find_opt entry_seed_tbl b.Cfg.start with
+        | Some s -> s
+        | None -> Regset.empty
+      in
+      let block_live_out (b : Cfg.block) =
+        if b.Cfg.has_indirect then Regset.full
+        else
+          List.fold_left
+            (fun acc s ->
+              Regset.union acc
+                (Regset.union live_in.(s) (entry_seed g.Cfg.blocks.(s))))
+            Regset.empty b.Cfg.succs
+      in
+      (* strongly-live backward transfer: a pure def's uses count only
+         when its target register is live *)
+      let step live instr =
+        match (Instr.writes_reg instr, is_pure_def instr) with
+        | Some rd, true ->
+          if Regset.mem rd live then
+            Regset.union (Regset.diff live (Cfg.defs instr)) (Cfg.uses instr)
+          else live
+        | _ ->
+          Regset.union (Regset.diff live (Cfg.defs instr)) (Cfg.uses instr)
+      in
+      let transfer (b : Cfg.block) =
+        let live = ref (block_live_out b) in
+        for i = b.Cfg.len - 1 downto 0 do
+          live := step !live code.(b.Cfg.start + i - p.base)
+        done;
+        !live
+      in
+      let stable = ref false in
+      while not !stable do
+        stable := true;
+        for id = nb - 1 downto 0 do
+          let ni = transfer g.Cfg.blocks.(id) in
+          if not (Regset.equal ni live_in.(id)) then begin
+            live_in.(id) <- ni;
+            stable := false
+          end
+        done
+      done;
+      (* sweep: nop every pure def whose target is faint *)
+      Array.iter
+        (fun (b : Cfg.block) ->
+          if reach.(b.Cfg.id) then begin
+            let live = ref (block_live_out b) in
+            for i = b.Cfg.len - 1 downto 0 do
+              let off = b.Cfg.start + i - p.base in
+              let instr = code.(off) in
+              (match (Instr.writes_reg instr, is_pure_def instr) with
+              | Some rd, true when not (Regset.mem rd !live) ->
+                code.(off) <- Instr.Nop;
+                incr removed
+              | _ -> ());
+              live := step !live code.(off)
+            done
+          end)
+        g.Cfg.blocks
+    | Some _ | None -> ());
+    ( st,
+      {
+        pass = "predict-elide";
+        rewrites = !removed;
+        detail = [ ("elided", !removed) ];
+      } )
+  in
+  {
+    name = "predict-elide";
+    doc =
+      "strong dead-write elision: faint loop-carried chains no boundary \
+       live-in or effectful use observes become nops (needs feedback \
+       with elision on; the live-in predictor covers residual reads)";
+    kind = Rewrite;
     apply;
   }
 

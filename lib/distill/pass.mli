@@ -9,6 +9,24 @@
     distiller's order and is bit-identical to the original monolithic
     distiller. *)
 
+(** Measured feedback from a previous MSSP run of the same program — the
+    input of the adaptive passes ({!split_merge}, {!predict_elide}).
+    Produced by the re-distillation loop ([Mssp_core.Mssp_adapt]) from
+    the machine's squash attribution. *)
+type feedback = {
+  fb_squash_rate : float;  (** squashes per committed task, previous run *)
+  fb_target_size : int;
+      (** the machine's [task_size]: markers observed more often than
+          this buy nothing and are merge candidates *)
+  fb_elide : bool;
+      (** enable {!predict_elide} — only worth it when the squash rate
+          is already low (a live-in predictor covers residual reads) *)
+}
+
+val split_threshold : float
+(** Squash-rate boundary between the split and merge reactions of
+    {!split_merge} (0.05 squashes per commit). *)
+
 (** Tuning knobs shared by every pass. Defaults follow the paper's
     framing: aggressive on clearly-biased branches, conservative
     elsewhere. *)
@@ -29,6 +47,9 @@ type options = {
   compact : bool;  (** drop nops and unreachable blocks during layout *)
   min_boundary_count : int;
       (** keep a task-boundary candidate executed at least this often *)
+  feedback : feedback option;
+      (** previous-run feedback driving the adaptive passes; [None] (the
+          default) makes {!split_merge} and {!predict_elide} identities *)
 }
 
 val default_options : options
@@ -108,6 +129,24 @@ val repair : t
 val dead_writes : t  (** dead register-write elimination (iterated liveness) *)
 
 val boundaries : t  (** task-boundary selection on the original CFG *)
+
+val split_merge : t
+(** adaptive task sizing over the selected boundary set: high previous
+    squash rate re-admits every candidate (finer tasks), low squash rate
+    drops markers whose observed spacing cannot fill a task (so inner
+    accumulator chains become dead at the remaining boundaries). The
+    highest-pc marker always survives a merge — the master's tail after
+    its final fork is work no slave absorbs, and a hardened tail loop
+    would otherwise spin into the runaway guard. The identity without
+    [options.feedback]. Must run after {!boundaries}. *)
+
+val predict_elide : t
+(** strongly-live (faint-variable) dead-write elision: removes pure
+    register chains — loop-carried ones included — that no effectful
+    instruction and no retained boundary's original-program live-in set
+    observes. The master stops computing values only verification-exempt
+    reads would consume; the live-in predictor covers residual reads.
+    Gated on [options.feedback.fb_elide]; the identity otherwise. *)
 
 val compact : t
 (** layout + compaction: honors [options.compact] for nop-dropping.

@@ -17,6 +17,8 @@ let passes () =
     Pass.repair;
     Pass.dead_writes;
     Pass.boundaries;
+    Pass.split_merge;
+    Pass.predict_elide;
     Pass.compact;
   ]
 

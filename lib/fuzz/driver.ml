@@ -53,8 +53,60 @@ let dump_distill_artifacts ?fuel ~log shrunk grid failures =
       | _ -> ())
     grid
 
-let run_serial ?grid ?fuel ~faults ~distill ~size ~shrink_budget ~out ~save
-    ~trace ~log ~seed ~count () =
+(* On a predict-grid failure, dump one stats + event-trail artifact per
+   failing predictor point of the shrunk witness under
+   _predict_failures/ — which mode diverged, its squash attribution and
+   its prediction outcome counts, plus the JSONL trail when the machine
+   ran at all. *)
+let dump_predict_artifacts ?fuel ~log shrunk grid failures =
+  let dir = "_predict_failures" in
+  let failed (pt : Oracle.point) =
+    List.exists
+      (fun (f : Oracle.failure) -> String.equal f.Oracle.point pt.Oracle.name)
+      failures
+  in
+  List.iter
+    (fun (pt : Oracle.point) ->
+      if failed pt then begin
+        (if not (Sys.file_exists dir) then Sys.mkdir dir 0o755);
+        let base =
+          Filename.concat dir
+            (String.map (fun c -> if c = '/' then '-' else c) pt.Oracle.name)
+        in
+        match Oracle.trace_failure ?fuel ~grid:[ pt ] shrunk with
+        | None -> ()
+        | Some (_, events, fails) ->
+          let s = Mssp_trace.Trace.Summary.of_events events in
+          let txt =
+            String.concat "\n"
+              (Printf.sprintf "point: %s" pt.Oracle.name
+               :: Printf.sprintf
+                    "trace: %d committed, %d squashed (bad-prediction %d, \
+                     task-failed %d, master-dead %d), predict %d hits / %d \
+                     misses"
+                    s.Mssp_trace.Trace.Summary.commits
+                    s.Mssp_trace.Trace.Summary.squashes
+                    (Mssp_trace.Trace.Summary.squash_mismatch s)
+                    (Mssp_trace.Trace.Summary.squash_task_failed s)
+                    (Mssp_trace.Trace.Summary.squash_master_dead s)
+                    s.Mssp_trace.Trace.Summary.predict_hits
+                    s.Mssp_trace.Trace.Summary.predict_misses
+               :: List.map
+                    (fun (f : Oracle.failure) ->
+                      Printf.sprintf "failure: %s" f.Oracle.reason)
+                    fails)
+            ^ "\n"
+          in
+          Out_channel.with_open_text (base ^ ".txt") (fun oc ->
+              Out_channel.output_string oc txt);
+          Out_channel.with_open_text (base ^ ".trace.jsonl") (fun oc ->
+              Out_channel.output_string oc (Mssp_trace.Trace.to_jsonl events));
+          log (Printf.sprintf "  wrote %s.{txt,trace.jsonl}" base)
+      end)
+    grid
+
+let run_serial ?grid ?fuel ~faults ~distill ~predict ~size ~shrink_budget ~out
+    ~save ~trace ~log ~seed ~count () =
   let rng = Wl_util.lcg (seed lxor 0x6C078965) in
   let skipped = ref 0 in
   let runs = ref 0 in
@@ -74,6 +126,7 @@ let run_serial ?grid ?fuel ~faults ~distill ~size ~shrink_budget ~out ~save
       | Some pl -> Some (Oracle.plan_grid ~plan:pl ())
       | None ->
         if distill then Some (Oracle.distill_grid ~seed:program_seed ())
+        else if predict then Some (Oracle.predict_grid ~seed:program_seed ())
         else grid
     in
     match Oracle.check ?grid ?fuel ~formal_seed:program_seed p with
@@ -141,6 +194,10 @@ let run_serial ?grid ?fuel ~faults ~distill ~size ~shrink_budget ~out ~save
       if distill then
         Option.iter
           (fun g -> dump_distill_artifacts ?fuel ~log shrunk g failures)
+          grid;
+      if predict then
+        Option.iter
+          (fun g -> dump_predict_artifacts ?fuel ~log shrunk g failures)
           grid;
       (* with tracing on, re-run the shrunk witness under the event bus:
          the trail that explains the divergence ships with the repro *)
@@ -222,13 +279,14 @@ let run_serial ?grid ?fuel ~faults ~distill ~size ~shrink_budget ~out ~save
     findings = List.rev !findings;
   }
 
-let campaign ?grid ?fuel ?(faults = false) ?(distill_grid = false) ?(size = 0)
-    ?(shrink_budget = 500) ?out ?(save = 0) ?(trace = false)
-    ?(log = fun _ -> ()) ?(jobs = 1) ~seed ~count () =
+let campaign ?grid ?fuel ?(faults = false) ?(distill_grid = false)
+    ?(predict_grid = false) ?(size = 0) ?(shrink_budget = 500) ?out ?(save = 0)
+    ?(trace = false) ?(log = fun _ -> ()) ?(jobs = 1) ~seed ~count () =
   let distill = distill_grid in
+  let predict = predict_grid in
   if jobs <= 1 || count <= 1 then
-    run_serial ?grid ?fuel ~faults ~distill ~size ~shrink_budget ~out ~save
-      ~trace ~log ~seed ~count ()
+    run_serial ?grid ?fuel ~faults ~distill ~predict ~size ~shrink_budget ~out
+      ~save ~trace ~log ~seed ~count ()
   else begin
     let jobs = min jobs count in
     (* Each shard is an independent serial campaign seeded with the
@@ -253,7 +311,8 @@ let campaign ?grid ?fuel ?(faults = false) ?(distill_grid = false) ?(size = 0)
             Buffer.add_char buf '\n'
           in
           let r =
-            run_serial ?grid ?fuel ~faults ~distill ~size ~shrink_budget ~out
+            run_serial ?grid ?fuel ~faults ~distill ~predict ~size
+              ~shrink_budget ~out
               ~save:(if w = 0 then save else 0)
               ~trace ~log:shard_log ~seed:(seed + w) ~count:cw ()
           in

@@ -42,6 +42,7 @@ val campaign :
   ?fuel:int ->
   ?faults:bool ->
   ?distill_grid:bool ->
+  ?predict_grid:bool ->
   ?size:int ->
   ?shrink_budget:int ->
   ?out:string ->
@@ -62,7 +63,12 @@ val campaign :
     seed — the pass-subset axis with the pass-checker on — and, on a
     failing subset point, dumps the shrunk witness's per-pass diff +
     JSON artifacts under [_distill_failures/] (the distiller counterpart
-    of trace trails); [size] (default 0 = vary per program in [6, 24]) fixes
+    of trace trails); [predict_grid] (default false, ignored under
+    [faults] and [distill_grid]) judges each program on
+    {!Oracle.predict_grid} — every live-in predictor mode must land
+    bit-identical on the SEQ state — and, on a failing predictor point,
+    dumps the shrunk witness's stats + JSONL event trail under
+    [_predict_failures/]; [size] (default 0 = vary per program in [6, 24]) fixes
     the shape count; [shrink_budget] (default 500) bounds predicate
     evaluations
     per finding; [out] enables corpus persistence; [save] (default 0)

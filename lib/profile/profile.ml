@@ -21,9 +21,12 @@ type t = {
   branches : (int, branch_stats) Hashtbl.t;
   loads : (int, load_stats) Hashtbl.t;
   stores : (int, store_stats) Hashtbl.t;
+  cells : (int, int list ref) Hashtbl.t;
   mutable dynamic_instructions : int;
   mutable stop : Machine.stop option;
 }
+
+let cell_stream_cap = 256
 
 let create () =
   {
@@ -31,6 +34,7 @@ let create () =
     branches = Hashtbl.create 64;
     loads = Hashtbl.create 64;
     stores = Hashtbl.create 64;
+    cells = Hashtbl.create 256;
     dynamic_instructions = 0;
     stop = None;
   }
@@ -62,6 +66,16 @@ let note_communication t site distance =
   match Hashtbl.find_opt t.stores site with
   | Some s -> s.min_comm_distance <- min s.min_comm_distance distance
   | None -> ()
+
+(* Per-address observation stream: every value seen flowing through a
+   memory cell (loaded from it or just stored to it), in execution
+   order, capped at [cell_stream_cap] per address. The single-threaded
+   collection run is the only writer, so the order is the program's own
+   — stable no matter how many [--jobs] consume the profile later. *)
+let record_cell t addr value =
+  match Hashtbl.find_opt t.cells addr with
+  | Some l -> if List.length !l < cell_stream_cap then l := value :: !l
+  | None -> Hashtbl.add t.cells addr (ref [ value ])
 
 let record_load t pc value =
   match Hashtbl.find_opt t.loads pc with
@@ -102,12 +116,14 @@ let collect ?(fuel = 100_000_000) p =
           record_branch t pc ~taken:(Full.pc m.state <> pc + 1)
         | Some (Instr.Ld (rd, _, _)), Some addr ->
           record_load t pc (Full.get_reg m.state rd);
+          record_cell t addr (Full.get_reg m.state rd);
           (match Hashtbl.find_opt last_store addr with
           | Some (site, when_) ->
             note_communication t site (t.dynamic_instructions - when_)
           | None -> ())
         | Some (Instr.St _), Some addr ->
           record_store t pc;
+          record_cell t addr (Full.get_mem m.state addr);
           Hashtbl.replace last_store addr (pc, t.dynamic_instructions)
         | (Some _ | None), _ -> ());
         go (remaining - 1)
@@ -136,6 +152,15 @@ let store_comm_distance t pc =
   match Hashtbl.find_opt t.stores pc with
   | None -> None
   | Some s -> Some s.min_comm_distance
+
+let cell_observations t addr =
+  match Hashtbl.find_opt t.cells addr with
+  | None -> []
+  | Some l -> List.rev !l
+
+let observed_cells t =
+  Hashtbl.fold (fun addr _ acc -> addr :: acc) t.cells []
+  |> List.sort Int.compare
 
 let load_stability t pc =
   match Hashtbl.find_opt t.loads pc with

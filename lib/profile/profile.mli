@@ -35,9 +35,15 @@ type t = {
   branches : (int, branch_stats) Hashtbl.t;  (** branch pc -> outcomes *)
   loads : (int, load_stats) Hashtbl.t;  (** load pc -> value stability *)
   stores : (int, store_stats) Hashtbl.t;  (** store pc -> communication *)
+  cells : (int, int list ref) Hashtbl.t;
+      (** per-address observation stream (reversed internally; use
+          {!cell_observations}) — the value predictors' warm-up food *)
   mutable dynamic_instructions : int;
   mutable stop : Mssp_seq.Machine.stop option;
 }
+
+val cell_stream_cap : int
+(** Per-address cap on the recorded observation stream. *)
 
 val collect : ?fuel:int -> Mssp_isa.Program.t -> t
 (** Run the program to completion (default fuel 100M instructions) and
@@ -53,6 +59,17 @@ val branch_bias : t -> int -> (bool * float) option
 val load_stability : t -> int -> (int * float) option
 (** For a load PC: the first observed value and the fraction of
     executions that returned it. [None] if never executed. *)
+
+val cell_observations : t -> int -> int list
+(** Every value observed flowing through a memory address (loads from it
+    and stores to it), in execution order, capped at
+    {!cell_stream_cap}. [[]] if the address was never touched. The
+    collection run is single-threaded, so this order is the program's
+    own — stable regardless of any [--jobs] parallelism consuming the
+    profile. *)
+
+val observed_cells : t -> int list
+(** Addresses with a non-empty observation stream, ascending. *)
 
 val store_comm_distance : t -> int -> int option
 (** For a store PC: the minimum observed store-to-load communication

@@ -225,6 +225,7 @@ let first_inconsistent t arch =
 let commit_into t arch = Journal.iter (fun c v -> Full.set arch c v) t.writes
 
 let iter_writes f t = Journal.iter f t.writes
+let iter_reads f t = Journal.iter f t.reads
 
 let pp fmt t =
   Format.fprintf fmt

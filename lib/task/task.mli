@@ -143,4 +143,10 @@ val commit_into : t -> Mssp_state.Full.t -> unit
 val iter_writes : (Mssp_state.Cell.t -> int -> unit) -> t -> unit
 (** Iterate the write buffer in journal order (allocation-free). *)
 
+val iter_reads : (Mssp_state.Cell.t -> int -> unit) -> t -> unit
+(** Iterate the first-read journal (the recorded live-in uses and the
+    values the task consumed for them) in journal order — the
+    verification unit's view, reused by the value predictors for
+    hit/miss attribution and online training. *)
+
 val pp : Format.formatter -> t -> unit

@@ -42,6 +42,7 @@ type verify_outcome =
 type event =
   | Fork of { cycle : int; task : int; entry : int }
   | Predict of { cycle : int; task : int; live_in : Fragment.t }
+  | Predict_outcome of { cycle : int; task : int; hits : int; misses : int }
   | Slave_start of { cycle : int; task : int; slave : int }
   | Slave_finish of {
       cycle : int;
@@ -91,6 +92,7 @@ type event =
 let event_cycle = function
   | Fork { cycle; _ }
   | Predict { cycle; _ }
+  | Predict_outcome { cycle; _ }
   | Slave_start { cycle; _ }
   | Slave_finish { cycle; _ }
   | Verify { cycle; _ }
@@ -120,6 +122,12 @@ let pp_event fmt = function
     let n = Fragment.cardinal live_in in
     Format.fprintf fmt "%8d  predict  task %d (%d live-in%s)" cycle task n
       (if n = 1 then "" else "s")
+  | Predict_outcome { cycle; task; hits; misses } ->
+    Format.fprintf fmt "%8d  poutcome task %d (%d hit%s, %d miss%s)" cycle
+      task hits
+      (if hits = 1 then "" else "s")
+      misses
+      (if misses = 1 then "" else "es")
   | Slave_start { cycle; task; slave } ->
     Format.fprintf fmt "%8d  start    task %d on slave %d" cycle task slave
   | Slave_finish { cycle; task; slave; executed; ok } ->
@@ -316,6 +324,9 @@ let event_to_json ev =
                   (fun c v acc -> J.List [ J.Str (Cell.show c); J.Int v ] :: acc)
                   live_in [])) );
       ]
+  | Predict_outcome { cycle; task; hits; misses } ->
+    base "predict_outcome" cycle
+      [ ("task", J.Int task); ("hits", J.Int hits); ("misses", J.Int misses) ]
   | Slave_start { cycle; task; slave } ->
     base "slave_start" cycle [ ("task", J.Int task); ("slave", J.Int slave) ]
   | Slave_finish { cycle; task; slave; executed; ok } ->
@@ -433,6 +444,11 @@ let event_of_json j =
           (Ok Fragment.empty) l
     in
     Ok (Predict { cycle; task; live_in })
+  | "predict_outcome" ->
+    let* task = int "task" in
+    let* hits = int "hits" in
+    let* misses = int "misses" in
+    Ok (Predict_outcome { cycle; task; hits; misses })
   | "slave_start" ->
     let* task = int "task" in
     let* slave = int "slave" in
@@ -584,6 +600,8 @@ module Summary = struct
     committed_live_outs : int;
     live_ins_checked : int;
     predicted_bindings : int;
+    predict_hits : int;
+    predict_misses : int;
     squashes : int;
     discarded : int;
     bad_prediction : int;
@@ -621,6 +639,8 @@ module Summary = struct
       committed_live_outs = 0;
       live_ins_checked = 0;
       predicted_bindings = 0;
+      predict_hits = 0;
+      predict_misses = 0;
       squashes = 0;
       discarded = 0;
       bad_prediction = 0;
@@ -656,6 +676,12 @@ module Summary = struct
         {
           s with
           predicted_bindings = s.predicted_bindings + Fragment.cardinal live_in;
+        }
+      | Predict_outcome { hits; misses; _ } ->
+        {
+          s with
+          predict_hits = s.predict_hits + hits;
+          predict_misses = s.predict_misses + misses;
         }
       | Slave_start _ -> { s with slave_starts = s.slave_starts + 1 }
       | Slave_finish _ -> { s with slave_finishes = s.slave_finishes + 1 }
@@ -726,6 +752,8 @@ module Summary = struct
       [ "live_outs_committed"; i s.committed_live_outs ];
       [ "live_ins_checked"; i s.live_ins_checked ];
       [ "predicted_bindings"; i s.predicted_bindings ];
+      [ "predict_hits"; i s.predict_hits ];
+      [ "predict_misses"; i s.predict_misses ];
       [ "squashes"; i s.squashes ];
       [ "tasks_discarded"; i s.discarded ];
       [ "squash_bad_prediction"; i s.bad_prediction ];
@@ -845,6 +873,12 @@ module Chrome = struct
             (instant ~ts:cycle ~name:(Printf.sprintf "fork task %d" task)
                ~args:[ ("entry", J.Int entry) ] ())
         | Predict _ -> ()
+        | Predict_outcome { cycle; task; hits; misses } ->
+          add_instant
+            (instant ~ts:cycle
+               ~name:(Printf.sprintf "predict task %d" task)
+               ~args:[ ("hits", J.Int hits); ("misses", J.Int misses) ]
+               ())
         | Slave_start { cycle; task; slave } ->
           Hashtbl.replace open_slices task (cycle, slave)
         | Slave_finish { cycle; task; slave; executed; ok } -> (

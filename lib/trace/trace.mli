@@ -70,6 +70,14 @@ type event =
           injection — exactly what the slave will be seeded with. Held by
           reference (persistent, shared with the checkpoint): the
           emission site does no per-binding work *)
+  | Predict_outcome of { cycle : int; task : int; hits : int; misses : int }
+      (** value-prediction attribution at verification: how many of the
+          head task's recorded first-reads matched architected state
+          ([hits]) vs mismatched ([misses]), [Pc] excluded. Emitted only
+          when a live-in predictor is enabled
+          ([Mssp_core.Mssp_config.predict]), right after the [Verify]
+          event for the same task — runs with prediction off stay
+          bit-identical. *)
   | Slave_start of { cycle : int; task : int; slave : int }
   | Slave_finish of {
       cycle : int;
@@ -219,6 +227,8 @@ module Summary : sig
     committed_live_outs : int;
     live_ins_checked : int;  (** summed over [Verify] events *)
     predicted_bindings : int;  (** summed over [Predict] events *)
+    predict_hits : int;  (** summed over [Predict_outcome] events *)
+    predict_misses : int;
     squashes : int;
     discarded : int;  (** summed over [Squash.discarded] *)
     bad_prediction : int;

@@ -1,7 +1,8 @@
 (* The golden-trace harness: the structured event bus is pinned down by
-   - five committed golden traces (vecsum, listwalk, a garbage
-     adversarial master, a deliberately broken chaos-commit run and a
-     benign always-absorbed fault plan) that
+   - six committed golden traces (vecsum, listwalk, a garbage
+     adversarial master, a deliberately broken chaos-commit run, a
+     benign always-absorbed fault plan and a stride-friendly kernel
+     under the tournament live-in predictor) that
      every [dune runtest] replays and structurally diffs
      ([PROMOTE_GOLDEN=1] / `make promote-golden` rewrites them);
    - the acceptance criterion of the tracing subsystem: a fold over the
@@ -23,6 +24,7 @@ module Adversary = Mssp_workload.Adversary
 module Trace = Mssp_trace.Trace
 module Tjson = Mssp_trace.Tjson
 module Gen = Mssp_fuzz.Gen
+module Predict = Mssp_predict.Predict
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -109,6 +111,26 @@ let golden_cases_at pool =
               quarantine_after = 3;
             }
           (distill_bench "vecsum" ~size:160 ~train:40) );
+    (* a stride-friendly kernel under the tournament live-in predictor,
+       warmed from the training profile: pins the [Predict_outcome]
+       event serialization (hit/miss attribution right after each
+       Verify) and the determinism of prediction itself — training and
+       consultation happen on the event-loop domain only, so the stream
+       is bit-identical at every pool size *)
+    ( "predicted_stride",
+      fun () ->
+        let b = W.find "fir" in
+        let program = b.W.program ~size:120 in
+        let profile = Profile.collect (b.W.program ~size:40) in
+        run_traced
+          ~config:
+            {
+              base2 with
+              Config.task_size = 20;
+              predict = Predict.Tournament;
+              predict_warmup = Predict.warmup_of_profile profile;
+            }
+          (Distill.distill program profile) );
   ]
 
 let golden_cases = golden_cases_at None
