@@ -1267,6 +1267,172 @@ let sblkg () =
          "SBLKG: superblock-on wall clock %.4fs is slower than single-step %.4fs"
          !best_on !best_off)
 
+(* --- SJRNLG: slave block-journal guard --------------------------------- *)
+
+(* The block-aware slave journal's two contracts, enforced under `make
+   perf-smoke`:
+
+   semantics — the engine choice is invisible: a full MSSP run (4
+   slaves) must produce bit-identical simulated cycles with the slave
+   block journal on and off, and so must the same run under a fault
+   plan that forces squashes — every squash re-verifies a staged
+   first-read stream, so verification-order identity (content *and*
+   order of the insertion-order log) is what keeps squash attribution
+   and cycle counts pinned.
+
+   performance — the journal pays for itself where blocks exist: the
+   slave-body micro (the straight-line task body, run as a speculative
+   task against a fallback view) must be at least 2x single-step
+   throughput with the block journal on. A 2x floor needs a clock that
+   can resolve itself: as in TRACEG, the baseline is timed twice
+   (interleaved), and when the two minima disagree by more than 10% —
+   or the host has a single core — the ratio is reported without being
+   enforced. Min-of-9 interleaved reps with a major collection before
+   each. The measured pair lands in the --json report as
+   [sjrnl_guard]; the micro section reports the same pair as
+   instrs/sec rows. *)
+let sjrnlg () =
+  section "SJRNLG  Slave block-journal guard: block journaling vs single-step";
+  let module Plan = Mssp_faults.Plan in
+  let p = prepare (W.find "vecsum") in
+  let cfg = with_slaves 4 in
+  let cycles bj =
+    let r = run ~config:{ cfg with Config.slave_block_journal = bj } p in
+    assert_correct p r;
+    r.M.stats.M.cycles
+  in
+  let on = cycles true in
+  let off = cycles false in
+  if on <> off then
+    failwith
+      (Printf.sprintf
+         "SJRNLG: the slave block journal changed the simulation (%d cycles \
+          on, %d off)"
+         on off);
+  note "MSSP cycles bit-identical on/off: %d" on;
+  (* squash-heavy leg: corrupted live-ins force verification failures,
+     so the staged first-read stream is replayed — and must mismatch at
+     the same cell — on every squash *)
+  let stormy =
+    Plan.make [ Plan.action Plan.Live_in_corrupt ~seed:11 ~p:0.25 ]
+  in
+  let stormy_cycles bj =
+    let config =
+      { cfg with Config.slave_block_journal = bj; Config.faults = Some stormy }
+    in
+    let r = run ~config p in
+    assert_correct p r;
+    if r.M.stats.M.squashes = 0 then
+      failwith "SJRNLG: the squash-heavy leg produced no squashes";
+    r.M.stats.M.cycles
+  in
+  let s_on = stormy_cycles true in
+  let s_off = stormy_cycles false in
+  if s_on <> s_off then
+    failwith
+      (Printf.sprintf
+         "SJRNLG: the slave block journal changed a squash-heavy run (%d \
+          cycles on, %d off)"
+         s_on s_off);
+  note "squash-heavy cycles bit-identical on/off: %d" s_on;
+  let best_on = ref infinity in
+  let best_off = ref infinity and best_off2 = ref infinity in
+  ignore (Micro.run_slave_body ~block_journal:true () : float);
+  ignore (Micro.run_slave_body ~block_journal:false () : float);
+  for _ = 1 to 9 do
+    Gc.major ();
+    let t = Micro.run_slave_body ~block_journal:false () in
+    if t < !best_off then best_off := t;
+    Gc.major ();
+    let t = Micro.run_slave_body ~block_journal:true () in
+    if t < !best_on then best_on := t;
+    Gc.major ();
+    let t = Micro.run_slave_body ~block_journal:false () in
+    if t < !best_off2 then best_off2 := t
+  done;
+  let noise =
+    Float.abs (!best_off -. !best_off2) /. Float.min !best_off !best_off2
+  in
+  let best_off = Float.min !best_off !best_off2 in
+  let speedup = best_off /. !best_on in
+  note
+    "slave-body micro (%d instrs): on %.4fs   off %.4fs   speedup %.2fx  \
+     (floor 2x, clock noise %.1f%%)"
+    Micro.slave_body_instrs !best_on best_off speedup (noise *. 100.);
+  let cores = Domain.recommended_domain_count () in
+  let enforced = cores >= 2 && noise <= 0.10 in
+  (* whole-machine leg: the acceptance ratio. A block-friendly kernel at
+     8 slaves, the complete simulation (master, slaves, verify, commit)
+     timed end to end — this is where the per-slave caches must show up
+     as wall clock, not just in the body micro. Same double-timed
+     baseline noise gate; the floor is 1.3x. *)
+  let cfg8 = with_slaves 8 in
+  let timed_run bj =
+    let config = { cfg8 with Config.slave_block_journal = bj } in
+    Gc.major ();
+    let t0 = Unix.gettimeofday () in
+    let r = run ~config p in
+    let dt = Unix.gettimeofday () -. t0 in
+    assert_correct p r;
+    dt
+  in
+  ignore (timed_run true : float);
+  ignore (timed_run false : float);
+  let m_on = ref infinity in
+  let m_off = ref infinity and m_off2 = ref infinity in
+  for _ = 1 to 5 do
+    let t = timed_run false in
+    if t < !m_off then m_off := t;
+    let t = timed_run true in
+    if t < !m_on then m_on := t;
+    let t = timed_run false in
+    if t < !m_off2 then m_off2 := t
+  done;
+  let m_noise = Float.abs (!m_off -. !m_off2) /. Float.min !m_off !m_off2 in
+  let m_off = Float.min !m_off !m_off2 in
+  let m_speedup = m_off /. !m_on in
+  note
+    "whole machine (vecsum, 8 slaves): on %.4fs   off %.4fs   speedup %.2fx  \
+     (floor 1.3x, clock noise %.1f%%)"
+    !m_on m_off m_speedup (m_noise *. 100.);
+  let m_enforced = cores >= 2 && m_noise <= 0.10 in
+  Harness.sjrnl_guard :=
+    Some
+      {
+        jg_cycles = on;
+        jg_instrs = Micro.slave_body_instrs;
+        jg_on_s = !best_on;
+        jg_off_s = best_off;
+        jg_noise = noise;
+        jg_enforced = enforced;
+        jg_mach_on_s = !m_on;
+        jg_mach_off_s = m_off;
+        jg_mach_noise = m_noise;
+        jg_mach_enforced = m_enforced;
+      };
+  if not enforced then
+    note
+      "host cannot resolve the 2x floor (%d core%s, baseline self-disagrees \
+       by %.1f%%): ratio reported, floor not enforced"
+      cores (if cores = 1 then "" else "s") (noise *. 100.)
+  else if speedup < 2.0 then
+    failwith
+      (Printf.sprintf
+         "SJRNLG: block-journal slave throughput is only %.2fx single-step \
+          (floor 2x)"
+         speedup);
+  if not m_enforced then
+    note
+      "host cannot resolve the 1.3x machine floor (%d core%s, baseline \
+       self-disagrees by %.1f%%): ratio reported, floor not enforced"
+      cores (if cores = 1 then "" else "s") (m_noise *. 100.)
+  else if m_speedup < 1.3 then
+    failwith
+      (Printf.sprintf
+         "SJRNLG: whole-machine wall clock is only %.2fx single-step slaves \
+          at 8 slaves (floor 1.3x)"
+         m_speedup)
+
 let all : (string * (unit -> unit)) list =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
@@ -1280,5 +1446,5 @@ let all : (string * (unit -> unit)) list =
 let extras : (string * (unit -> unit)) list =
   [
     ("E1s", e1s); ("TRACEG", traceg); ("FAULTG", faultg); ("POOLG", poolg);
-    ("SBLKG", sblkg); ("ADPTG", adptg);
+    ("SBLKG", sblkg); ("ADPTG", adptg); ("SJRNLG", sjrnlg);
   ]

@@ -138,6 +138,24 @@ type sblk_guard = {
 
 let sblk_guard : sblk_guard option ref = ref None
 
+(* SJRNLG's measurements, picked up by the bench --json writer *)
+type sjrnl_guard = {
+  jg_cycles : int;
+      (** MSSP vecsum cycles — bit-identical with block journal on/off *)
+  jg_instrs : int;  (** slave-body micro retired instructions *)
+  jg_on_s : float;  (** slave-body micro wall clock, block journal on *)
+  jg_off_s : float;  (** single-step slave reference *)
+  jg_noise : float;  (** double-timed baseline self-disagreement *)
+  jg_enforced : bool;  (** the 2x floor was a hard failure condition *)
+  jg_mach_on_s : float;
+      (** whole-machine wall clock (vecsum, 8 slaves), block journal on *)
+  jg_mach_off_s : float;  (** same machine run, single-step slaves *)
+  jg_mach_noise : float;  (** double-timed machine baseline disagreement *)
+  jg_mach_enforced : bool;  (** the 1.3x floor was a hard failure condition *)
+}
+
+let sjrnl_guard : sjrnl_guard option ref = ref None
+
 (* ADPTG's measurements, picked up by the bench --json writer *)
 type adapt_guard = {
   ag_kernels : (string * int * int) list;

@@ -136,6 +136,32 @@ let () =
             ];
         ]
     in
+    (* likewise the slave-body pair: the same straight-line workload run
+       as a speculative task, block journal on vs single-step *)
+    let micro =
+      micro
+      @
+      match !Micro.slave_throughput with
+      | None -> []
+      | Some t ->
+        [
+          Obj
+            [
+              ("name", String "slave body (block journal)");
+              ("instructions_per_sec", Float t.Micro.sips_blk);
+            ];
+          Obj
+            [
+              ("name", String "slave body (single-step)");
+              ("instructions_per_sec", Float t.Micro.sips_step);
+            ];
+          Obj
+            [
+              ("name", String "slave body block-journal speedup");
+              ("ratio", Float (t.Micro.sips_blk /. t.Micro.sips_step));
+            ];
+        ]
+    in
     let pool_guard =
       match !Harness.pool_guard with
       | None -> []
@@ -189,6 +215,36 @@ let () =
               ] );
         ]
     in
+    let sjrnl_guard =
+      match !Harness.sjrnl_guard with
+      | None -> []
+      | Some g ->
+        let ips t = float_of_int g.Harness.jg_instrs /. t in
+        [
+          ( "sjrnl_guard",
+            Obj
+              [
+                ("mssp_cycles", Int g.Harness.jg_cycles);
+                ("micro_instructions", Int g.Harness.jg_instrs);
+                ("on_wall_clock_s", Float g.Harness.jg_on_s);
+                ("off_wall_clock_s", Float g.Harness.jg_off_s);
+                ("on_instructions_per_sec", Float (ips g.Harness.jg_on_s));
+                ("off_instructions_per_sec", Float (ips g.Harness.jg_off_s));
+                ("speedup", Float (g.Harness.jg_off_s /. g.Harness.jg_on_s));
+                ("clock_noise", Float g.Harness.jg_noise);
+                ( "floor_enforced",
+                  String (if g.Harness.jg_enforced then "yes" else "no") );
+                ("machine_on_wall_clock_s", Float g.Harness.jg_mach_on_s);
+                ("machine_off_wall_clock_s", Float g.Harness.jg_mach_off_s);
+                ( "machine_speedup",
+                  Float (g.Harness.jg_mach_off_s /. g.Harness.jg_mach_on_s) );
+                ("machine_clock_noise", Float g.Harness.jg_mach_noise);
+                ( "machine_floor_enforced",
+                  String (if g.Harness.jg_mach_enforced then "yes" else "no")
+                );
+              ] );
+        ]
+    in
     let adapt_guard =
       match !Harness.adapt_guard with
       | None -> []
@@ -216,5 +272,5 @@ let () =
     write_file file
       (Obj
          ([ ("experiments", List experiments); ("micro", List micro) ]
-         @ pool_guard @ fault_guard @ sblk_guard @ adapt_guard));
+         @ pool_guard @ fault_guard @ sblk_guard @ sjrnl_guard @ adapt_guard));
     Printf.printf "\n  [json report written to %s]\n" file

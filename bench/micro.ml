@@ -253,6 +253,69 @@ type throughput = { ips_sblk : float; ips_step : float }
 (* filled by [run]; the --json writer turns it into micro rows *)
 let throughput : throughput option ref = ref None
 
+(* --- slave-body throughput: block journal vs single-step -------------
+
+   The same straight-line workload, but run the way a slave runs it: as
+   a speculative task against a fallback view of architected state, all
+   reads resolving through the journal stack. Block-journal on executes
+   from a per-task-run superblock cache with first-reads staged into
+   the insertion-order log; off is the single-step reference executor.
+   The [instructions_per_sec] pair is the headline number the SJRNLG
+   guard and BENCH_mssp.json report. *)
+
+let slave_body_instrs = straightline_instrs
+
+let slave_arch =
+  let s = Full.create () in
+  Full.load s straightline_program;
+  s
+
+let slave_entry = straightline_program.Mssp_isa.Program.entry
+let slave_view = Task.Fallback (fun c -> Full.get slave_arch c)
+
+(* one timed run; returns wall seconds, checks the run was the run *)
+let run_slave_body ~block_journal () =
+  let t =
+    Task.make ~id:0 ~start_pc:slave_entry ~end_pc:None ~end_occurrence:1
+      ~budget:(slave_body_instrs + 8)
+      ~live_in:(Fragment.of_list [])
+  in
+  let t0 = Unix.gettimeofday () in
+  let status = Task.run ~block_journal t slave_view in
+  let dt = Unix.gettimeofday () -. t0 in
+  (match status with
+  | Task.Complete Task.Program_halted -> ()
+  | _ -> failwith "slave-body micro did not halt");
+  if t.Task.executed <> slave_body_instrs then
+    failwith "slave-body micro retired the wrong instruction count";
+  dt
+
+type slave_throughput = { sips_blk : float; sips_step : float }
+
+(* filled by [run]; the --json writer turns it into micro rows *)
+let slave_throughput : slave_throughput option ref = ref None
+
+let measure_slave_throughput () =
+  let best_on = ref infinity and best_off = ref infinity in
+  ignore (run_slave_body ~block_journal:true () : float);
+  ignore (run_slave_body ~block_journal:false () : float);
+  for _ = 1 to 9 do
+    Gc.major ();
+    let t = run_slave_body ~block_journal:true () in
+    if t < !best_on then best_on := t;
+    let t = run_slave_body ~block_journal:false () in
+    if t < !best_off then best_off := t
+  done;
+  let ips t = float_of_int slave_body_instrs /. t in
+  let r = { sips_blk = ips !best_on; sips_step = ips !best_off } in
+  slave_throughput := Some r;
+  Printf.printf
+    "\n\
+    \  slave-body micro (%d instrs): %.1f M instrs/s block journal, %.1f M \
+     single-step  (%.2fx)\n"
+    slave_body_instrs (r.sips_blk /. 1e6) (r.sips_step /. 1e6)
+    (r.sips_blk /. r.sips_step)
+
 let measure_throughput () =
   let best_on = ref infinity and best_off = ref infinity in
   ignore (run_straightline ~superblock:true () : float);
@@ -348,4 +411,5 @@ let run () =
       ((ring -. off) /. off *. 100.)
   | _ -> ());
   measure_throughput ();
+  measure_slave_throughput ();
   estimates

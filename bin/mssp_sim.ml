@@ -619,14 +619,29 @@ let fuzz_cmd =
                land bit-identical on the SEQ final state; failing modes \
                dump stats + event trails under _predict_failures/.")
   in
+  let weights_arg =
+    Arg.(value & opt (enum [ ("default", `Default); ("smc-heavy", `Smc_heavy) ])
+           `Default
+         & info [ "weights" ] ~docv:"PROFILE"
+             ~doc:"Program generator shape-weight profile: $(b,default), or \
+                   $(b,smc-heavy) — self-modifying code boosted to dominate, \
+                   stressing the decode caches (superblocks, the slave block \
+                   journal) with constant invalidation. Replay lines assume \
+                   the same profile.")
+  in
   let run seed count size budget out save quiet trace jobs faults distill_grid
-      predict_grid =
+      predict_grid weights =
     let module Driver = Mssp_fuzz.Driver in
     let module Oracle = Mssp_fuzz.Oracle in
     let log = if quiet then fun _ -> () else print_endline in
+    let weights =
+      match weights with
+      | `Default -> Mssp_fuzz.Gen.default_weights
+      | `Smc_heavy -> Mssp_fuzz.Gen.smc_heavy
+    in
     let r =
       Driver.campaign ~seed ~count ~size ~shrink_budget:budget ?out ~save
-        ~trace ~log ~jobs ~faults ~distill_grid ~predict_grid ()
+        ~trace ~log ~jobs ~weights ~faults ~distill_grid ~predict_grid ()
     in
     Printf.printf
       "fuzz: %d programs (%d skipped), %d machine runs compared, %d divergence(s)\n"
@@ -660,7 +675,7 @@ let fuzz_cmd =
     Term.(
       const run $ seed_arg $ count_arg $ size_arg $ budget_arg $ out_arg
       $ save_arg $ quiet_arg $ trace_flag $ jobs_arg $ faults_flag
-      $ distill_grid_flag $ predict_grid_flag)
+      $ distill_grid_flag $ predict_grid_flag $ weights_arg)
 
 (* --- audit --- *)
 

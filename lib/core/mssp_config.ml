@@ -58,6 +58,7 @@ type t = {
   tracer : Mssp_trace.Trace.t option;
   pool : int option;
   superblock : bool;
+  slave_block_journal : bool;
   master_chunk : int;
   max_cycles : int;
   max_squashes : int;
@@ -90,6 +91,7 @@ let default =
     tracer = None;
     pool = None;
     superblock = Mssp_seq.Sblock.default_enabled;
+    slave_block_journal = Mssp_task.Task.default_block_journal;
     master_chunk = 1_000_000;
     max_cycles = 2_000_000_000;
     max_squashes = 1_000_000;
@@ -110,7 +112,8 @@ let pp fmt c =
      adaptive backoff: %b, quarantine after: %s@,\
      predict: %s (seed %d, warmup %d cells)@,\
      master chunk: %d, max cycles: %d, max squashes: %d@,\
-     recovery fuel: %d, tracing: %s, pool: %s, superblock: %b@]"
+     recovery fuel: %d, tracing: %s, pool: %s, superblock: %b, slave block \
+     journal: %b@]"
     c.slaves c.max_in_flight c.task_size c.task_budget c.isolated_slaves
     c.control_only_master c.verify_refinement c.dual_mode c.dual_trigger
     c.dual_burst
@@ -139,4 +142,4 @@ let pp fmt c =
     | None -> "env"
     | Some 0 -> "off"
     | Some n -> string_of_int n)
-    c.superblock
+    c.superblock c.slave_block_journal

@@ -160,6 +160,20 @@ type t = {
           this {e never} changes simulated cycles, stats, squash
           attribution or traces — runs are bit-identical either way
           (enforced by tests and the SBLKG bench guard). *)
+  slave_block_journal : bool;
+      (** block-aware slave journaling ([true] by default, or the
+          [MSSP_SJRNL] environment variable's verdict,
+          {!Mssp_task.Task.default_block_journal}): slave task bodies
+          execute from per-task caches of pre-decoded superblocks, with
+          first-reads staged into the journal's insertion-order log and
+          replayed in serial first-read order at verification. Another
+          pure engine choice: cycles, stats, squash attribution and
+          traces are bit-identical either way, at every pool size
+          (enforced by the sjournal differential suite, the golden
+          traces and the SJRNLG bench guard). Independent of
+          [superblock] — that one additionally accelerates decode via
+          program images, which the slave block builder reuses through
+          the task's decoder. *)
   master_chunk : int;
       (** run-away guard: a master producing no fork for this many
           instructions is stopped (execution continues correctly via

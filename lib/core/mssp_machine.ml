@@ -289,13 +289,40 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
     lazy (Sblock.create ~images:[ d.original; d.distilled ] ())
   in
   let engine_live () = cfg.superblock && Lazy.is_val recovery_engine in
-  (* Every store into [arch] performed outside the engine (task commits,
-     chaos corruption) must reach the block cache's invalidation probe,
-     or a block over self-modified code could go stale across recovery
-     segments. *)
+  (* Block-aware slave journaling ([cfg.slave_block_journal]): task
+     bodies execute from per-SLAVE superblock caches with first-reads
+     staged in serial first-read order. The caches persist across a
+     slave's task runs — tasks are far too short to amortize block
+     building per run — and per-slave ownership is what keeps the
+     pooled path race-free: a batch assigns distinct slaves, so no
+     engine is ever touched by two worker domains at once, and all
+     invalidation below runs on the event-loop domain between batches.
+     Like [pool] and [superblock], the switch is a pure engine choice:
+     bit-identical cycles, stats and traces either way (the sjournal
+     differential suite and the SJRNLG bench guard). *)
+  let slave_specs =
+    if cfg.slave_block_journal then
+      Some
+        (Array.init cfg.slaves (fun _ ->
+             Sblock.Spec.create ~decode:master_decode ()))
+    else None
+  in
+  let specs_live = slave_specs <> None in
+  (* Every store into [arch] performed outside the engines (task
+     commits, chaos corruption) must reach the block caches'
+     invalidation probes, or a block over self-modified code could go
+     stale — across recovery segments (master engine) or across task
+     runs (slave caches). *)
   let note_arch_cell c _v =
     match c with
-    | Cell.Mem a -> Sblock.note_store (Lazy.force recovery_engine) a
+    | Cell.Mem a ->
+      if engine_live () then Sblock.note_store (Lazy.force recovery_engine) a;
+      (match slave_specs with
+      | None -> ()
+      | Some specs ->
+        Array.iter
+          (fun e -> ignore (Sblock.Spec.note_store e a : bool))
+          specs)
     | Cell.Pc | Cell.Reg _ -> ()
   in
   (* The event bus. Every emission site is guarded by [if tracing then],
@@ -388,7 +415,7 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
           let c, v = List.nth l (cp_id mod List.length l) in
           fault_event a "commit_corrupt" (Some cp_id);
           Full.set arch c (v lxor 0x2A);
-          if engine_live () then note_arch_cell c 0)
+          if engine_live () || specs_live then note_arch_cell c 0)
       | None -> ())
   in
   (* dual-mode: squashes with no commit in between *)
@@ -414,6 +441,10 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
     if cfg.isolated_slaves then Task.Isolated
     else Task.Fallback (fun c -> Full.get arch c)
   in
+  let block_journal = cfg.slave_block_journal in
+  let spec_for s =
+    match slave_specs with None -> None | Some specs -> Some specs.(s)
+  in
   (* Execute one batch of startable tasks (all from a single
      [try_start_tasks] event); returns each task's cache cost, in batch
      order. Serial: run each body inline, charging its slave cache as it
@@ -436,13 +467,16 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
             | Cell.Mem a -> cost := !cost + Hierarchy.access cache a
             | Cell.Pc | Cell.Reg _ -> ()
           in
-          ignore (Task.run ~on_access task (task_view ()) : Task.status);
+          ignore
+            (Task.run ~on_access ~block_journal ?engine:(spec_for s) task
+               (task_view ())
+              : Task.status);
           !cost)
         batch
     | Some pool ->
       let futures =
         List.map
-          (fun (_, _, task) ->
+          (fun (_, s, task) ->
             let accesses = ref (Array.make 64 0) in
             let n = ref 0 in
             let on_access c =
@@ -461,8 +495,14 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
               | Cell.Pc | Cell.Reg _ -> ()
             in
             let fut =
+              (* distinct [s] per batch: the slave's engine is touched
+                 by exactly one worker at a time, and the pool's
+                 submit/await edges publish inter-batch invalidations *)
               Pool.submit pool (fun () ->
-                  ignore (Task.run ~on_access task (task_view ()) : Task.status))
+                  ignore
+                    (Task.run ~on_access ~block_journal
+                       ?engine:(spec_for s) task (task_view ())
+                      : Task.status))
             in
             (accesses, n, fut))
           batch
@@ -919,7 +959,8 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
           (* the memoization hit: superimpose the live-outs *)
           ignore (Queue.pop window : checkpoint);
           Task.commit_into task arch;
-          if engine_live () then Task.iter_writes note_arch_cell task;
+          if engine_live () || specs_live then
+            Task.iter_writes note_arch_cell task;
           maybe_chaos_commit cp.cp_id task;
           let n_outs = Task.live_out_size task in
           fruitless_squashes := 0;
@@ -1106,6 +1147,11 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
     let outcome =
       Seq_machine.run_until m ~fuel:cfg.recovery_fuel ~min_steps ~at:at_entry
     in
+    (* the segment stored straight into [arch] with no per-store report:
+       drop the slave block caches whole rather than track its writes *)
+    (match slave_specs with
+    | None -> ()
+    | Some specs -> Array.iter Sblock.Spec.clear specs);
     let steps = m.Seq_machine.instructions in
     stats.recovery_segments <- stats.recovery_segments + 1;
     stats.recovery_instructions <- stats.recovery_instructions + steps;

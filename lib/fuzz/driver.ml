@@ -105,8 +105,8 @@ let dump_predict_artifacts ?fuel ~log shrunk grid failures =
       end)
     grid
 
-let run_serial ?grid ?fuel ~faults ~distill ~predict ~size ~shrink_budget ~out
-    ~save ~trace ~log ~seed ~count () =
+let run_serial ?grid ?fuel ?weights ~faults ~distill ~predict ~size
+    ~shrink_budget ~out ~save ~trace ~log ~seed ~count () =
   let rng = Wl_util.lcg (seed lxor 0x6C078965) in
   let skipped = ref 0 in
   let runs = ref 0 in
@@ -114,7 +114,7 @@ let run_serial ?grid ?fuel ~faults ~distill ~predict ~size ~shrink_budget ~out
   for i = 0 to count - 1 do
     let program_seed = (rng () lxor i) land 0x3FFFFFFF in
     let sz = if size > 0 then size else 6 + (program_seed mod 19) in
-    let p = Gen.generate ~seed:program_seed ~size:sz () in
+    let p = Gen.generate ?weights ~seed:program_seed ~size:sz () in
     (* program x plan fuzzing: the plan is a function of the program
        seed, so the one-line replay (seed -> program + plan) still
        holds; the plan grid replaces the standard one. The distill grid
@@ -279,14 +279,14 @@ let run_serial ?grid ?fuel ~faults ~distill ~predict ~size ~shrink_budget ~out
     findings = List.rev !findings;
   }
 
-let campaign ?grid ?fuel ?(faults = false) ?(distill_grid = false)
+let campaign ?grid ?fuel ?weights ?(faults = false) ?(distill_grid = false)
     ?(predict_grid = false) ?(size = 0) ?(shrink_budget = 500) ?out ?(save = 0)
     ?(trace = false) ?(log = fun _ -> ()) ?(jobs = 1) ~seed ~count () =
   let distill = distill_grid in
   let predict = predict_grid in
   if jobs <= 1 || count <= 1 then
-    run_serial ?grid ?fuel ~faults ~distill ~predict ~size ~shrink_budget ~out
-      ~save ~trace ~log ~seed ~count ()
+    run_serial ?grid ?fuel ?weights ~faults ~distill ~predict ~size
+      ~shrink_budget ~out ~save ~trace ~log ~seed ~count ()
   else begin
     let jobs = min jobs count in
     (* Each shard is an independent serial campaign seeded with the
@@ -311,7 +311,7 @@ let campaign ?grid ?fuel ?(faults = false) ?(distill_grid = false)
             Buffer.add_char buf '\n'
           in
           let r =
-            run_serial ?grid ?fuel ~faults ~distill ~predict ~size
+            run_serial ?grid ?fuel ?weights ~faults ~distill ~predict ~size
               ~shrink_budget ~out
               ~save:(if w = 0 then save else 0)
               ~trace ~log:shard_log ~seed:(seed + w) ~count:cw ()

@@ -40,6 +40,7 @@ type report = {
 val campaign :
   ?grid:Oracle.point list ->
   ?fuel:int ->
+  ?weights:Gen.weights ->
   ?faults:bool ->
   ?distill_grid:bool ->
   ?predict_grid:bool ->
@@ -54,7 +55,11 @@ val campaign :
   count:int ->
   unit ->
   report
-(** [faults] (default false) switches to program x plan fuzzing: each
+(** [weights] (default {!Gen.default_weights}) selects the program
+    generator's shape-weight profile — e.g. {!Gen.smc_heavy} for the
+    nightly self-modifying-code leg; every replay line assumes the same
+    profile, so campaigns under a non-default profile replay with the
+    same flag. [faults] (default false) switches to program x plan fuzzing: each
     iteration derives an always-absorbable fault plan from the program
     seed ({!Gen.plan}), judges the program on {!Oracle.plan_grid}
     instead of [grid], and shrinks failing witnesses over both

@@ -35,6 +35,11 @@ let default_weights =
     smc = 4;
   }
 
+(* the self-modifying-code stress profile: most programs patch their own
+   bodies, so decode caches (superblocks, the slave block journal) see
+   constant invalidation pressure *)
+let smc_heavy = { default_weights with smc = 40; alu = 8; loop = 12 }
+
 (* Mirror Full.t's geometry without depending on mssp_state: 4096 pages
    of 4096 words. Address [paged_span - 1] is the last paged word; the
    next word lives in the overflow table. *)

@@ -48,6 +48,13 @@ type weights = {
 
 val default_weights : weights
 
+val smc_heavy : weights
+(** The self-modifying-code stress profile: [smc] boosted to dominate
+    (with [alu]/[loop] rebalanced), so most programs patch their own
+    bodies and decode caches — the superblock engine, the slave block
+    journal — run under constant invalidation pressure. Shared by the
+    sblock/sjournal property tests and the nightly SMC fuzz leg. *)
+
 val generate :
   ?weights:weights -> seed:int -> size:int -> unit -> Mssp_isa.Program.t
 (** [generate ~seed ~size ()] is a deterministic function of its arguments;

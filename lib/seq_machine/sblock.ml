@@ -410,6 +410,190 @@ let exec_block_fast eng b s ctr ~fuel =
   end;
   !result
 
+(* --- speculative block caches (the slave rung) ----------------------
+
+   The task executor cannot use the engine above: it fetches through a
+   journal stack (write buffer -> live-in -> architected view), not
+   through a [Full.t], and its first-reads must be staged for
+   verification. What it shares with the master's engine is everything
+   below the fetch: the straight-line-region shape, the page-granular
+   store invalidation, and the leave-the-block-after-a-store SMC rule.
+   [Spec] packages exactly that — a block cache parameterized over the
+   owner's fetch resolution — so slaves climb onto the same ladder
+   without duplicating its geometry. A cache outlives any one task run
+   (the machine keeps one per slave, so consecutive tasks re-dispatch
+   warm blocks instead of rebuilding them); what is per-run is the
+   staging state: blocks remember each fetched word and whether it is a
+   first-read candidate ([s_live]), plus a recorded prefix ([s_covered])
+   stamped with the run generation ([s_cover_gen]) — a new run sees the
+   watermark as empty without touching every cached block. *)
+module Spec = struct
+  type sblock = {
+    s_start : int;
+    s_instrs : Instr.t array;
+    s_words : int array;
+    s_live : bool array;
+    mutable s_covered : int;
+    mutable s_cover_gen : int;
+  }
+
+  type t = {
+    sp_decode : pc:int -> word:int -> Instr.t option;
+    sp_cache : (int, sblock) Hashtbl.t;
+    sp_pages : (int, sblock list ref) Hashtbl.t;
+    mutable sp_lo : int;  (* page range holding cached blocks; *)
+    mutable sp_hi : int;  (* lo > hi when the cache is empty *)
+    mutable sp_gen : int;  (* current run generation, see [new_run] *)
+    mutable sp_built : int;
+    mutable sp_dropped : int;
+  }
+
+  let create ~decode () =
+    {
+      sp_decode = decode;
+      sp_cache = Hashtbl.create 16;
+      sp_pages = Hashtbl.create 8;
+      sp_lo = max_int;
+      sp_hi = min_int;
+      sp_gen = 0;
+      sp_built = 0;
+      sp_dropped = 0;
+    }
+
+  let new_run t =
+    t.sp_gen <- t.sp_gen + 1;
+    t.sp_gen
+
+  let clear t =
+    Hashtbl.reset t.sp_cache;
+    Hashtbl.reset t.sp_pages;
+    t.sp_lo <- max_int;
+    t.sp_hi <- min_int
+
+  let built t = t.sp_built
+  let dropped t = t.sp_dropped
+  let lookup t pc = Hashtbl.find_opt t.sp_cache pc
+
+  let iter_spec_pages f b =
+    let last = ref min_int in
+    let stop = b.s_start + Array.length b.s_instrs in
+    let a = ref b.s_start in
+    while !a < stop do
+      let p = !a lsr page_bits in
+      if p <> !last then begin
+        f p;
+        last := p
+      end;
+      incr a
+    done
+
+  let register t b =
+    Hashtbl.replace t.sp_cache b.s_start b;
+    t.sp_built <- t.sp_built + 1;
+    iter_spec_pages
+      (fun p ->
+        (match Hashtbl.find_opt t.sp_pages p with
+        | Some l -> l := b :: !l
+        | None -> Hashtbl.add t.sp_pages p (ref [ b ]));
+        if p < t.sp_lo then t.sp_lo <- p;
+        if p > t.sp_hi then t.sp_hi <- p)
+      b
+
+  (* One range check per store on the miss path (the cache covers a few
+     code pages; far data stores never get past it). A page hit is not
+     yet a drop: [Dsl.alloc] places kernel data right after the code,
+     so task-body stores routinely land on a page that also holds
+     cached blocks — and a task body that re-dispatches its loop block
+     on every trip would rebuild it on every trip if any same-page
+     store dropped it. A block's captured words only go stale when the
+     store lands {e inside its span}, so only spanning blocks are
+     dropped (exact staleness, still conservative: the fetched word may
+     be bound in the write buffer either way). [true] when anything was
+     dropped — the executor must then leave the block it is inside,
+     exactly like the master engine. *)
+  let note_store t a =
+    let p = a lsr page_bits in
+    if p < t.sp_lo || p > t.sp_hi then false
+    else
+      match Hashtbl.find_opt t.sp_pages p with
+      | None -> false
+      | Some l ->
+        let stale =
+          List.filter
+            (fun b ->
+              a >= b.s_start && a < b.s_start + Array.length b.s_instrs)
+            !l
+        in
+        List.iter
+          (fun b ->
+            Hashtbl.remove t.sp_cache b.s_start;
+            iter_spec_pages
+              (fun q ->
+                match Hashtbl.find_opt t.sp_pages q with
+                | None -> ()
+                | Some l' ->
+                  l' := List.filter (fun b' -> b' != b) !l';
+                  if !l' = [] then Hashtbl.remove t.sp_pages q)
+              b)
+          stale;
+        t.sp_dropped <- t.sp_dropped + List.length stale;
+        stale <> []
+
+  (* Build the straight-line region entered at [pc] through the owner's
+     [fetch]: [Some (word, live)] resolves an address ([live] marks a
+     resolution outside the write buffer — a first-read candidate),
+     [None] refuses it (the I/O region, or an unbound cell in isolated
+     mode) and ends the region, as do undecodable words, transfers that
+     cannot fall through, and the cap. Building performs no journal
+     staging and no access-hook traffic: fetches are charged and staged
+     at execution time, exactly as the single-step path does. *)
+  let build t ~fetch pc =
+    let ibuf = Array.make block_cap Instr.Nop in
+    let wbuf = Array.make block_cap 0 in
+    let lbuf = Array.make block_cap false in
+    let n = ref 0 in
+    let scanning = ref true in
+    while !scanning && !n < block_cap do
+      let a = pc + !n in
+      match fetch a with
+      | None -> scanning := false
+      | Some (word, live) -> (
+        match t.sp_decode ~pc:a ~word with
+        | None -> scanning := false
+        | Some i ->
+          ibuf.(!n) <- i;
+          wbuf.(!n) <- word;
+          lbuf.(!n) <- live;
+          incr n;
+          (match i with
+          | Instr.Jmp _ | Instr.Jal _ | Instr.Jr _ | Instr.Jalr _
+          | Instr.Halt ->
+            scanning := false
+          | Instr.Alu _ | Instr.Alui _ | Instr.Li _ | Instr.Ld _
+          | Instr.St _ | Instr.Br _ | Instr.Out _ | Instr.Fork _
+          | Instr.Nop ->
+            ()))
+    done;
+    if !n = 0 then None
+    else begin
+      let b =
+        {
+          s_start = pc;
+          s_instrs = Array.sub ibuf 0 !n;
+          s_words = Array.sub wbuf 0 !n;
+          s_live = Array.sub lbuf 0 !n;
+          s_covered = 0;
+          s_cover_gen = t.sp_gen;
+        }
+      in
+      register t b;
+      Some b
+    end
+
+  let lookup_or_build t ~fetch pc =
+    match lookup t pc with Some _ as r -> r | None -> build t ~fetch pc
+end
+
 let run eng s ctr ~fuel ~min_steps ~stop_at =
   let stop = ref Fuel in
   let running = ref true in

@@ -103,3 +103,81 @@ val invalidations : t -> int
 val decoder : t -> pc:int -> word:int -> Mssp_isa.Instr.t option
 (** The engine's image-accelerated decode function (agrees with
     [Instr.decode]); usable as {!Exec.step}'s [?decode]. *)
+
+(** Speculative block caches — the slave rung of the ladder.
+
+    A task body fetches through a journal stack (write buffer → live-in
+    → architected view), not a {!Mssp_state.Full.t}, so it cannot share
+    the engine above; what it {e can} share is the region shape, the
+    page-granular store invalidation and the leave-after-a-store SMC
+    rule. [Spec] is that core, parameterized over the owner's fetch
+    resolution. Owners are strictly private (one cache per task run —
+    block validity depends on the task's own write buffer), which is
+    also what keeps pooled execution race-free: no cross-domain block
+    sharing, ever. *)
+module Spec : sig
+  type sblock = {
+    s_start : int;
+    s_instrs : Mssp_isa.Instr.t array;
+    s_words : int array;  (** the fetched words, for first-read staging *)
+    s_live : bool array;
+        (** word resolved outside the owner's write buffer — its fetch
+            is a first-read candidate the executor must stage *)
+    mutable s_covered : int;
+        (** prefix \[0, s_covered) whose fetch first-reads the current
+            run has already staged; the executor skips their probes and
+            advances the watermark as it records *)
+    mutable s_cover_gen : int;
+        (** the {!new_run} generation [s_covered] belongs to: a
+            dispatch under a different generation must reset the
+            watermark to 0 before trusting it (the cache outlives task
+            runs, the staging state must not) *)
+  }
+
+  type t
+
+  val create : decode:(pc:int -> word:int -> Mssp_isa.Instr.t option) -> unit -> t
+  (** Empty cache using [decode] (agreeing with [Instr.decode]) for
+      region building. *)
+
+  val new_run : t -> int
+  (** Open a new task run against this cache and return its generation
+      stamp. Blocks built earlier keep their decoded bodies but their
+      [s_covered] watermarks carry an older [s_cover_gen], so the new
+      run re-stages every first-read exactly once. *)
+
+  val clear : t -> unit
+  (** Drop every cached block (the recovery hammer: a recovery segment
+      executes stores straight into architected state with no per-store
+      report, so all bets on cached words are off). *)
+
+  val lookup : t -> int -> sblock option
+
+  val build :
+    t -> fetch:(int -> (int * bool) option) -> int -> sblock option
+  (** Decode the straight-line region entered at [pc], resolving words
+      through [fetch]: [Some (word, live)] with [live] marking a
+      resolution outside the write buffer; [None] (the I/O region, an
+      unbound cell) ends the region, as do undecodable words, transfers
+      that cannot fall through, and the length cap. [None] overall when
+      the very first word refuses — the caller's single-step fallback
+      then owns the fault/I/O probe. No journal staging and no access
+      traffic happen here; execution charges fetches itself. *)
+
+  val lookup_or_build :
+    t -> fetch:(int -> (int * bool) option) -> int -> sblock option
+
+  val note_store : t -> int -> bool
+  (** Report a store into the owner's address space: drops exactly the
+      cached blocks whose word span contains the stored-to address,
+      [true] if any block was dropped — the executor must then leave
+      the block it is inside after the store, exactly like the master
+      engine's in-block invalidation rule. One page range check on the
+      miss path; precise (span-containment) invalidation on a page hit,
+      because kernel data commonly shares a page with kernel code
+      ([Dsl.alloc] places buffers right after the program) and dropping
+      whole pages would rebuild every loop block on every data store. *)
+
+  val built : t -> int
+  val dropped : t -> int
+end

@@ -293,8 +293,7 @@ let prop_fuzz_differential =
     (program_arb ~min_size:4 ~max_size:20 ())
     same_run
 
-let smc_heavy =
-  { Gen.default_weights with Gen.smc = 40; Gen.alu = 8; Gen.loop = 12 }
+let smc_heavy = Gen.smc_heavy
 
 let prop_smc_differential =
   QCheck.Test.make ~name:"SMC-heavy program: superblock on = off" ~count:40

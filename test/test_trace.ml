@@ -56,9 +56,17 @@ let base2 = Config.with_slaves 2 Config.default
 (* [pool = None] defers to MSSP_POOL (absent = serial), so the default
    suite follows the CI matrix leg; [golden_cases_at (Some 4)] pins the
    pooled path against the same committed traces — the bit-identity
-   contract of lib/exec, enforced on every runtest *)
-let golden_cases_at pool =
+   contract of lib/exec, enforced on every runtest. [sjrnl] pins the
+   slave block journal explicitly (ignoring MSSP_SJRNL), so the
+   block-journaled engine is checked against the committed streams on
+   every runtest whatever the environment says. *)
+let golden_cases_at ?sjrnl pool =
   let base2 = { base2 with Config.pool } in
+  let base2 =
+    match sjrnl with
+    | None -> base2
+    | Some bj -> { base2 with Config.slave_block_journal = bj }
+  in
   [
     ( "vecsum",
       fun () ->
@@ -451,6 +459,17 @@ let () =
             Alcotest.test_case name `Quick (fun () ->
                 if not promote then test_golden case ()))
           (golden_cases_at (Some 4)) );
+      (* and out of block-journaled slave bodies, forced on regardless
+         of MSSP_SJRNL: the staged first-read stream must replay into
+         the exact committed event streams — including the
+         predicted_stride predictor-outcome events, which train from
+         the verification-order stream *)
+      ( "golden (block journal)",
+        List.map
+          (fun (name, _ as case) ->
+            Alcotest.test_case name `Quick (fun () ->
+                if not promote then test_golden case ()))
+          (golden_cases_at ~sjrnl:true None) );
       ( "attribution",
         [
           Alcotest.test_case "fold over JSONL reproduces stats" `Quick
