@@ -74,7 +74,7 @@ let () =
     end
     else []
   in
-  match !json_file with
+  (match !json_file with
   | None -> ()
   | Some file ->
     let open Json_out in
@@ -245,6 +245,27 @@ let () =
               ] );
         ]
     in
+    let svc_guard =
+      match !Harness.svc_guard with
+      | None -> []
+      | Some g ->
+        [
+          ( "svc_guard",
+            Obj
+              [
+                ("mssp_cycles", Int g.Harness.vg_cycles);
+                ("inproc_wall_clock_s", Float g.Harness.vg_inproc_s);
+                ("daemon_wall_clock_s", Float g.Harness.vg_daemon_s);
+                ( "overhead",
+                  Float
+                    ((g.Harness.vg_daemon_s -. g.Harness.vg_inproc_s)
+                    /. g.Harness.vg_inproc_s) );
+                ("clock_noise", Float g.Harness.vg_noise);
+                ( "budget_enforced",
+                  String (if g.Harness.vg_enforced then "yes" else "no") );
+              ] );
+        ]
+    in
     let adapt_guard =
       match !Harness.adapt_guard with
       | None -> []
@@ -272,5 +293,9 @@ let () =
     write_file file
       (Obj
          ([ ("experiments", List experiments); ("micro", List micro) ]
-         @ pool_guard @ fault_guard @ sblk_guard @ sjrnl_guard @ adapt_guard));
-    Printf.printf "\n  [json report written to %s]\n" file
+         @ pool_guard @ fault_guard @ sblk_guard @ sjrnl_guard @ adapt_guard
+         @ svc_guard));
+    Printf.printf "\n  [json report written to %s]\n" file);
+  (* the shared lifecycle path with the daemon: drain and join any
+     worker domains --jobs or a guard spawned before the process exits *)
+  Mssp_exec.Pool.shutdown_global ()

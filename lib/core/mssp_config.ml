@@ -56,6 +56,7 @@ type t = {
           before the run ([Predict.warmup_of_profile]); ignored when
           [predict] is [Off] *)
   tracer : Mssp_trace.Trace.t option;
+  interrupt : (unit -> string option) option;
   pool : int option;
   superblock : bool;
   slave_block_journal : bool;
@@ -89,6 +90,7 @@ let default =
     predict_seed = 0x5bd1e995;
     predict_warmup = [];
     tracer = None;
+    interrupt = None;
     pool = None;
     superblock = Mssp_seq.Sblock.default_enabled;
     slave_block_journal = Mssp_task.Task.default_block_journal;

@@ -142,6 +142,20 @@ type t = {
           sinks; [None] (the default) compiles every emission site down
           to one predictable branch — no event is allocated. Attach a
           collector, ring buffer, or JSONL sink before the run. *)
+  interrupt : (unit -> string option) option;
+      (** cooperative cancellation hook: polled once per dispatched
+          simulation event (between events, never mid-instruction-batch).
+          Returning [Some reason] stops the machine with the structured
+          [Interrupted reason] stop — architected state is left at the
+          last committed boundary, consistent but partial. This is how
+          the service layer ({!Mssp_service}) enforces wall-clock
+          deadlines and drain-time cancellation, and how
+          [mssp_sim run --timeout] turns a runaway workload into a
+          structured failure instead of a hung CI job. [None] (the
+          default) compiles the poll site down to one predictable branch
+          — runs are bit-identical to a build without the hook. The
+          closure runs on the event-loop domain; keep it cheap (an
+          [Atomic.get], a clock read). *)
   pool : int option;
       (** worker domains for slave task {e functional} execution
           ({!Mssp_exec.Pool}): [Some 0] pins the serial in-event-loop

@@ -119,6 +119,7 @@ type stop_reason =
   | Squash_limit
   | Recovery_fuel
   | Livelock of livelock_snapshot
+  | Interrupted of string
   | Wedged
 
 let stop_string = function
@@ -127,6 +128,7 @@ let stop_string = function
   | Squash_limit -> "squash_limit"
   | Recovery_fuel -> "recovery_fuel"
   | Livelock _ -> "livelock"
+  | Interrupted _ -> "interrupted"
   | Wedged -> "wedged"
 
 let pp_livelock fmt s =
@@ -528,11 +530,31 @@ let run ?(config = Mssp_config.default) (d : Distill.t) =
     (* later-scheduled events are dead; the machine's time is now *)
     stats.cycles <- Sim.now sim
   in
-  (* Event guard: drop stale (squashed) events, stop on the cycle limit. *)
+  (* Event guard: drop stale (squashed) events, stop on the cycle limit,
+     and poll the cooperative cancellation hook. With [interrupt = None]
+     the poll is one predictable branch per event, like the tracer; when
+     armed, the hook (an unknown closure — typically an [Atomic.get])
+     is only invoked every 1024th event, so the armed hot path pays a
+     decrement and a branch, not an indirect call. At simulator speeds
+     1024 events is far under a millisecond, well inside the service
+     watchdog's own 10 ms tick. *)
+  let interrupt_stride = 1024 in
+  let interrupt_countdown = ref interrupt_stride in
   let guarded thunk () =
     if !running then
       if Sim.now sim > cfg.max_cycles then halt_machine Cycle_limit
-      else thunk ()
+      else
+        match cfg.interrupt with
+        | None -> thunk ()
+        | Some poll ->
+          decr interrupt_countdown;
+          if !interrupt_countdown > 0 then thunk ()
+          else begin
+            interrupt_countdown := interrupt_stride;
+            match poll () with
+            | Some why -> halt_machine (Interrupted why)
+            | None -> thunk ()
+          end
   in
   let epoch_guarded thunk =
     let ep = Sim.epoch sim in

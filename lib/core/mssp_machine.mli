@@ -102,6 +102,13 @@ type stop_reason =
       (** the liveness watchdog ([config.liveness_window]) observed no
           commit/squash/recovery progress for a whole window — a stall
           that would otherwise spin silently to [max_cycles] *)
+  | Interrupted of string
+      (** the cooperative cancellation hook ([config.interrupt]) asked
+          the machine to stop, carrying its reason (e.g. ["timeout"],
+          ["deadline_exceeded"], ["drained"]). Architected state is the
+          last committed boundary — consistent but partial; callers
+          (the service layer, [run --timeout]) must treat the result as
+          cancelled, never as a completed run *)
   | Wedged
       (** the event queue drained before the program halted — a machine
           bug surfaced honestly; should never occur *)
@@ -117,8 +124,8 @@ type result = {
 
 val stop_string : stop_reason -> string
 (** ["halted"], ["cycle_limit"], ["squash_limit"], ["recovery_fuel"],
-    ["livelock"], ["wedged"] — the rendering carried by the trace
-    stream's [Halt] event. *)
+    ["livelock"], ["interrupted"], ["wedged"] — the rendering carried by
+    the trace stream's [Halt] event. *)
 
 val pp_livelock : Format.formatter -> livelock_snapshot -> unit
 (** One-line rendering of the diagnostic snapshot. *)

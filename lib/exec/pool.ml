@@ -127,6 +127,21 @@ let shutdown t =
   in
   List.iter Domain.join workers
 
+(* [drain]: run the queue dry on the calling domain before asking
+   workers to exit. [shutdown] alone is already drain-ish — workers
+   only stop once [take_opt] comes up empty — but helping from the
+   caller bounds the wait by the work itself, not by worker count. *)
+let drain t =
+  let rec help () =
+    match locked t (fun () -> Queue.take_opt t.jobs) with
+    | Some j ->
+      j ();
+      help ()
+    | None -> ()
+  in
+  help ();
+  shutdown t
+
 (* --- process-global pool --------------------------------------------- *)
 
 let global_m = Mutex.create ()
@@ -148,6 +163,20 @@ let global ~size () =
       let have = List.length t.workers in
       if have < want then spawn_workers t (want - have));
   t
+
+(* Lifecycle for the process-global pool: drain the queue, join the
+   worker domains, and clear the slot so a later [global] starts fresh.
+   Until now the global pool was grow-on-demand with no teardown —
+   fine for one-shot CLIs that exit anyway, wrong for the daemon
+   (SIGTERM drain must join every domain before the process reports a
+   clean exit) and untidy for bench/fuzz runs that want their workers
+   gone before final reporting. Idempotent; thread-safe. *)
+let shutdown_global () =
+  Mutex.lock global_m;
+  let t = !global_pool in
+  global_pool := None;
+  Mutex.unlock global_m;
+  match t with None -> () | Some t -> drain t
 
 (* computed eagerly at module init: a [lazy] here would be forced
    concurrently by worker domains (any run with [pool = None] inside a

@@ -41,8 +41,12 @@ val await : 'a future -> 'a
     waiting. Re-raises (with backtrace) if the thunk raised. *)
 
 val shutdown : t -> unit
-(** Ask workers to exit once the queue drains, and join them. The
-    process-global pool ({!global}) never needs this. *)
+(** Ask workers to exit once the queue drains, and join them. For the
+    process-global pool use {!shutdown_global}. *)
+
+val drain : t -> unit
+(** {!shutdown}, but the calling domain first helps run the queue dry —
+    the wait is bounded by the remaining work, not by worker count. *)
 
 (** {1 Process-global pool}
 
@@ -53,6 +57,14 @@ val shutdown : t -> unit
 val global : size:int -> unit -> t
 (** The shared pool, spawning workers so that at least
     [min size 64] exist. Thread-safe. *)
+
+val shutdown_global : unit -> unit
+(** Drain and tear down the process-global pool: finish queued jobs,
+    join every worker domain, and clear the slot so a later {!global}
+    spawns a fresh pool. The one lifecycle path shared by the daemon's
+    SIGTERM drain and the bench/fuzz CLI exits. Idempotent (a no-op
+    when no global pool exists); thread-safe. Never call it while
+    other threads still hold unresolved futures on the global pool. *)
 
 val env_size : unit -> int
 (** The [MSSP_POOL] environment default: worker domains for machine runs

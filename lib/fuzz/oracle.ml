@@ -263,6 +263,9 @@ let check_package ~fuel point subname (d : Distill.t) =
   | M.Recovery_fuel -> fail "machine exhausted its recovery fuel"
   | M.Livelock snap ->
     fail "machine livelocked: %s" (Format.asprintf "%a" M.pp_livelock snap)
+  | M.Interrupted why ->
+    (* no oracle point installs an interrupt hook; seeing one is a bug *)
+    fail "machine interrupted (%s) with no interrupt hook armed" why
   | M.Wedged -> fail "machine wedged (event queue drained early)");
   if r.M.stop = M.Halted then begin
     (match Full.diff_observable seq.Machine.state r.M.arch with

@@ -1,0 +1,98 @@
+type reject = Queue_full | Closed
+
+type 'a t = {
+  cap : int;
+  m : Mutex.t;
+  nonempty : Condition.t;
+  queues : (string, 'a Queue.t) Hashtbl.t;
+  rr : string Queue.t;  (* rotation of clients with a nonempty queue *)
+  mutable total : int;
+  mutable closed : bool;
+}
+
+let create ~cap =
+  {
+    cap = max 1 cap;
+    m = Mutex.create ();
+    nonempty = Condition.create ();
+    queues = Hashtbl.create 8;
+    rr = Queue.create ();
+    total = 0;
+    closed = false;
+  }
+
+let push t ~client x =
+  Mutex.lock t.m;
+  let r =
+    if t.closed then Error Closed
+    else if t.total >= t.cap then Error Queue_full
+    else begin
+      let q =
+        match Hashtbl.find_opt t.queues client with
+        | Some q -> q
+        | None ->
+          let q = Queue.create () in
+          Hashtbl.replace t.queues client q;
+          q
+      in
+      if Queue.is_empty q then Queue.add client t.rr;
+      Queue.add x q;
+      t.total <- t.total + 1;
+      Condition.signal t.nonempty;
+      Ok ()
+    end
+  in
+  Mutex.unlock t.m;
+  r
+
+(* callers hold t.m; takes the head client's oldest item and rotates *)
+let take_locked t =
+  let client = Queue.take t.rr in
+  let q = Hashtbl.find t.queues client in
+  let x = Queue.take q in
+  if not (Queue.is_empty q) then Queue.add client t.rr;
+  t.total <- t.total - 1;
+  x
+
+let pop t =
+  Mutex.lock t.m;
+  let rec wait () =
+    if t.total > 0 then Some (take_locked t)
+    else if t.closed then None
+    else begin
+      Condition.wait t.nonempty t.m;
+      wait ()
+    end
+  in
+  let r = wait () in
+  Mutex.unlock t.m;
+  r
+
+let close t =
+  Mutex.lock t.m;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.m
+
+let flush t =
+  Mutex.lock t.m;
+  t.closed <- true;
+  let acc = ref [] in
+  while t.total > 0 do
+    acc := take_locked t :: !acc
+  done;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.m;
+  List.rev !acc
+
+let length t =
+  Mutex.lock t.m;
+  let n = t.total in
+  Mutex.unlock t.m;
+  n
+
+let is_closed t =
+  Mutex.lock t.m;
+  let c = t.closed in
+  Mutex.unlock t.m;
+  c

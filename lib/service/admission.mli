@@ -1,0 +1,41 @@
+(** The bounded admission queue: per-client FIFO order, round-robin
+    service across clients, a hard capacity, and a drain protocol.
+
+    This is the backpressure boundary of the daemon. [push] never
+    blocks: at capacity it answers [Queue_full] {e immediately}, which
+    the daemon turns into a structured rejection — an oversubscribed
+    daemon degrades into fast refusals, never into a hang. Fairness is
+    structural: clients with queued work are served in rotation, one
+    item per turn, so a client that floods the queue cannot starve a
+    client that trickles (pinned by a QCheck property).
+
+    Generic in the item type so the properties can run on plain ints. *)
+
+type reject =
+  | Queue_full  (** at capacity; the item was not enqueued *)
+  | Closed  (** draining; no new work is admitted *)
+
+type 'a t
+
+val create : cap:int -> 'a t
+(** Total capacity across all clients (clamped to at least 1). *)
+
+val push : 'a t -> client:string -> 'a -> (unit, reject) result
+(** Non-blocking admission. *)
+
+val pop : 'a t -> 'a option
+(** Blocking: the next item in round-robin order, or [None] once the
+    queue is closed {e and} empty — the worker-thread exit signal.
+    Items of one client always come out in push order. *)
+
+val close : 'a t -> unit
+(** Stop admitting; queued items still drain through {!pop}
+    (drain policy [`Wait]). Idempotent. *)
+
+val flush : 'a t -> 'a list
+(** {!close}, then remove and return everything still queued (round-
+    robin order) — drain policy [`Cancel]: the daemon replies
+    [Cancelled] to each without executing it. Wakes blocked poppers. *)
+
+val length : 'a t -> int
+val is_closed : 'a t -> bool

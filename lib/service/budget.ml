@@ -1,0 +1,43 @@
+type limits = {
+  max_fuel : int;
+  default_fuel : int;
+  max_deadline_ms : int;
+  default_deadline_ms : int;
+  max_slaves : int;
+}
+
+let default_limits =
+  {
+    max_fuel = 1_000_000_000;
+    default_fuel = 10_000_000;
+    max_deadline_ms = 600_000;
+    default_deadline_ms = 60_000;
+    max_slaves = 64;
+  }
+
+type grant = { g_fuel : int; g_deadline_ms : int }
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let admit limits (spec : Protocol.job_spec) =
+  if spec.Protocol.slaves < 1 then err "slaves %d < 1" spec.Protocol.slaves
+  else if spec.Protocol.slaves > limits.max_slaves then
+    err "slaves %d exceeds limit %d" spec.Protocol.slaves limits.max_slaves
+  else if spec.Protocol.task_size < 1 then
+    err "task_size %d < 1" spec.Protocol.task_size
+  else
+    let check what asked cap =
+      if asked < 1 then err "%s %d < 1" what asked
+      else if asked > cap then err "%s %d exceeds limit %d" what asked cap
+      else Ok asked
+    in
+    Result.bind
+      (match spec.Protocol.fuel with
+      | None -> Ok limits.default_fuel
+      | Some f -> check "fuel" f limits.max_fuel)
+      (fun g_fuel ->
+        Result.bind
+          (match spec.Protocol.deadline_ms with
+          | None -> Ok limits.default_deadline_ms
+          | Some d -> check "deadline_ms" d limits.max_deadline_ms)
+          (fun g_deadline_ms -> Ok { g_fuel; g_deadline_ms }))

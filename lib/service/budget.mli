@@ -1,0 +1,28 @@
+(** Per-job budget admission: pure limits math, separated from the
+    daemon so the QCheck suite can exercise every branch without a
+    socket.
+
+    A job asks for resources in its {!Protocol.job_spec}; the daemon's
+    {!limits} cap what any single job may consume. {!admit} either
+    normalizes the request into a concrete {!grant} (filling defaults)
+    or explains which limit it breaks — the daemon maps that to a
+    structured [Over_budget] rejection. *)
+
+type limits = {
+  max_fuel : int;  (** largest simulated-cycle budget a job may request *)
+  default_fuel : int;  (** when the spec leaves [fuel] unset *)
+  max_deadline_ms : int;
+  default_deadline_ms : int;
+  max_slaves : int;
+}
+
+val default_limits : limits
+(** Fuel 10M cycles (max 1G), deadline 60 s (max 600 s), 64 slaves. *)
+
+type grant = { g_fuel : int; g_deadline_ms : int }
+(** The normalized budget a job actually runs under. *)
+
+val admit : limits -> Protocol.job_spec -> (grant, string) result
+(** Validate structural sanity (positive slaves/task size, within
+    [max_slaves]) and resource asks against the limits. The error
+    string names the violated limit and both numbers. *)

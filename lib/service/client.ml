@@ -1,0 +1,105 @@
+module P = Protocol
+module J = Mssp_trace.Tjson
+module Trace = Mssp_trace.Trace
+
+type terminal =
+  | Result of P.job_result
+  | Failed of { exn : string; repro : string }
+  | Cancelled of string
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  wm : Mutex.t;
+  (* demultiplexing state: replies read while looking for something else *)
+  events : (int, Trace.event list) Hashtbl.t;  (* reversed *)
+  terminals : (int, terminal) Hashtbl.t;
+  admissions : (int, P.reject_reason) result Queue.t;
+  misc : P.reply Queue.t;  (* Stats/Pong out of band *)
+}
+
+let connect ~socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  {
+    fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    wm = Mutex.create ();
+    events = Hashtbl.create 16;
+    terminals = Hashtbl.create 16;
+    admissions = Queue.create ();
+    misc = Queue.create ();
+  }
+
+let close t =
+  (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  try close_in t.ic with Sys_error _ -> ()
+
+let request t req =
+  if not (P.write_line t.wm t.oc (P.request_to_json req)) then
+    raise End_of_file
+
+let read_reply t =
+  let line = input_line t.ic in
+  match P.parse_reply line with
+  | Ok r -> r
+  | Error e -> failwith (Printf.sprintf "protocol violation: %s (%S)" e line)
+
+(* read one reply and file it into the demux tables *)
+let pump t =
+  match read_reply t with
+  | P.Accepted { job } -> Queue.add (Ok job) t.admissions
+  | P.Rejected { reason } -> Queue.add (Error reason) t.admissions
+  | P.Event { job; event } ->
+    let tl = Option.value ~default:[] (Hashtbl.find_opt t.events job) in
+    Hashtbl.replace t.events job (event :: tl)
+  | P.Result { job; r } -> Hashtbl.replace t.terminals job (Result r)
+  | P.Failed { job; exn; repro } ->
+    Hashtbl.replace t.terminals job (Failed { exn; repro })
+  | P.Cancelled { job; reason } ->
+    Hashtbl.replace t.terminals job (Cancelled reason)
+  | (P.Stats _ | P.Pong) as r -> Queue.add r t.misc
+
+let submit t spec =
+  request t (P.Submit spec);
+  while Queue.is_empty t.admissions do
+    pump t
+  done;
+  Queue.take t.admissions
+
+let await t job =
+  while not (Hashtbl.mem t.terminals job) do
+    pump t
+  done;
+  let terminal = Hashtbl.find t.terminals job in
+  Hashtbl.remove t.terminals job;
+  let events =
+    List.rev (Option.value ~default:[] (Hashtbl.find_opt t.events job))
+  in
+  Hashtbl.remove t.events job;
+  (terminal, events)
+
+let next_misc t =
+  while Queue.is_empty t.misc do
+    pump t
+  done;
+  Queue.take t.misc
+
+let ping t =
+  match request t P.Ping with
+  | () -> ( match next_misc t with P.Pong -> true | _ -> false)
+  | exception End_of_file -> false
+
+let status t =
+  request t P.Status;
+  match next_misc t with
+  | P.Stats counters -> counters
+  | _ -> failwith "protocol violation: expected stats"
+
+let drain t =
+  request t P.Drain;
+  match next_misc t with
+  | P.Pong -> ()
+  | _ -> failwith "protocol violation: expected drain ack"

@@ -1,0 +1,38 @@
+(** A blocking client for the daemon's NDJSON protocol.
+
+    One connection multiplexes many jobs: the daemon tags every reply
+    with its job id, and this client demultiplexes — {!submit} and
+    {!await} buffer replies that belong to other jobs, so a caller may
+    pipeline submissions and collect terminals in any order. Not
+    thread-safe; use one [t] per thread (the load tester does). *)
+
+type t
+
+val connect : socket:string -> t
+(** @raise Unix.Unix_error when the daemon is not there. *)
+
+val close : t -> unit
+
+val submit : t -> Protocol.job_spec -> (int, Protocol.reject_reason) result
+(** Send a job; read (buffering unrelated replies) until its
+    [Accepted]/[Rejected] arrives.
+    @raise End_of_file if the daemon hangs up first. *)
+
+type terminal =
+  | Result of Protocol.job_result
+  | Failed of { exn : string; repro : string }
+  | Cancelled of string
+
+val await : t -> int -> terminal * Mssp_trace.Trace.event list
+(** Block until the job's terminal reply (buffering other jobs'), and
+    return it with the job's streamed events (empty unless the spec set
+    [stream_events]).
+    @raise End_of_file if the daemon hangs up first. *)
+
+val ping : t -> bool
+val status : t -> (string * int) list
+(** @raise Failure on a protocol violation. *)
+
+val drain : t -> unit
+(** Ask the daemon to begin its graceful shutdown (acknowledged before
+    the drain completes). *)

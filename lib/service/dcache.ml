@@ -1,0 +1,77 @@
+(* A memo table with per-key once semantics: the first requester of a
+   key computes outside the table lock while later requesters of the
+   same key wait on the entry's condition; distinct keys proceed in
+   parallel. *)
+
+type 'a entry = {
+  em : Mutex.t;
+  ec : Condition.t;
+  mutable state : [ `Computing | `Done of 'a | `Failed of exn ];
+}
+
+type 'a t = {
+  m : Mutex.t;
+  table : (string, 'a entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () =
+  { m = Mutex.create (); table = Hashtbl.create 64; hits = 0; misses = 0 }
+
+let key_of_program p = Digest.to_hex (Digest.string (Marshal.to_string p []))
+
+let get t ~key ~compute =
+  Mutex.lock t.m;
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+    t.hits <- t.hits + 1;
+    Mutex.unlock t.m;
+    Mutex.lock e.em;
+    let rec await () =
+      match e.state with
+      | `Computing ->
+        Condition.wait e.ec e.em;
+        await ()
+      | `Done v ->
+        Mutex.unlock e.em;
+        (v, true)
+      | `Failed exn ->
+        Mutex.unlock e.em;
+        raise exn
+    in
+    await ()
+  | None ->
+    t.misses <- t.misses + 1;
+    let e =
+      { em = Mutex.create (); ec = Condition.create (); state = `Computing }
+    in
+    Hashtbl.replace t.table key e;
+    Mutex.unlock t.m;
+    let outcome = try `Done (compute ()) with exn -> `Failed exn in
+    Mutex.lock e.em;
+    e.state <- outcome;
+    Condition.broadcast e.ec;
+    Mutex.unlock e.em;
+    (match outcome with
+    | `Done v -> (v, false)
+    | `Failed exn ->
+      (* clear the poisoned slot so a later request may retry *)
+      Mutex.lock t.m;
+      (match Hashtbl.find_opt t.table key with
+      | Some e' when e' == e -> Hashtbl.remove t.table key
+      | _ -> ());
+      Mutex.unlock t.m;
+      raise exn)
+
+let hits t =
+  Mutex.lock t.m;
+  let n = t.hits in
+  Mutex.unlock t.m;
+  n
+
+let misses t =
+  Mutex.lock t.m;
+  let n = t.misses in
+  Mutex.unlock t.m;
+  n

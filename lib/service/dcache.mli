@@ -1,0 +1,34 @@
+(** The distillation cache: at most one distillation per program image,
+    process-wide, however many concurrent jobs ask.
+
+    Distillation is a pure function of the program (the service layer
+    profiles a program against itself — the same convention as the fuzz
+    oracle), so its result can be shared freely: the cache keys on a
+    digest of the marshaled program image and memoizes the distilled
+    package. Concurrent first requests for the same key block on the
+    one in-flight computation rather than duplicating it — "never
+    distilled twice" is structural, not probabilistic.
+
+    Counters are monotonic and cheap; the daemon surfaces them in its
+    [Stats] reply and the load tester asserts hits on duplicate
+    submissions. The cache is generic in its value ([Distill.t] in the
+    daemon) so the QCheck suite can exercise the once-per-key semantics
+    with cheap values. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val key_of_program : Mssp_isa.Program.t -> string
+(** Hex digest of the marshaled program image — programs are plain data,
+    so structurally equal programs collide (that is the point). *)
+
+val get : 'a t -> key:string -> compute:(unit -> 'a) -> 'a * bool
+(** [get t ~key ~compute] returns the cached value for [key] (flag
+    [true]) or runs [compute] exactly once — even under concurrent
+    first requests — caches it, and returns it (flag [false]). If
+    [compute] raises, every waiter for that key re-raises and the slot
+    is cleared so a later request may retry. *)
+
+val hits : 'a t -> int
+val misses : 'a t -> int

@@ -1,0 +1,195 @@
+module P = Protocol
+
+type report = {
+  submitted : int;
+  completed : int;
+  cancelled : int;
+  failed : int;
+  rejected : int;
+  mismatches : string list;
+  cache_hits : int;
+  wall_s : float;
+}
+
+(* every field of the daemon's reply must equal the oracle's, except the
+   transport-only ones (cache_hit, attempts, wall_ms) *)
+let diff_result ~seed (r : P.job_result) (e : P.job_result) =
+  let fields =
+    [
+      ("cycles", r.P.cycles = e.P.cycles);
+      ("instructions", r.P.instructions = e.P.instructions);
+      ("tasks_committed", r.P.tasks_committed = e.P.tasks_committed);
+      ("squashes", r.P.squashes = e.P.squashes);
+      ("output", r.P.output = e.P.output);
+      ("stop", r.P.stop = e.P.stop);
+      ("state_digest", r.P.state_digest = e.P.state_digest);
+    ]
+  in
+  match List.filter (fun (_, ok) -> not ok) fields with
+  | [] -> None
+  | bad ->
+    Some
+      (Printf.sprintf
+         "gen seed %d: daemon result diverges from in-process oracle on %s"
+         seed
+         (String.concat ", " (List.map fst bad)))
+
+let run ~socket ~seed ~jobs ~clients ?(gen_size = 20) ?(slaves = 4)
+    ?dups ?(oversubmit = 0) ?fuel ?deadline_ms ?(progress = fun _ -> ())
+    () =
+  let t0 = Unix.gettimeofday () in
+  let clients = max 1 clients in
+  let dups =
+    match dups with Some d -> min d jobs | None -> min 8 (jobs / 4)
+  in
+  let gen_seed i =
+    if i < jobs - dups then seed + i else seed + (i - (jobs - dups))
+  in
+  let spec ~client i =
+    {
+      P.default_spec with
+      P.client;
+      program = P.Gen { seed = gen_seed i; size = gen_size };
+      slaves;
+      fuel;
+      deadline_ms;
+    }
+  in
+  (* the serial in-process oracle, one run per distinct seed *)
+  let expected : (int, P.job_result) Hashtbl.t = Hashtbl.create jobs in
+  for i = 0 to jobs - 1 do
+    let s = gen_seed i in
+    if not (Hashtbl.mem expected s) then
+      match Daemon.run_inproc (spec ~client:"oracle" i) with
+      | Ok e -> Hashtbl.replace expected s e
+      | Error e ->
+        failwith (Printf.sprintf "oracle rejected gen seed %d: %s" s e)
+  done;
+  (* shared accumulators *)
+  let m = Mutex.create () in
+  let submitted = ref 0
+  and completed = ref 0
+  and cancelled = ref 0
+  and failed = ref 0
+  and rejected = ref 0
+  and cache_hits = ref 0
+  and mismatches = ref [] in
+  let tally f =
+    Mutex.lock m;
+    f ();
+    Mutex.unlock m
+  in
+  let record i = function
+    | Client.Result r ->
+      tally (fun () ->
+          incr completed;
+          if r.P.cache_hit then incr cache_hits;
+          match diff_result ~seed:(gen_seed i) r (Hashtbl.find expected (gen_seed i)) with
+          | None -> ()
+          | Some msg -> mismatches := msg :: !mismatches)
+    | Client.Cancelled _ -> tally (fun () -> incr cancelled)
+    | Client.Failed _ -> tally (fun () -> incr failed)
+  in
+  (* a client keeps at most [window] jobs outstanding; on backpressure it
+     drains one and retries — the documented discipline for Queue_full *)
+  let window = 4 in
+  let client_thread cidx my_specs () =
+    let c = Client.connect ~socket in
+    let outstanding = Queue.create () in
+    let await_one () =
+      let i, id = Queue.take outstanding in
+      let terminal, _events = Client.await c id in
+      record i terminal
+    in
+    List.iter
+      (fun (i, s) ->
+        let rec try_submit stalls =
+          tally (fun () -> incr submitted);
+          match Client.submit c s with
+          | Ok id -> Queue.add (i, id) outstanding
+          | Error P.Queue_full ->
+            tally (fun () -> incr rejected);
+            if Queue.is_empty outstanding then Thread.delay 0.002
+            else await_one ();
+            if stalls < 100_000 then try_submit (stalls + 1)
+            else
+              tally (fun () ->
+                  mismatches :=
+                    Printf.sprintf "client %d starved by backpressure" cidx
+                    :: !mismatches)
+          | Error reason ->
+            tally (fun () ->
+                incr rejected;
+                mismatches :=
+                  Printf.sprintf "client %d: unexpected rejection (%s)" cidx
+                    (P.reject_string reason)
+                  :: !mismatches)
+        in
+        try_submit 0;
+        while Queue.length outstanding >= window do
+          await_one ()
+        done)
+      my_specs;
+    while not (Queue.is_empty outstanding) do
+      await_one ()
+    done;
+    Client.close c;
+    progress
+      (Printf.sprintf "client %d done (%d jobs)" cidx (List.length my_specs))
+  in
+  (* the oversubmission burst: fire-and-collect, no retry — every
+     submission must get a structured answer, accepted or rejected *)
+  let burst_thread () =
+    if oversubmit > 0 then begin
+      let c = Client.connect ~socket in
+      let accepted = ref [] in
+      for _ = 1 to oversubmit do
+        tally (fun () -> incr submitted);
+        match Client.submit c (spec ~client:"burst" 0) with
+        | Ok id -> accepted := id :: !accepted
+        | Error P.Queue_full -> tally (fun () -> incr rejected)
+        | Error reason ->
+          tally (fun () ->
+              incr rejected;
+              mismatches :=
+                Printf.sprintf "burst: unexpected rejection (%s)"
+                  (P.reject_string reason)
+                :: !mismatches)
+      done;
+      List.iter (fun id -> record 0 (fst (Client.await c id))) !accepted;
+      Client.close c;
+      progress
+        (Printf.sprintf "burst done (%d submissions, %d accepted)" oversubmit
+           (List.length !accepted))
+    end
+  in
+  let per_client = Array.make clients [] in
+  for i = jobs - 1 downto 0 do
+    let cidx = i mod clients in
+    per_client.(cidx) <-
+      (i, spec ~client:(Printf.sprintf "c%d" cidx) i) :: per_client.(cidx)
+  done;
+  let threads =
+    Thread.create burst_thread ()
+    :: List.init clients (fun cidx ->
+           Thread.create (client_thread cidx per_client.(cidx)) ())
+  in
+  List.iter Thread.join threads;
+  {
+    submitted = !submitted;
+    completed = !completed;
+    cancelled = !cancelled;
+    failed = !failed;
+    rejected = !rejected;
+    mismatches = List.rev !mismatches;
+    cache_hits = !cache_hits;
+    wall_s = Unix.gettimeofday () -. t0;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>submitted %d; completed %d; cancelled %d; failed %d; rejected %d;@ \
+     cache hits %d; mismatches %d; wall %.2fs@]"
+    r.submitted r.completed r.cancelled r.failed r.rejected r.cache_hits
+    (List.length r.mismatches)
+    r.wall_s

@@ -1,0 +1,49 @@
+(** The sustained-load harness: hammer a daemon with concurrent fuzz
+    jobs and diff every result against the in-process serial oracle.
+
+    Each job is a {!Mssp_fuzz.Gen} program — deterministic in its seed,
+    so the oracle ({!Daemon.run_inproc}) recomputes the same simulation
+    on the calling thread and every field of the daemon's reply
+    (cycles, stats, output, final-state digest, stop reason) must match
+    bit for bit. The run also exercises the robustness surface on
+    purpose: duplicate submissions must come back [cache_hit], an
+    optional oversubmission burst must be answered with structured
+    [Queue_full] rejections (never a hang), and every accepted job must
+    reach exactly one terminal reply. *)
+
+type report = {
+  submitted : int;  (** total submissions sent, burst included *)
+  completed : int;  (** jobs with a [Result] terminal *)
+  cancelled : int;
+  failed : int;
+  rejected : int;  (** structured rejections (the burst's backpressure) *)
+  mismatches : string list;  (** oracle disagreements — must be [] *)
+  cache_hits : int;  (** results that reported a distillation-cache hit *)
+  wall_s : float;
+}
+
+val run :
+  socket:string ->
+  seed:int ->
+  jobs:int ->
+  clients:int ->
+  ?gen_size:int ->
+  ?slaves:int ->
+  ?dups:int ->
+  ?oversubmit:int ->
+  ?fuel:int ->
+  ?deadline_ms:int ->
+  ?progress:(string -> unit) ->
+  unit ->
+  report
+(** [run ~socket ~seed ~jobs ~clients ()] distributes [jobs] generated
+    programs round-robin over [clients] concurrent connections (each its
+    own thread), awaiting and verifying every result. The last [dups]
+    (default [min 8 (jobs/4)]) jobs reuse the first seeds, so their
+    results must report [cache_hit]. [oversubmit] (default 0) adds a
+    burst client firing that many extra duplicate submissions as fast
+    as possible, counting structured rejections. [fuel] and
+    [deadline_ms] ride on every spec (defaults: the daemon limits'
+    defaults). [progress] gets one line per client completion. *)
+
+val pp_report : Format.formatter -> report -> unit
